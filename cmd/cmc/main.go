@@ -1,0 +1,106 @@
+// cmc is the extensible CMINUS translator: it composes the host
+// language with the selected language extensions, checks the program
+// with the composed attribute-grammar semantics, and translates it to
+// plain parallel C (§II: "The extended translator slips into the
+// existing development process as just another step in the compilation
+// process").
+//
+// Usage:
+//
+//	cmc [flags] file.xc
+//
+//	-ext matrix,transform,rc   extensions to compose (default all)
+//	-emit c|ast                output kind (default c)
+//	-par pthread|omp|none      parallel code generation mode
+//	-O                         §III-A.4 high-level optimizations (default on)
+//	-o file                    output path (default stdout)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/cgen"
+	"repro/internal/core"
+	"repro/internal/parser"
+)
+
+func main() {
+	extFlag := flag.String("ext", "matrix,transform,rc", "comma-separated extensions to compose")
+	emit := flag.String("emit", "c", "output: c or ast")
+	par := flag.String("par", "pthread", "parallel codegen: pthread, omp or none")
+	optimize := flag.Bool("O", true, "enable high-level optimizations (fusion, slice elimination)")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cmc [flags] file.xc")
+		flag.Usage()
+		os.Exit(2)
+	}
+	file := flag.Arg(0)
+	src, err := os.ReadFile(file)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	var exts parser.Options
+	for _, e := range strings.Split(*extFlag, ",") {
+		switch strings.TrimSpace(e) {
+		case "matrix":
+			exts.Matrix = true
+		case "transform":
+			exts.Transform = true
+		case "rc":
+			exts.Rc = true
+		case "":
+		default:
+			fatal("unknown extension %q (have: matrix, transform, rc)", e)
+		}
+	}
+	cg := cgen.Options{Par: cgen.ParMode(*par), Optimize: *optimize}
+	switch cg.Par {
+	case cgen.ParPthread, cgen.ParOMP, cgen.ParNone:
+	default:
+		fatal("unknown -par mode %q", *par)
+	}
+	cfg := core.Config{Extensions: &exts, Codegen: &cg}
+
+	var text string
+	switch *emit {
+	case "ast":
+		res := core.Check(file, string(src), cfg)
+		report(res)
+		text = ast.Print(res.Program)
+	case "c":
+		res := core.Compile(file, string(src), cfg)
+		report(res)
+		text = res.C
+	default:
+		fatal("unknown -emit kind %q", *emit)
+	}
+
+	if *out == "" {
+		fmt.Print(text)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
+		fatal("%v", err)
+	}
+}
+
+func report(res *core.Result) {
+	for _, d := range res.Diags.All() {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if res.Diags.HasErrors() || res.Program == nil {
+		os.Exit(1)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cmc: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,54 @@
+// cmrun parses, checks and executes an extended-CMINUS program with
+// the parallel interpreter. The -t flag is the paper's command-line
+// thread count (§III-C): worker threads are spawned once at startup
+// and released per parallel construct.
+//
+// Usage:
+//
+//	cmrun [-t N] [-dir path] file.xc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+)
+
+func main() {
+	threads := flag.Int("t", 1, "worker threads for parallel constructs")
+	dir := flag.String("dir", "", "directory for readMatrix/writeMatrix (default: the source file's)")
+	steps := flag.Int64("maxsteps", 0, "abort after N interpreter steps (0 = unlimited)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cmrun [-t N] [-dir path] file.xc")
+		os.Exit(2)
+	}
+	file := flag.Arg(0)
+	src, err := os.ReadFile(file)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cmrun: %v\n", err)
+		os.Exit(2)
+	}
+	d := *dir
+	if d == "" {
+		d = filepath.Dir(file)
+	}
+	code, res, err := core.Run(file, string(src), core.Config{}, interp.Options{
+		Threads: *threads, Dir: d, MaxSteps: *steps,
+	})
+	for _, diag := range res.Diags.All() {
+		fmt.Fprintln(os.Stderr, diag)
+	}
+	if err != nil && !res.Diags.HasErrors() {
+		fmt.Fprintf(os.Stderr, "cmrun: %v\n", err)
+		os.Exit(1)
+	}
+	if res.Diags.HasErrors() {
+		os.Exit(1)
+	}
+	os.Exit(code)
+}

@@ -1,0 +1,149 @@
+// Command-level smoke tests: build the real binaries and exercise them
+// the way the README shows — translate, execute, analyze, generate
+// data — against the programs in testdata/.
+package repro_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	cmdBuildOnce sync.Once
+	cmdBinDir    string
+	cmdBuildErr  error
+)
+
+// buildCommands compiles all cmd/ binaries once per test run.
+func buildCommands(t *testing.T) string {
+	t.Helper()
+	cmdBuildOnce.Do(func() {
+		cmdBinDir, cmdBuildErr = os.MkdirTemp("", "cmbin")
+		if cmdBuildErr != nil {
+			return
+		}
+		for _, name := range []string{"cmc", "cmrun", "composecheck", "sshgen"} {
+			out, err := exec.Command("go", "build", "-o",
+				filepath.Join(cmdBinDir, name), "./cmd/"+name).CombinedOutput()
+			if err != nil {
+				cmdBuildErr = err
+				cmdBuildErr = &buildError{name: name, out: string(out), err: err}
+				return
+			}
+		}
+	})
+	if cmdBuildErr != nil {
+		t.Fatalf("building commands: %v", cmdBuildErr)
+	}
+	return cmdBinDir
+}
+
+type buildError struct {
+	name string
+	out  string
+	err  error
+}
+
+func (e *buildError) Error() string {
+	return "go build ./cmd/" + e.name + ": " + e.err.Error() + "\n" + e.out
+}
+
+func TestCmdCmrunExecutesTestdata(t *testing.T) {
+	bin := buildCommands(t)
+	out, err := exec.Command(filepath.Join(bin, "cmrun"), "-t", "2",
+		"testdata/cilk_fib.xc").CombinedOutput()
+	if err != nil {
+		t.Fatalf("cmrun: %v\n%s", err, out)
+	}
+	if strings.TrimSpace(string(out)) != "377" {
+		t.Fatalf("cmrun output = %q, want 377", out)
+	}
+}
+
+func TestCmdCmcEmitsCAndAst(t *testing.T) {
+	bin := buildCommands(t)
+	c, err := exec.Command(filepath.Join(bin, "cmc"), "-par", "none",
+		"testdata/fig1_temporalmean.xc").Output()
+	if err != nil {
+		t.Fatalf("cmc: %v", err)
+	}
+	for _, want := range []string{"cm_mat", "u_main", "for (long u_k"} {
+		if !strings.Contains(string(c), want) {
+			t.Errorf("cmc -emit c missing %q", want)
+		}
+	}
+	a, err := exec.Command(filepath.Join(bin, "cmc"), "-emit", "ast",
+		"testdata/fig1_temporalmean.xc").Output()
+	if err != nil {
+		t.Fatalf("cmc -emit ast: %v", err)
+	}
+	if !strings.Contains(string(a), "genarray") || !strings.Contains(string(a), "(func int main") {
+		t.Errorf("ast output unexpected:\n%s", a)
+	}
+}
+
+func TestCmdCmcRejectsBadProgram(t *testing.T) {
+	bin := buildCommands(t)
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.xc")
+	if err := os.WriteFile(bad, []byte("int main() { return zzz; }"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(filepath.Join(bin, "cmc"), bad).CombinedOutput()
+	if err == nil {
+		t.Fatal("cmc should fail on a semantic error")
+	}
+	if !strings.Contains(string(out), "undeclared") {
+		t.Fatalf("cmc error output = %q", out)
+	}
+}
+
+func TestCmdComposecheck(t *testing.T) {
+	bin := buildCommands(t)
+	out, err := exec.Command(filepath.Join(bin, "composecheck")).CombinedOutput()
+	if err != nil {
+		t.Fatalf("composecheck: %v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{
+		"matrix vs CMINUS             PASS",
+		"tuple (standalone) vs CMINUS FAIL",
+		"0 conflicts",
+		"all analyses match the paper's reported results",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("composecheck missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCmdSshgenPlusCmrunPipeline(t *testing.T) {
+	bin := buildCommands(t)
+	dir := t.TempDir()
+	// generate synthetic SSH, then run the Fig 1 program against it
+	out, err := exec.Command(filepath.Join(bin, "sshgen"), "-q",
+		"-lat", "6", "-lon", "7", "-time", "8",
+		"-o", filepath.Join(dir, "ssh.data")).CombinedOutput()
+	if err != nil {
+		t.Fatalf("sshgen: %v\n%s", err, out)
+	}
+	src, err := os.ReadFile("testdata/fig1_temporalmean.xc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := filepath.Join(dir, "mean.xc")
+	if err := os.WriteFile(prog, src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err = exec.Command(filepath.Join(bin, "cmrun"), "-t", "3", prog).CombinedOutput()
+	if err != nil {
+		t.Fatalf("cmrun pipeline: %v\n%s", err, out)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "means.data")); err != nil {
+		t.Fatal("means.data was not written")
+	}
+}

@@ -1,0 +1,580 @@
+// Package ast defines the abstract syntax of the CMINUS host language
+// and the matrix, tuple, reference-counting and transform extensions.
+// Extension nodes live in the same tree as host nodes — exactly as in
+// the paper, where extension abstract syntax is composed with the host
+// grammar's — and carry an Owner tag naming the extension that
+// contributed them, which the attribute-grammar engine's modular
+// well-definedness analysis uses.
+package ast
+
+import "repro/internal/source"
+
+// Node is any syntax-tree node.
+type Node interface {
+	Span() source.Span
+}
+
+// Base carries the source span common to all nodes.
+type Base struct {
+	Loc source.Span
+}
+
+// Span returns the node's source span.
+func (b *Base) Span() source.Span { return b.Loc }
+
+// SetSpan records the node's span if it has none yet. The parser
+// driver calls this on each freshly built node at reduce time;
+// set-once semantics keep pass-through nodes' tighter spans intact.
+func (b *Base) SetSpan(s source.Span) {
+	if !b.Loc.Start.IsValid() {
+		b.Loc = s
+	}
+}
+
+// --- Types (syntactic) ---
+
+// TypeExpr is a syntactic type.
+type TypeExpr interface {
+	Node
+	typeNode()
+}
+
+// PrimKind enumerates primitive types.
+type PrimKind int
+
+// Primitive type kinds.
+const (
+	PrimInt PrimKind = iota
+	PrimFloat
+	PrimBool
+	PrimVoid
+	PrimString // for readMatrix("...") style literals only
+)
+
+func (k PrimKind) String() string {
+	switch k {
+	case PrimInt:
+		return "int"
+	case PrimFloat:
+		return "float"
+	case PrimBool:
+		return "bool"
+	case PrimVoid:
+		return "void"
+	case PrimString:
+		return "string"
+	}
+	return "?"
+}
+
+// PrimType is a primitive type expression: int, float, bool, void.
+type PrimType struct {
+	Base
+	Kind PrimKind
+}
+
+// MatrixType is the matrix extension's type expression:
+// Matrix <elem> '<' rank '>'.
+type MatrixType struct {
+	Base
+	Elem PrimKind
+	Rank int
+}
+
+// TupleType is the tuple extension's type expression: (T1, T2, ...).
+type TupleType struct {
+	Base
+	Elems []TypeExpr
+}
+
+// RcPtrType is the reference-counting extension's pointer type:
+// refcounted T *.
+type RcPtrType struct {
+	Base
+	Elem TypeExpr
+}
+
+func (*PrimType) typeNode()   {}
+func (*MatrixType) typeNode() {}
+func (*TupleType) typeNode()  {}
+func (*RcPtrType) typeNode()  {}
+
+// --- Declarations ---
+
+// Program is a translation unit.
+type Program struct {
+	Base
+	File  string
+	Decls []Decl
+}
+
+// Decl is a top-level declaration.
+type Decl interface {
+	Node
+	declNode()
+}
+
+// Param is one function parameter.
+type Param struct {
+	Base
+	Type TypeExpr
+	Name string
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Base
+	Ret    TypeExpr
+	Name   string
+	Params []*Param
+	Body   *BlockStmt
+}
+
+// GlobalVarDecl is a file-scope variable declaration.
+type GlobalVarDecl struct {
+	Base
+	Type TypeExpr
+	Name string
+	Init Expr // may be nil
+}
+
+func (*FuncDecl) declNode()      {}
+func (*GlobalVarDecl) declNode() {}
+
+// --- Statements ---
+
+// Stmt is a statement.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// BlockStmt is { ... }.
+type BlockStmt struct {
+	Base
+	Stmts []Stmt
+}
+
+// DeclStmt declares (and optionally initializes) a local variable.
+type DeclStmt struct {
+	Base
+	Type TypeExpr
+	Name string
+	Init Expr // may be nil
+}
+
+// AssignStmt assigns RHS to one or more lvalues. Multiple LHS targets
+// come from the tuple extension's destructuring form (a, b, c) = f().
+type AssignStmt struct {
+	Base
+	LHS []Expr // Ident or IndexExpr lvalues
+	RHS Expr
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Base
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Base
+	Cond Expr
+	Body Stmt
+}
+
+// ForStmt is a C-style for loop.
+type ForStmt struct {
+	Base
+	Init Stmt // DeclStmt or AssignStmt or nil
+	Cond Expr // may be nil
+	Post Stmt // AssignStmt or nil
+	Body Stmt
+}
+
+// ReturnStmt returns from a function.
+type ReturnStmt struct {
+	Base
+	Value Expr // may be nil
+}
+
+// ExprStmt evaluates an expression for effect.
+type ExprStmt struct {
+	Base
+	X Expr
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Base }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ Base }
+
+// SpawnStmt is the Cilk extension's spawn (§VIII future work,
+// implemented here): run Call asynchronously; if Target is non-empty
+// the named variable receives the result at the next sync.
+type SpawnStmt struct {
+	Base
+	Target string // "" for fire-and-forget
+	Call   Expr
+}
+
+// SyncStmt waits for all spawns of the enclosing function.
+type SyncStmt struct{ Base }
+
+func (*SpawnStmt) stmtNode()    {}
+func (*SyncStmt) stmtNode()     {}
+func (*BlockStmt) stmtNode()    {}
+func (*DeclStmt) stmtNode()     {}
+func (*AssignStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*ExprStmt) stmtNode()     {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+
+// --- Expressions ---
+
+// Expr is an expression.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Base
+	Value int64
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	Base
+	Value float64
+}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	Base
+	Value bool
+}
+
+// StrLit is a string literal (only used as file-name arguments to the
+// matrix I/O builtins).
+type StrLit struct {
+	Base
+	Value string
+}
+
+// Ident is a variable reference.
+type Ident struct {
+	Base
+	Name string
+}
+
+// BinOp enumerates binary operators.
+type BinOp int
+
+// Binary operators. MatMul is '*' applied to two matrices (linear
+// algebra product); ElemMul is the extension's '.*' elementwise
+// product, following the paper's MATLAB-style split.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul // scalar mul, or matrix*: resolved to MatMul in type checking
+	OpElemMul
+	OpDiv
+	OpMod
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+)
+
+var binOpNames = map[BinOp]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpElemMul: ".*", OpDiv: "/",
+	OpMod: "%", OpEq: "==", OpNe: "!=", OpLt: "<", OpLe: "<=",
+	OpGt: ">", OpGe: ">=", OpAnd: "&&", OpOr: "||",
+}
+
+func (o BinOp) String() string { return binOpNames[o] }
+
+// BinaryExpr is L op R. The matrix extension overloads every operator
+// elementwise over matrices and matrix/scalar pairs (§III-A.2).
+type BinaryExpr struct {
+	Base
+	Op   BinOp
+	L, R Expr
+}
+
+// UnOp enumerates unary operators.
+type UnOp int
+
+// Unary operators.
+const (
+	OpNeg UnOp = iota
+	OpNot
+)
+
+func (o UnOp) String() string {
+	if o == OpNeg {
+		return "-"
+	}
+	return "!"
+}
+
+// UnaryExpr is op X.
+type UnaryExpr struct {
+	Base
+	Op UnOp
+	X  Expr
+}
+
+// CallExpr is a function call or builtin (dimSize, readMatrix,
+// writeMatrix).
+type CallExpr struct {
+	Base
+	Fun  string
+	Args []Expr
+}
+
+// CastExpr is a C-style cast (float) x.
+type CastExpr struct {
+	Base
+	To PrimKind
+	X  Expr
+}
+
+// --- Matrix extension expressions ---
+
+// IndexArg is one dimension's index inside m[...]: a scalar
+// expression, an inclusive range, a whole-dimension ':', or (resolved
+// during type checking from a bool-matrix scalar arg) a logical mask.
+type IndexArg interface {
+	Node
+	indexArgNode()
+}
+
+// IdxScalar indexes one position — or, if the expression has boolean
+// matrix type, selects by logical mask (§III-A.3(d)).
+type IdxScalar struct {
+	Base
+	X Expr
+}
+
+// IdxRange is lo:hi (inclusive, MATLAB-style: data[0:4] is 5 cells).
+// Lo or Hi may contain EndExpr.
+type IdxRange struct {
+	Base
+	Lo, Hi Expr
+}
+
+// IdxAll is ':' — the whole dimension.
+type IdxAll struct{ Base }
+
+func (*IdxScalar) indexArgNode() {}
+func (*IdxRange) indexArgNode()  {}
+func (*IdxAll) indexArgNode()    {}
+
+// IndexExpr is base[args...]; legal on both sides of assignment.
+type IndexExpr struct {
+	Base
+	X    Expr
+	Args []IndexArg
+}
+
+// EndExpr is the matrix extension's 'end': the last index of the
+// dimension being indexed. Only valid inside IndexArg expressions.
+type EndExpr struct{ Base }
+
+// RangeExpr is the vector-building range (lo :: hi), producing the
+// one-dimensional int matrix [lo, lo+1, ..., hi] (Fig 8, line 27).
+type RangeExpr struct {
+	Base
+	Lo, Hi Expr
+}
+
+// WithLoop is the SAC-style with-loop (§III-A.4):
+//
+//	with ([l...] <= [ids...] < [u...]) genarray([shape...], body)
+//	with ([l...] <= [ids...] < [u...]) fold(op, base, body)
+//
+// optionally followed by the transform extension's clause list (§V).
+type WithLoop struct {
+	Base
+	Lower      []Expr
+	Ids        []string
+	Upper      []Expr
+	Op         WithOp
+	Transforms []TransformClause
+}
+
+// WithOp is the with-loop's operation part.
+type WithOp interface {
+	Node
+	withOpNode()
+}
+
+// GenArrayOp builds a new matrix of the given shape, with body at each
+// generated index and 0 elsewhere.
+type GenArrayOp struct {
+	Base
+	Shape []Expr
+	Body  Expr
+}
+
+// FoldKind enumerates fold operators.
+type FoldKind int
+
+// Fold operators.
+const (
+	FoldAdd FoldKind = iota
+	FoldMul
+	FoldMin
+	FoldMax
+)
+
+func (k FoldKind) String() string {
+	switch k {
+	case FoldAdd:
+		return "+"
+	case FoldMul:
+		return "*"
+	case FoldMin:
+		return "min"
+	case FoldMax:
+		return "max"
+	}
+	return "?"
+}
+
+// FoldOp reduces body over the generated indices with the operator,
+// starting from Base.
+type FoldOp struct {
+	Base
+	Kind FoldKind
+	Init Expr
+	Body Expr
+}
+
+func (*GenArrayOp) withOpNode() {}
+func (*FoldOp) withOpNode()     {}
+
+// MatrixMap is matrixMap(f, m, [dims...]) (§III-A.5): apply f to the
+// sub-matrices of m spanned by dims, iterating the other dimensions.
+// General marks the matrixMapG form — the generalization §III-A.5
+// says is "being developed", implemented here — which lets f change
+// the mapped dimensions' sizes (discovered at run time).
+type MatrixMap struct {
+	Base
+	Fun     string
+	Arg     Expr
+	Dims    []Expr
+	General bool
+}
+
+// InitExpr is init(MatrixType, d0, d1, ...): a zeroed matrix with the
+// given dimension sizes.
+type InitExpr struct {
+	Base
+	Type *MatrixType
+	Dims []Expr
+}
+
+// TupleExpr is the tuple extension's anonymous construction (a, b, c).
+type TupleExpr struct {
+	Base
+	Elems []Expr
+}
+
+func (*IntLit) exprNode()     {}
+func (*FloatLit) exprNode()   {}
+func (*BoolLit) exprNode()    {}
+func (*StrLit) exprNode()     {}
+func (*Ident) exprNode()      {}
+func (*BinaryExpr) exprNode() {}
+func (*UnaryExpr) exprNode()  {}
+func (*CallExpr) exprNode()   {}
+func (*CastExpr) exprNode()   {}
+func (*IndexExpr) exprNode()  {}
+func (*EndExpr) exprNode()    {}
+func (*RangeExpr) exprNode()  {}
+func (*WithLoop) exprNode()   {}
+func (*MatrixMap) exprNode()  {}
+func (*InitExpr) exprNode()   {}
+func (*TupleExpr) exprNode()  {}
+
+// --- Transform extension (§V) ---
+
+// TransformClause is one user-directed loop transformation attached to
+// a with-loop.
+type TransformClause interface {
+	Node
+	transformNode()
+}
+
+// SplitClause is "split i by K, iin, iout": loop i becomes an outer
+// loop iout and an inner loop iin of trip count K, with i rewritten to
+// iout*K+iin (Fig 10).
+type SplitClause struct {
+	Base
+	Index  string
+	Factor Expr
+	Inner  string
+	Outer  string
+}
+
+// VectorizeClause is "vectorize i": the loop is strip-executed with
+// SSE-style 4-lane single-precision vectors (Fig 11).
+type VectorizeClause struct {
+	Base
+	Index string
+}
+
+// ParallelizeClause is "parallelize i": the loop is annotated for
+// parallel execution (OpenMP pragma in emitted C, worker pool in the
+// interpreter).
+type ParallelizeClause struct {
+	Base
+	Index string
+}
+
+// ReorderClause is "reorder i, j, k": reorders the perfectly nested
+// loops to the given order, outermost first.
+type ReorderClause struct {
+	Base
+	Indices []string
+}
+
+// TileClause is "tile i by K, j by L": the derived transformation the
+// paper describes — two splits plus a reorder.
+type TileClause struct {
+	Base
+	IndexA  string
+	FactorA Expr
+	IndexB  string
+	FactorB Expr
+}
+
+// UnrollClause is "unroll i by K": replicates the loop body K times.
+type UnrollClause struct {
+	Base
+	Index  string
+	Factor Expr
+}
+
+func (*SplitClause) transformNode()       {}
+func (*VectorizeClause) transformNode()   {}
+func (*ParallelizeClause) transformNode() {}
+func (*ReorderClause) transformNode()     {}
+func (*TileClause) transformNode()        {}
+func (*UnrollClause) transformNode()      {}

@@ -1,0 +1,252 @@
+// AST pretty-printer. Produces a stable, indented S-expression-style
+// rendering used by cmd/cmc -emit ast and by golden tests.
+package ast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders any AST node.
+func Print(n Node) string {
+	var p printer
+	p.node(n)
+	return p.b.String()
+}
+
+type printer struct {
+	b      strings.Builder
+	indent int
+}
+
+func (p *printer) line(format string, args ...any) {
+	p.b.WriteString(strings.Repeat("  ", p.indent))
+	fmt.Fprintf(&p.b, format, args...)
+	p.b.WriteByte('\n')
+}
+
+func (p *printer) in()  { p.indent++ }
+func (p *printer) out() { p.indent-- }
+
+// TypeString renders a syntactic type on one line.
+func TypeString(t TypeExpr) string {
+	switch t := t.(type) {
+	case *PrimType:
+		return t.Kind.String()
+	case *MatrixType:
+		return fmt.Sprintf("Matrix %s <%d>", t.Elem, t.Rank)
+	case *TupleType:
+		parts := make([]string, len(t.Elems))
+		for i, e := range t.Elems {
+			parts[i] = TypeString(e)
+		}
+		return "(" + strings.Join(parts, ", ") + ")"
+	case *RcPtrType:
+		return "refcounted " + TypeString(t.Elem) + " *"
+	case nil:
+		return "<nil>"
+	}
+	return "?type"
+}
+
+// ExprString renders an expression on one line.
+func ExprString(e Expr) string {
+	switch e := e.(type) {
+	case *IntLit:
+		return fmt.Sprintf("%d", e.Value)
+	case *FloatLit:
+		s := fmt.Sprintf("%g", e.Value)
+		if !strings.ContainsAny(s, ".e") {
+			s += ".0"
+		}
+		return s
+	case *BoolLit:
+		return fmt.Sprintf("%t", e.Value)
+	case *StrLit:
+		return fmt.Sprintf("%q", e.Value)
+	case *Ident:
+		return e.Name
+	case *BinaryExpr:
+		return fmt.Sprintf("(%s %s %s)", ExprString(e.L), e.Op, ExprString(e.R))
+	case *UnaryExpr:
+		return fmt.Sprintf("(%s%s)", e.Op, ExprString(e.X))
+	case *CallExpr:
+		return fmt.Sprintf("%s(%s)", e.Fun, exprList(e.Args))
+	case *CastExpr:
+		return fmt.Sprintf("(%s)%s", e.To, ExprString(e.X))
+	case *IndexExpr:
+		parts := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			parts[i] = indexArgString(a)
+		}
+		return fmt.Sprintf("%s[%s]", ExprString(e.X), strings.Join(parts, ", "))
+	case *EndExpr:
+		return "end"
+	case *RangeExpr:
+		return fmt.Sprintf("(%s :: %s)", ExprString(e.Lo), ExprString(e.Hi))
+	case *WithLoop:
+		var op string
+		switch o := e.Op.(type) {
+		case *GenArrayOp:
+			op = fmt.Sprintf("genarray([%s], %s)", exprList(o.Shape), ExprString(o.Body))
+		case *FoldOp:
+			op = fmt.Sprintf("fold(%s, %s, %s)", o.Kind, ExprString(o.Init), ExprString(o.Body))
+		}
+		s := fmt.Sprintf("with ([%s] <= [%s] < [%s]) %s",
+			exprList(e.Lower), strings.Join(e.Ids, ", "), exprList(e.Upper), op)
+		if len(e.Transforms) > 0 {
+			var cs []string
+			for _, c := range e.Transforms {
+				cs = append(cs, TransformString(c))
+			}
+			s += " transform " + strings.Join(cs, ". ")
+		}
+		return s
+	case *MatrixMap:
+		return fmt.Sprintf("matrixMap(%s, %s, [%s])", e.Fun, ExprString(e.Arg), exprList(e.Dims))
+	case *InitExpr:
+		return fmt.Sprintf("init(%s, %s)", TypeString(e.Type), exprList(e.Dims))
+	case *TupleExpr:
+		return fmt.Sprintf("(%s)", exprList(e.Elems))
+	case nil:
+		return "<nil>"
+	}
+	return "?expr"
+}
+
+func indexArgString(a IndexArg) string {
+	switch a := a.(type) {
+	case *IdxScalar:
+		return ExprString(a.X)
+	case *IdxRange:
+		return ExprString(a.Lo) + ":" + ExprString(a.Hi)
+	case *IdxAll:
+		return ":"
+	}
+	return "?idx"
+}
+
+func exprList(es []Expr) string {
+	parts := make([]string, len(es))
+	for i, e := range es {
+		parts[i] = ExprString(e)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// TransformString renders one transform clause.
+func TransformString(c TransformClause) string {
+	switch c := c.(type) {
+	case *SplitClause:
+		return fmt.Sprintf("split %s by %s, %s, %s", c.Index, ExprString(c.Factor), c.Inner, c.Outer)
+	case *VectorizeClause:
+		return "vectorize " + c.Index
+	case *ParallelizeClause:
+		return "parallelize " + c.Index
+	case *ReorderClause:
+		return "reorder " + strings.Join(c.Indices, ", ")
+	case *TileClause:
+		return fmt.Sprintf("tile %s by %s, %s by %s", c.IndexA, ExprString(c.FactorA), c.IndexB, ExprString(c.FactorB))
+	case *UnrollClause:
+		return fmt.Sprintf("unroll %s by %s", c.Index, ExprString(c.Factor))
+	}
+	return "?transform"
+}
+
+func (p *printer) node(n Node) {
+	switch n := n.(type) {
+	case *Program:
+		p.line("(program %s", n.File)
+		p.in()
+		for _, d := range n.Decls {
+			p.node(d)
+		}
+		p.out()
+		p.line(")")
+	case *FuncDecl:
+		var params []string
+		for _, pa := range n.Params {
+			params = append(params, TypeString(pa.Type)+" "+pa.Name)
+		}
+		p.line("(func %s %s (%s)", TypeString(n.Ret), n.Name, strings.Join(params, ", "))
+		p.in()
+		p.node(n.Body)
+		p.out()
+		p.line(")")
+	case *GlobalVarDecl:
+		if n.Init != nil {
+			p.line("(global %s %s = %s)", TypeString(n.Type), n.Name, ExprString(n.Init))
+		} else {
+			p.line("(global %s %s)", TypeString(n.Type), n.Name)
+		}
+	case *BlockStmt:
+		p.line("(block")
+		p.in()
+		for _, s := range n.Stmts {
+			p.node(s)
+		}
+		p.out()
+		p.line(")")
+	case *DeclStmt:
+		if n.Init != nil {
+			p.line("(decl %s %s = %s)", TypeString(n.Type), n.Name, ExprString(n.Init))
+		} else {
+			p.line("(decl %s %s)", TypeString(n.Type), n.Name)
+		}
+	case *AssignStmt:
+		var lhs []string
+		for _, l := range n.LHS {
+			lhs = append(lhs, ExprString(l))
+		}
+		p.line("(assign %s = %s)", strings.Join(lhs, ", "), ExprString(n.RHS))
+	case *IfStmt:
+		p.line("(if %s", ExprString(n.Cond))
+		p.in()
+		p.node(n.Then)
+		if n.Else != nil {
+			p.out()
+			p.line(" else")
+			p.in()
+			p.node(n.Else)
+		}
+		p.out()
+		p.line(")")
+	case *WhileStmt:
+		p.line("(while %s", ExprString(n.Cond))
+		p.in()
+		p.node(n.Body)
+		p.out()
+		p.line(")")
+	case *ForStmt:
+		p.line("(for")
+		p.in()
+		if n.Init != nil {
+			p.node(n.Init)
+		}
+		p.line("(cond %s)", ExprString(n.Cond))
+		if n.Post != nil {
+			p.node(n.Post)
+		}
+		p.node(n.Body)
+		p.out()
+		p.line(")")
+	case *ReturnStmt:
+		if n.Value != nil {
+			p.line("(return %s)", ExprString(n.Value))
+		} else {
+			p.line("(return)")
+		}
+	case *ExprStmt:
+		p.line("(expr %s)", ExprString(n.X))
+	case *BreakStmt:
+		p.line("(break)")
+	case *ContinueStmt:
+		p.line("(continue)")
+	default:
+		if e, ok := n.(Expr); ok {
+			p.line("%s", ExprString(e))
+			return
+		}
+		p.line("?node %T", n)
+	}
+}

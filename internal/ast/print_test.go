@@ -1,0 +1,148 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExprString(t *testing.T) {
+	e := &BinaryExpr{Op: OpAdd,
+		L: &BinaryExpr{Op: OpMul, L: &Ident{Name: "a"}, R: &IntLit{Value: 2}},
+		R: &FloatLit{Value: 1.5}}
+	if got := ExprString(e); got != "((a * 2) + 1.5)" {
+		t.Errorf("ExprString = %q", got)
+	}
+}
+
+func TestExprStringFloatAlwaysHasPoint(t *testing.T) {
+	if got := ExprString(&FloatLit{Value: 3}); got != "3.0" {
+		t.Errorf("float literal = %q", got)
+	}
+}
+
+func TestIndexAndRangePrinting(t *testing.T) {
+	e := &IndexExpr{
+		X: &Ident{Name: "data"},
+		Args: []IndexArg{
+			&IdxScalar{X: &IntLit{Value: 0}},
+			&IdxRange{Lo: &BinaryExpr{Op: OpSub, L: &EndExpr{}, R: &IntLit{Value: 4}}, Hi: &EndExpr{}},
+			&IdxAll{},
+		},
+	}
+	got := ExprString(e)
+	if got != "data[0, (end - 4):end, :]" {
+		t.Errorf("index print = %q", got)
+	}
+	r := &RangeExpr{Lo: &IntLit{Value: 1}, Hi: &Ident{Name: "n"}}
+	if got := ExprString(r); got != "(1 :: n)" {
+		t.Errorf("range print = %q", got)
+	}
+}
+
+func TestWithLoopPrinting(t *testing.T) {
+	w := &WithLoop{
+		Lower: []Expr{&IntLit{Value: 0}},
+		Ids:   []string{"i"},
+		Upper: []Expr{&Ident{Name: "n"}},
+		Op: &FoldOp{Kind: FoldAdd, Init: &FloatLit{Value: 0},
+			Body: &Ident{Name: "x"}},
+		Transforms: []TransformClause{
+			&SplitClause{Index: "i", Factor: &IntLit{Value: 4}, Inner: "iin", Outer: "iout"},
+			&VectorizeClause{Index: "iin"},
+		},
+	}
+	got := ExprString(w)
+	for _, want := range []string{"with ([0] <= [i] < [n])", "fold(+, 0.0, x)",
+		"split i by 4, iin, iout", "vectorize iin"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("with-loop print %q missing %q", got, want)
+		}
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	cases := map[TypeExpr]string{
+		&PrimType{Kind: PrimInt}:                   "int",
+		&MatrixType{Elem: PrimFloat, Rank: 3}:      "Matrix float <3>",
+		&RcPtrType{Elem: &PrimType{Kind: PrimInt}}: "refcounted int *",
+	}
+	for te, want := range cases {
+		if got := TypeString(te); got != want {
+			t.Errorf("TypeString = %q, want %q", got, want)
+		}
+	}
+	tt := &TupleType{Elems: []TypeExpr{&PrimType{Kind: PrimInt}, &PrimType{Kind: PrimBool}}}
+	if got := TypeString(tt); got != "(int, bool)" {
+		t.Errorf("tuple TypeString = %q", got)
+	}
+}
+
+func TestProgramPrinting(t *testing.T) {
+	p := &Program{
+		File: "t.xc",
+		Decls: []Decl{
+			&GlobalVarDecl{Type: &PrimType{Kind: PrimInt}, Name: "g", Init: &IntLit{Value: 1}},
+			&FuncDecl{
+				Ret: &PrimType{Kind: PrimInt}, Name: "main",
+				Body: &BlockStmt{Stmts: []Stmt{
+					&DeclStmt{Type: &PrimType{Kind: PrimInt}, Name: "x", Init: &IntLit{Value: 2}},
+					&IfStmt{Cond: &BoolLit{Value: true},
+						Then: &ReturnStmt{Value: &Ident{Name: "x"}},
+						Else: &ReturnStmt{Value: &Ident{Name: "g"}}},
+				}},
+			},
+		},
+	}
+	out := Print(p)
+	for _, want := range []string{"(program t.xc", "(global int g = 1)",
+		"(func int main", "(decl int x = 2)", "(if true", "(return x)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("program print missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStatementPrinting(t *testing.T) {
+	stmts := []Stmt{
+		&WhileStmt{Cond: &BoolLit{Value: false}, Body: &BreakStmt{}},
+		&ForStmt{Cond: &BoolLit{Value: true}, Body: &ContinueStmt{}},
+		&AssignStmt{LHS: []Expr{&Ident{Name: "a"}, &Ident{Name: "b"}},
+			RHS: &CallExpr{Fun: "f", Args: nil}},
+		&ExprStmt{X: &CallExpr{Fun: "g", Args: []Expr{&IntLit{Value: 9}}}},
+		&ReturnStmt{},
+	}
+	out := Print(&BlockStmt{Stmts: stmts})
+	for _, want := range []string{"(while false", "(break)", "(continue)",
+		"(assign a, b = f())", "(expr g(9))", "(return)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stmt print missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSetSpanOnce(t *testing.T) {
+	n := &IntLit{Value: 1}
+	s1 := n.Span()
+	if s1.Start.IsValid() {
+		t.Fatal("fresh node should have no span")
+	}
+}
+
+func TestBinOpAndFoldStrings(t *testing.T) {
+	if OpElemMul.String() != ".*" || OpNe.String() != "!=" {
+		t.Error("operator names wrong")
+	}
+	if FoldMin.String() != "min" || FoldMax.String() != "max" {
+		t.Error("fold names wrong")
+	}
+	if TransformString(&ReorderClause{Indices: []string{"i", "j"}}) != "reorder i, j" {
+		t.Error("reorder print wrong")
+	}
+	if TransformString(&UnrollClause{Index: "i", Factor: &IntLit{Value: 2}}) != "unroll i by 2" {
+		t.Error("unroll print wrong")
+	}
+	if TransformString(&TileClause{IndexA: "i", FactorA: &IntLit{Value: 4},
+		IndexB: "j", FactorB: &IntLit{Value: 8}}) != "tile i by 4, j by 8" {
+		t.Error("tile print wrong")
+	}
+}

@@ -1,0 +1,454 @@
+// Package attr is an attribute-grammar evaluation engine in the style
+// of Silver (§VI-B of the paper): declarative specifications consisting
+// of nonterminal declarations, attribute declarations (synthesized and
+// inherited), occurs-on declarations, per-production attribute
+// equations, and production forwarding. Attribute values may themselves
+// be trees ("higher-order attributes", used by the transformation
+// extension in §V).
+//
+// Evaluation is demand-driven and memoized, with cycle detection.
+// Specifications are composable: a host AGSpec plus extension AGSpecs
+// merge into one evaluator, and the modular well-definedness analysis
+// (mwda.go) checks, extension by extension, that any composition of
+// passing extensions yields a complete attribute grammar.
+package attr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// AttrKind distinguishes synthesized from inherited attributes.
+type AttrKind int
+
+// Attribute kinds.
+const (
+	Synthesized AttrKind = iota
+	Inherited
+)
+
+func (k AttrKind) String() string {
+	if k == Synthesized {
+		return "synthesized"
+	}
+	return "inherited"
+}
+
+// AttrDecl declares an attribute.
+type AttrDecl struct {
+	Name  string
+	Kind  AttrKind
+	Owner string // "" = host
+}
+
+// NTDecl declares a nonterminal (a category of tree nodes).
+type NTDecl struct {
+	Name  string
+	Owner string
+}
+
+// ProdDecl declares a production: a node shape with an LHS nonterminal
+// and typed child slots. Variadic productions have any number of
+// children, all of nonterminal ChildNTs[0] (used for statement lists
+// and the like).
+type ProdDecl struct {
+	Name     string
+	LHS      string
+	ChildNTs []string
+	Variadic bool
+	Owner    string
+}
+
+// SynEq is a synthesized-attribute equation for one production:
+// computes the attribute on the production's own node.
+type SynEq struct {
+	Prod  string
+	Attr  string
+	Owner string
+	F     func(t *Tree) any
+}
+
+// InhEq is an inherited-attribute equation: the parent production
+// computes the attribute for child number `child` (any child if the
+// production is variadic — the index is passed to F).
+type InhEq struct {
+	Prod  string
+	Child int // -1 for "all children" on variadic productions
+	Attr  string
+	Owner string
+	F     func(parent *Tree, child int) any
+}
+
+// FwdEq declares that a production forwards to another tree: lookups
+// of synthesized attributes with no local equation are delegated to
+// the forward tree, which receives the same inherited attributes.
+// This is Silver's forwarding, the mechanism that lets extension
+// productions translate themselves to host-language trees.
+type FwdEq struct {
+	Prod  string
+	Owner string
+	F     func(t *Tree) *Tree
+}
+
+// AGSpec is one composable attribute-grammar fragment.
+type AGSpec struct {
+	Name     string // owner tag; "" = host
+	NTs      []NTDecl
+	Attrs    []AttrDecl
+	Occurs   []Occurs
+	Prods    []ProdDecl
+	SynEqs   []SynEq
+	InhEqs   []InhEq
+	Forwards []FwdEq
+}
+
+// Occurs declares that an attribute occurs on a nonterminal.
+type Occurs struct {
+	Attr  string
+	NT    string
+	Owner string
+}
+
+// Grammar is a composed, validated attribute grammar ready to
+// evaluate trees.
+type Grammar struct {
+	nts    map[string]NTDecl
+	attrs  map[string]AttrDecl
+	occurs map[[2]string]bool // [attr, nt]
+	prods  map[string]ProdDecl
+	synEqs map[[2]string]*SynEq // [prod, attr]
+	inhEqs map[inhKey]*InhEq
+	fwds   map[string]*FwdEq
+	specs  []*AGSpec
+}
+
+type inhKey struct {
+	prod  string
+	child int
+	attr  string
+}
+
+// Compose merges the host spec with extension specs into an evaluable
+// grammar. Structural errors (duplicate equations, equations for
+// undeclared things) are reported; completeness is the MWDA's job.
+func Compose(host *AGSpec, exts ...*AGSpec) (*Grammar, error) {
+	g := &Grammar{
+		nts:    map[string]NTDecl{},
+		attrs:  map[string]AttrDecl{},
+		occurs: map[[2]string]bool{},
+		prods:  map[string]ProdDecl{},
+		synEqs: map[[2]string]*SynEq{},
+		inhEqs: map[inhKey]*InhEq{},
+		fwds:   map[string]*FwdEq{},
+	}
+	all := append([]*AGSpec{host}, exts...)
+	g.specs = all
+	for _, s := range all {
+		for _, nt := range s.NTs {
+			if _, dup := g.nts[nt.Name]; dup {
+				return nil, fmt.Errorf("attr: nonterminal %q declared twice", nt.Name)
+			}
+			g.nts[nt.Name] = nt
+		}
+		for _, a := range s.Attrs {
+			if _, dup := g.attrs[a.Name]; dup {
+				return nil, fmt.Errorf("attr: attribute %q declared twice", a.Name)
+			}
+			g.attrs[a.Name] = a
+		}
+	}
+	for _, s := range all {
+		for _, o := range s.Occurs {
+			if _, ok := g.attrs[o.Attr]; !ok {
+				return nil, fmt.Errorf("attr: occurs-on references undeclared attribute %q", o.Attr)
+			}
+			if _, ok := g.nts[o.NT]; !ok {
+				return nil, fmt.Errorf("attr: occurs-on references undeclared nonterminal %q", o.NT)
+			}
+			g.occurs[[2]string{o.Attr, o.NT}] = true
+		}
+		for _, p := range s.Prods {
+			if _, dup := g.prods[p.Name]; dup {
+				return nil, fmt.Errorf("attr: production %q declared twice", p.Name)
+			}
+			if _, ok := g.nts[p.LHS]; !ok {
+				return nil, fmt.Errorf("attr: production %q has undeclared LHS %q", p.Name, p.LHS)
+			}
+			for _, c := range p.ChildNTs {
+				if _, ok := g.nts[c]; !ok {
+					return nil, fmt.Errorf("attr: production %q has undeclared child NT %q", p.Name, c)
+				}
+			}
+			g.prods[p.Name] = p
+		}
+	}
+	for _, s := range all {
+		for i := range s.SynEqs {
+			eq := &s.SynEqs[i]
+			p, ok := g.prods[eq.Prod]
+			if !ok {
+				return nil, fmt.Errorf("attr: equation for undeclared production %q", eq.Prod)
+			}
+			if !g.occurs[[2]string{eq.Attr, p.LHS}] {
+				return nil, fmt.Errorf("attr: equation %s.%s but %q does not occur on %q",
+					eq.Prod, eq.Attr, eq.Attr, p.LHS)
+			}
+			k := [2]string{eq.Prod, eq.Attr}
+			if prev, dup := g.synEqs[k]; dup {
+				return nil, fmt.Errorf("attr: duplicate equation for %s.%s (owners %q and %q)",
+					eq.Prod, eq.Attr, prev.Owner, eq.Owner)
+			}
+			g.synEqs[k] = eq
+		}
+		for i := range s.InhEqs {
+			eq := &s.InhEqs[i]
+			if _, ok := g.prods[eq.Prod]; !ok {
+				return nil, fmt.Errorf("attr: inherited equation for undeclared production %q", eq.Prod)
+			}
+			k := inhKey{eq.Prod, eq.Child, eq.Attr}
+			if _, dup := g.inhEqs[k]; dup {
+				return nil, fmt.Errorf("attr: duplicate inherited equation %s[%d].%s", eq.Prod, eq.Child, eq.Attr)
+			}
+			g.inhEqs[k] = eq
+		}
+		for i := range s.Forwards {
+			f := &s.Forwards[i]
+			if _, ok := g.prods[f.Prod]; !ok {
+				return nil, fmt.Errorf("attr: forward for undeclared production %q", f.Prod)
+			}
+			if _, dup := g.fwds[f.Prod]; dup {
+				return nil, fmt.Errorf("attr: duplicate forward for %q", f.Prod)
+			}
+			g.fwds[f.Prod] = f
+		}
+	}
+	return g, nil
+}
+
+// Prod returns the named production declaration.
+func (g *Grammar) Prod(name string) (ProdDecl, bool) { p, ok := g.prods[name]; return p, ok }
+
+// OccursOn reports whether attr occurs on nt.
+func (g *Grammar) OccursOn(attr, nt string) bool { return g.occurs[[2]string{attr, nt}] }
+
+// --- Trees and evaluation ---
+
+// Tree is a decorated tree node: a production instance with children,
+// an optional underlying value (e.g. the AST node or token it mirrors),
+// and attribute storage.
+type Tree struct {
+	g        *Grammar
+	prod     ProdDecl
+	Value    any
+	children []*Tree
+
+	parent  *Tree
+	childIx int
+
+	synCache map[string]result
+	inhCache map[string]result
+	inFlight map[string]bool
+	fwd      *Tree
+	fwdDone  bool
+}
+
+type result struct {
+	v any
+}
+
+// NewTree builds a node of the given production with children.
+// Child count and child nonterminals are validated.
+func (g *Grammar) NewTree(prod string, value any, children ...*Tree) (*Tree, error) {
+	p, ok := g.prods[prod]
+	if !ok {
+		return nil, fmt.Errorf("attr: unknown production %q", prod)
+	}
+	if p.Variadic {
+		for _, c := range children {
+			if c.prod.LHS != p.ChildNTs[0] {
+				return nil, fmt.Errorf("attr: %s child must be %s, got %s", prod, p.ChildNTs[0], c.prod.LHS)
+			}
+		}
+	} else {
+		if len(children) != len(p.ChildNTs) {
+			return nil, fmt.Errorf("attr: %s needs %d children, got %d", prod, len(p.ChildNTs), len(children))
+		}
+		for i, c := range children {
+			if c.prod.LHS != p.ChildNTs[i] {
+				return nil, fmt.Errorf("attr: %s child %d must be %s, got %s", prod, i, p.ChildNTs[i], c.prod.LHS)
+			}
+		}
+	}
+	t := &Tree{g: g, prod: p, Value: value, children: children,
+		synCache: map[string]result{}, inhCache: map[string]result{},
+		inFlight: map[string]bool{}}
+	for i, c := range children {
+		c.parent = t
+		c.childIx = i
+	}
+	return t, nil
+}
+
+// MustTree is NewTree panicking on error; for tests and static specs.
+func (g *Grammar) MustTree(prod string, value any, children ...*Tree) *Tree {
+	t, err := g.NewTree(prod, value, children...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Prod returns the node's production name.
+func (t *Tree) Prod() string { return t.prod.Name }
+
+// NT returns the node's nonterminal.
+func (t *Tree) NT() string { return t.prod.LHS }
+
+// NumChildren returns the child count.
+func (t *Tree) NumChildren() int { return len(t.children) }
+
+// Child returns the i'th child.
+func (t *Tree) Child(i int) *Tree { return t.children[i] }
+
+// Syn evaluates a synthesized attribute on this node.
+func (t *Tree) Syn(attr string) any {
+	if r, ok := t.synCache[attr]; ok {
+		return r.v
+	}
+	if t.inFlight["s:"+attr] {
+		panic(cycleError{fmt.Sprintf("attr: cycle evaluating synthesized %q on %s", attr, t.prod.Name)})
+	}
+	if !t.g.occurs[[2]string{attr, t.prod.LHS}] {
+		panic(evalError{fmt.Sprintf("attr: %q does not occur on %s", attr, t.prod.LHS)})
+	}
+	t.inFlight["s:"+attr] = true
+	defer delete(t.inFlight, "s:"+attr)
+
+	var v any
+	if eq, ok := t.g.synEqs[[2]string{t.prod.Name, attr}]; ok {
+		v = eq.F(t)
+	} else if f := t.forward(); f != nil {
+		v = f.Syn(attr)
+	} else {
+		panic(evalError{fmt.Sprintf("attr: no equation for %s.%s and no forward", t.prod.Name, attr)})
+	}
+	t.synCache[attr] = result{v}
+	return v
+}
+
+// Inh evaluates an inherited attribute on this node. The value comes
+// from the parent's inherited equation for this child slot; a root
+// node takes values seeded with SetRootInh.
+func (t *Tree) Inh(attr string) any {
+	if r, ok := t.inhCache[attr]; ok {
+		return r.v
+	}
+	if t.inFlight["i:"+attr] {
+		panic(cycleError{fmt.Sprintf("attr: cycle evaluating inherited %q on %s", attr, t.prod.Name)})
+	}
+	t.inFlight["i:"+attr] = true
+	defer delete(t.inFlight, "i:"+attr)
+
+	p := t.parent
+	if p == nil {
+		panic(evalError{fmt.Sprintf("attr: inherited %q demanded at root of %s without SetRootInh", attr, t.prod.Name)})
+	}
+	var v any
+	if eq, ok := p.g.inhEqs[inhKey{p.prod.Name, t.childIx, attr}]; ok {
+		v = eq.F(p, t.childIx)
+	} else if eq, ok := p.g.inhEqs[inhKey{p.prod.Name, -1, attr}]; ok {
+		v = eq.F(p, t.childIx)
+	} else if p.isForwardParent(t) {
+		// A forward tree gets the forwarding node's inherited attributes.
+		v = p.Inh(attr)
+	} else {
+		panic(evalError{fmt.Sprintf("attr: no inherited equation for %s child %d attr %q",
+			p.prod.Name, t.childIx, attr)})
+	}
+	t.inhCache[attr] = result{v}
+	return v
+}
+
+// isForwardParent reports whether c is t's forward tree (forward trees
+// set parent to the forwarding node with childIx -1).
+func (t *Tree) isForwardParent(c *Tree) bool { return t.fwd == c }
+
+// SetRootInh seeds an inherited attribute at the tree root.
+func (t *Tree) SetRootInh(attr string, v any) { t.inhCache[attr] = result{v} }
+
+// forward computes (once) the production's forward tree, if any.
+func (t *Tree) forward() *Tree {
+	if t.fwdDone {
+		return t.fwd
+	}
+	t.fwdDone = true
+	if f, ok := t.g.fwds[t.prod.Name]; ok {
+		ft := f.F(t)
+		if ft != nil {
+			ft.parent = t
+			ft.childIx = -1
+			t.fwd = ft
+		}
+	}
+	return t.fwd
+}
+
+// Forward exposes the forward tree (or nil); used by tests.
+func (t *Tree) Forward() *Tree { return t.forward() }
+
+type cycleError struct{ msg string }
+type evalError struct{ msg string }
+
+func (e cycleError) Error() string { return e.msg }
+func (e evalError) Error() string  { return e.msg }
+
+// SafeSyn evaluates a synthesized attribute, converting evaluation
+// panics (cycles, missing equations) into errors.
+func (t *Tree) SafeSyn(attr string) (v any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			switch e := r.(type) {
+			case cycleError:
+				err = e
+			case evalError:
+				err = e
+			default:
+				panic(r)
+			}
+		}
+	}()
+	return t.Syn(attr), nil
+}
+
+// String renders the tree structure (productions only).
+func (t *Tree) String() string {
+	var b strings.Builder
+	var rec func(t *Tree, depth int)
+	rec = func(t *Tree, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(t.prod.Name)
+		if len(t.children) == 0 {
+			b.WriteByte('\n')
+			return
+		}
+		b.WriteByte('\n')
+		for _, c := range t.children {
+			rec(c, depth+1)
+		}
+	}
+	rec(t, 0)
+	return b.String()
+}
+
+// AttrsOn returns the names of attributes occurring on nt, sorted.
+func (g *Grammar) AttrsOn(nt string, kind AttrKind) []string {
+	var out []string
+	for k := range g.occurs {
+		if k[1] == nt && g.attrs[k[0]].Kind == kind {
+			out = append(out, k[0])
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,437 @@
+// Package cgen translates type-checked extended-CMINUS programs to
+// plain parallel C — the other half of the paper's translator. The
+// output is a self-contained C99 translation unit: the reference-
+// counted matrix runtime and fork-join pthread pool (runtime_c.go),
+// the user's functions with matrix operations either lowered to
+// explicit loop nests (with-loops, §III-A.4) or compiled to runtime
+// calls with reference-count insertion (§III-B), and a main wrapper
+// that takes the thread count as a command line argument (§III-C).
+//
+// The high-level optimizations of §III-A.4 (genarray/assignment fusion
+// and slice elimination in folds) and the user-directed transformations
+// of §V (split, vectorize, parallelize, reorder, tile, unroll) are
+// applied during with-loop lowering; see withloop.go and vector.go.
+package cgen
+
+import (
+	"fmt"
+
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/sem"
+	"repro/internal/types"
+)
+
+// ParMode selects how parallel constructs are emitted.
+type ParMode string
+
+// Parallelization modes.
+const (
+	ParNone    ParMode = "none"    // sequential C (the Fig 3 presentation)
+	ParPthread ParMode = "pthread" // fork-join pool dispatch (§III-C)
+	ParOMP     ParMode = "omp"     // OpenMP pragmas (Fig 11)
+)
+
+// Options configures code generation.
+type Options struct {
+	Par ParMode
+	// Optimize enables the §III-A.4 high-level optimizations:
+	// slice elimination (direct strided loads instead of bounds-checked
+	// accessor calls) and genarray/assignment fusion (moving the
+	// result instead of copying it). Off is the ablation baseline.
+	Optimize bool
+}
+
+// DefaultOptions is what cmd/cmc uses.
+func DefaultOptions() Options { return Options{Par: ParPthread, Optimize: true} }
+
+// Generate translates a checked program to C source.
+func Generate(prog *ast.Program, info *sem.Info, opts Options) (string, error) {
+	g := &generator{info: info, opts: opts, tupleTypes: map[string]string{}}
+	return g.run(prog)
+}
+
+type generator struct {
+	info *sem.Info
+	opts Options
+
+	tupleTypes map[string]string // signature -> struct name
+	tupleDefs  strings.Builder
+	protos     strings.Builder
+	lifted     strings.Builder // lifted with-loop worker functions
+	funcs      strings.Builder
+
+	tmpN        int
+	liftN       int
+	usesVectors bool
+	usesCilk    bool
+}
+
+func (g *generator) fresh(prefix string) string {
+	g.tmpN++
+	return fmt.Sprintf("_%s%d", prefix, g.tmpN)
+}
+
+// cname sanitizes a user identifier for C.
+func cname(name string) string { return "u_" + name }
+
+// cType maps a semantic type to its C representation.
+func (g *generator) cType(t *types.Type) string {
+	switch t.Kind {
+	case types.Int:
+		return "long"
+	case types.Float:
+		return "float"
+	case types.Bool:
+		return "int"
+	case types.Void:
+		return "void"
+	case types.Matrix, types.AnyMatrix:
+		return "cm_mat *"
+	case types.Tuple:
+		return g.tupleType(t) + " "
+	case types.RcPtr:
+		return "cm_cell *"
+	}
+	return "/*?*/ long"
+}
+
+// tupleType interns a struct definition for a tuple type.
+func (g *generator) tupleType(t *types.Type) string {
+	sig := t.String()
+	if name, ok := g.tupleTypes[sig]; ok {
+		return name
+	}
+	name := fmt.Sprintf("cm_tup%d", len(g.tupleTypes))
+	g.tupleTypes[sig] = name
+	fmt.Fprintf(&g.tupleDefs, "typedef struct { ")
+	for i, e := range t.Elems {
+		fmt.Fprintf(&g.tupleDefs, "%s _%d; ", strings.TrimRight(g.cType(e), " "), i)
+	}
+	fmt.Fprintf(&g.tupleDefs, "} %s; /* %s */\n", name, sig)
+	return name
+}
+
+func elemEnum(t *types.Type) string {
+	switch t.Elem.Kind {
+	case types.Float:
+		return "CM_FLOAT"
+	case types.Int:
+		return "CM_INT"
+	default:
+		return "CM_BOOL"
+	}
+}
+
+func (g *generator) run(prog *ast.Program) (string, error) {
+	// Globals first (C file scope), then functions.
+	var globals strings.Builder
+	for _, d := range prog.Decls {
+		if gv, ok := d.(*ast.GlobalVarDecl); ok {
+			ty := types.MustFrom(gv.Type)
+			fmt.Fprintf(&globals, "static %s%s;\n", padType(g.cType(ty)), cname(gv.Name))
+		}
+	}
+	// Prototypes so call order does not matter.
+	for _, d := range prog.Decls {
+		fn, ok := d.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		sig := g.info.Funcs[fn.Name]
+		fmt.Fprintf(&g.protos, "static %s%s(%s);\n",
+			padType(g.cType(sig.Type.Ret)), cname(fn.Name), g.paramList(fn, sig))
+	}
+	// Function bodies.
+	for _, d := range prog.Decls {
+		fn, ok := d.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		if err := g.emitFunc(fn); err != nil {
+			return "", err
+		}
+	}
+	// Global initializers + main wrapper.
+	var init strings.Builder
+	fmt.Fprintf(&init, "int main(int argc, char **argv) {\n")
+	fmt.Fprintf(&init, "    int threads = 1;\n")
+	fmt.Fprintf(&init, "    for (int a = 1; a < argc; a++)\n")
+	fmt.Fprintf(&init, "        if (argv[a] && argv[a][0] == '-' && argv[a][1] == 't' && a + 1 < argc)\n")
+	fmt.Fprintf(&init, "            threads = atoi(argv[a + 1]);\n")
+	if g.opts.Par == ParPthread {
+		fmt.Fprintf(&init, "    if (threads > 1) cm_pool_init(threads); /* spawn-once fork-join pool (§III-C) */\n")
+	}
+	ge := g.newFnEmitter(nil)
+	ge.b.indent = 1
+	for _, d := range prog.Decls {
+		gv, ok := d.(*ast.GlobalVarDecl)
+		if !ok {
+			continue
+		}
+		ty := types.MustFrom(gv.Type)
+		ge.vars[gv.Name] = ty
+		if gv.Init == nil {
+			continue
+		}
+		val, err := ge.expr(gv.Init)
+		if err != nil {
+			return "", err
+		}
+		ge.assignVar(cname(gv.Name), ty, val, g.info.TypeOf(gv.Init))
+		ge.releaseTemps()
+	}
+	init.WriteString(ge.b.String())
+	fmt.Fprintf(&init, "    long code = %s();\n", cname("main"))
+	if g.opts.Par == ParPthread {
+		fmt.Fprintf(&init, "    cm_pool_shutdown();\n")
+	}
+	fmt.Fprintf(&init, "    return (int)code;\n}\n")
+
+	var out strings.Builder
+	out.WriteString("/* Generated by cmc, the extensible CMINUS translator. */\n")
+	if g.opts.Par == ParOMP || g.usesVectors {
+		out.WriteString("#include <xmmintrin.h>\n")
+	}
+	out.WriteString(cRuntime)
+	out.WriteString(cRuntimeExtras)
+	if g.usesCilk {
+		out.WriteString(cilkRuntime)
+	}
+	out.WriteString("\n/* ---- tuple types ---- */\n")
+	out.WriteString(g.tupleDefs.String())
+	out.WriteString("\n/* ---- globals ---- */\n")
+	out.WriteString(globals.String())
+	out.WriteString("\n/* ---- prototypes ---- */\n")
+	out.WriteString(g.protos.String())
+	out.WriteString("\n/* ---- lifted parallel workers ---- */\n")
+	out.WriteString(g.lifted.String())
+	out.WriteString("\n/* ---- translated functions ---- */\n")
+	out.WriteString(g.funcs.String())
+	out.WriteString("\n")
+	out.WriteString(init.String())
+	return out.String(), nil
+}
+
+func padType(t string) string {
+	if strings.HasSuffix(t, "*") || strings.HasSuffix(t, " ") {
+		return t
+	}
+	return t + " "
+}
+
+func (g *generator) paramList(fn *ast.FuncDecl, sig *sem.FuncSig) string {
+	if len(fn.Params) == 0 {
+		return "void"
+	}
+	parts := make([]string, len(fn.Params))
+	for i, p := range fn.Params {
+		parts[i] = padType(g.cType(sig.Type.Params[i])) + cname(p.Name)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// indentWriter accumulates indented C lines.
+type indentWriter struct {
+	b      strings.Builder
+	indent int
+}
+
+func (w *indentWriter) line(format string, args ...any) {
+	w.b.WriteString(strings.Repeat("    ", w.indent))
+	fmt.Fprintf(&w.b, format, args...)
+	w.b.WriteByte('\n')
+}
+
+func (w *indentWriter) raw(s string) {
+	for _, l := range strings.Split(strings.TrimRight(s, "\n"), "\n") {
+		w.b.WriteString(strings.Repeat("    ", w.indent))
+		w.b.WriteString(l)
+		w.b.WriteByte('\n')
+	}
+}
+
+func (w *indentWriter) String() string { return w.b.String() }
+
+// fnEmitter emits one function (or the global-init pseudo function).
+type fnEmitter struct {
+	g    *generator
+	b    *indentWriter
+	fn   *ast.FuncDecl
+	vars map[string]*types.Type // user var name -> type
+	// temps holds owned cm_mat temporaries to decref after the
+	// current statement — the translator's §III-B RC insertion.
+	temps       []string
+	cellTemps   []string
+	ownedTuples []scopedVar
+	contLabels  []string
+	cilk        bool // this function contains spawn/sync
+	// scopes tracks matrix-holding locals for scope-exit release.
+	scopes [][]scopedVar
+	endCtx []string // C expressions for 'end' per index dimension
+}
+
+type scopedVar struct {
+	cname string
+	ty    *types.Type
+}
+
+func (g *generator) newFnEmitter(fn *ast.FuncDecl) *fnEmitter {
+	return &fnEmitter{g: g, b: &indentWriter{}, fn: fn, vars: map[string]*types.Type{}}
+}
+
+func (f *fnEmitter) temp(ctype, init string) string {
+	name := f.g.fresh("t")
+	f.b.line("%s%s = %s;", padType(ctype), name, init)
+	if ctype == "cm_mat *" {
+		f.temps = append(f.temps, name)
+	}
+	return name
+}
+
+// releaseTemps decrefs owned temporaries created by the current
+// statement ("anytime a variable goes out of scope, or gets assigned a
+// new piece of data, then we decrement its reference counter").
+func (f *fnEmitter) releaseTemps() {
+	for _, t := range f.temps {
+		f.b.line("cm_decref(%s);", t)
+	}
+	f.temps = f.temps[:0]
+	for _, t := range f.cellTemps {
+		f.b.line("cm_cell_decref(%s);", t)
+	}
+	f.cellTemps = f.cellTemps[:0]
+	for _, v := range f.ownedTuples {
+		f.releaseVar(v)
+	}
+	f.ownedTuples = f.ownedTuples[:0]
+}
+
+func (f *fnEmitter) pushScope() { f.scopes = append(f.scopes, nil) }
+
+func (f *fnEmitter) popScope(emitRelease bool) {
+	top := f.scopes[len(f.scopes)-1]
+	f.scopes = f.scopes[:len(f.scopes)-1]
+	if emitRelease {
+		for _, v := range top {
+			f.releaseVar(v)
+		}
+	}
+}
+
+func (f *fnEmitter) releaseVar(v scopedVar) {
+	switch v.ty.Kind {
+	case types.Matrix, types.AnyMatrix:
+		f.b.line("cm_decref(%s);", v.cname)
+	case types.RcPtr:
+		f.b.line("cm_cell_decref(%s);", v.cname)
+	case types.Tuple:
+		for i, e := range v.ty.Elems {
+			f.releaseVar(scopedVar{fmt.Sprintf("%s._%d", v.cname, i), e})
+		}
+	}
+}
+
+// releaseAllScopes emits releases for every live scope (for returns).
+func (f *fnEmitter) releaseAllScopes() {
+	for k := len(f.scopes) - 1; k >= 0; k-- {
+		for _, v := range f.scopes[k] {
+			f.releaseVar(v)
+		}
+	}
+}
+
+func (f *fnEmitter) trackVar(cn string, ty *types.Type) {
+	if len(f.scopes) == 0 {
+		return // globals are released at process exit
+	}
+	switch ty.Kind {
+	case types.Matrix, types.AnyMatrix, types.RcPtr, types.Tuple:
+		f.scopes[len(f.scopes)-1] = append(f.scopes[len(f.scopes)-1], scopedVar{cn, ty})
+	}
+}
+
+// retain emits an incref for a value of the given type.
+func (f *fnEmitter) retain(cexpr string, ty *types.Type) {
+	switch ty.Kind {
+	case types.Matrix, types.AnyMatrix:
+		f.b.line("cm_incref(%s);", cexpr)
+	case types.RcPtr:
+		f.b.line("cm_cell_incref(%s);", cexpr)
+	case types.Tuple:
+		for i, e := range ty.Elems {
+			f.retain(fmt.Sprintf("%s._%d", cexpr, i), e)
+		}
+	}
+}
+
+// assignVar stores val into an existing variable with RC maintenance
+// and int->float promotion.
+func (f *fnEmitter) assignVar(cn string, varTy *types.Type, val string, valTy *types.Type) {
+	val = promoteScalar(val, valTy, varTy)
+	switch varTy.Kind {
+	case types.Matrix, types.AnyMatrix:
+		tmp := f.g.fresh("n")
+		f.b.line("cm_mat *%s = %s;", tmp, val)
+		f.b.line("cm_incref(%s);", tmp)
+		f.b.line("cm_decref(%s);", cn)
+		f.b.line("%s = %s;", cn, tmp)
+	case types.RcPtr:
+		tmp := f.g.fresh("n")
+		f.b.line("cm_cell *%s = %s;", tmp, val)
+		f.b.line("cm_cell_incref(%s);", tmp)
+		f.b.line("cm_cell_decref(%s);", cn)
+		f.b.line("%s = %s;", cn, tmp)
+	case types.Tuple:
+		tmp := f.g.fresh("n")
+		f.b.line("%s %s = %s;", f.g.tupleType(varTy), tmp, val)
+		f.retain(tmp, varTy)
+		f.releaseVar(scopedVar{cn, varTy})
+		f.b.line("%s = %s;", cn, tmp)
+	default:
+		f.b.line("%s = %s;", cn, val)
+	}
+}
+
+// promoteScalar inserts a C cast for int->float assignment contexts.
+func promoteScalar(val string, from, to *types.Type) string {
+	if from != nil && to != nil && from.Kind == types.Int && to.Kind == types.Float {
+		return "(float)(" + val + ")"
+	}
+	return val
+}
+
+func (g *generator) emitFunc(fn *ast.FuncDecl) error {
+	sig := g.info.Funcs[fn.Name]
+	f := g.newFnEmitter(fn)
+	f.b.indent = 1
+	f.cilk = containsCilk(fn.Body)
+	if f.cilk {
+		g.usesCilk = true
+		f.b.line("int _cilk_mark = cm_ntasks; /* this function's spawn region */")
+	}
+	f.pushScope()
+	for i, p := range fn.Params {
+		f.vars[p.Name] = sig.Type.Params[i]
+		// Parameters are borrowed references: retained on entry and
+		// released on exit, so callees may reassign them freely.
+		f.retain(cname(p.Name), sig.Type.Params[i])
+		f.trackVar(cname(p.Name), sig.Type.Params[i])
+	}
+	for _, s := range fn.Body.Stmts {
+		if err := f.stmt(s); err != nil {
+			return err
+		}
+	}
+	if f.cilk {
+		f.b.line("cm_sync_from(_cilk_mark); /* implicit sync at function exit */")
+	}
+	f.popScope(true)
+	if sig.Type.Ret.Kind == types.Int && fn.Name == "main" {
+		f.b.line("return 0;")
+	}
+	fmt.Fprintf(&g.funcs, "static %s%s(%s) {\n%s}\n\n",
+		padType(g.cType(sig.Type.Ret)), cname(fn.Name), g.paramList(fn, sig), f.b.String())
+	return nil
+}

@@ -1,0 +1,162 @@
+// Code generation for the Cilk extension (§VIII): each spawn site
+// lifts into an argument struct, a pthread wrapper and a finalizer;
+// a small per-thread task list implements sync (join + finalize) and
+// the implicit sync at function exit. This is the "sophisticated
+// run-time delivered as a pluggable language extension" the paper's
+// future work describes, in its simplest honest form (one thread per
+// spawn; a work-stealing scheduler would slot in behind cm_spawn_push
+// without changing the generated call sites).
+package cgen
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/types"
+)
+
+// cilkRuntime is appended to the prelude when a program uses spawn.
+const cilkRuntime = `
+/* ---- Cilk extension mini-runtime ---- */
+typedef struct { pthread_t tid; void *args; void (*fini)(void *); } cm_task;
+#define CM_MAX_TASKS 4096
+static __thread cm_task cm_tasks[CM_MAX_TASKS];
+static __thread int cm_ntasks = 0;
+static void cm_spawn_push(pthread_t tid, void *args, void (*fini)(void *)) {
+    if (cm_ntasks >= CM_MAX_TASKS) cm_die("too many outstanding spawns");
+    cm_tasks[cm_ntasks].tid = tid;
+    cm_tasks[cm_ntasks].args = args;
+    cm_tasks[cm_ntasks].fini = fini;
+    cm_ntasks++;
+}
+static void cm_sync_from(int mark) {
+    while (cm_ntasks > mark) {
+        cm_ntasks--;
+        cm_task *t = &cm_tasks[cm_ntasks];
+        pthread_join(t->tid, 0);
+        if (t->fini) t->fini(t->args);
+        free(t->args);
+    }
+}
+`
+
+// containsCilk reports whether a statement tree uses spawn or sync.
+func containsCilk(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.SpawnStmt, *ast.SyncStmt:
+		return true
+	case *ast.BlockStmt:
+		for _, st := range s.Stmts {
+			if containsCilk(st) {
+				return true
+			}
+		}
+	case *ast.IfStmt:
+		return containsCilk(s.Then) || containsCilk(s.Else)
+	case *ast.WhileStmt:
+		return containsCilk(s.Body)
+	case *ast.ForStmt:
+		return containsCilk(s.Init) || containsCilk(s.Post) || containsCilk(s.Body)
+	}
+	return false
+}
+
+// emitSpawn lifts one spawn site.
+func (f *fnEmitter) emitSpawn(s *ast.SpawnStmt) error {
+	call, ok := s.Call.(*ast.CallExpr)
+	if !ok {
+		return fmt.Errorf("cgen: spawn requires a function call")
+	}
+	sig, ok := f.g.info.Funcs[call.Fun]
+	if !ok {
+		return fmt.Errorf("cgen: spawn of unknown function %q", call.Fun)
+	}
+	ret := sig.Type.Ret
+	var tgtTy *types.Type
+	if s.Target != "" {
+		if t, ok := f.vars[s.Target]; ok {
+			tgtTy = t
+		} else if t, ok := f.g.info.GlobalTypes[s.Target]; ok {
+			tgtTy = t
+		} else {
+			return fmt.Errorf("cgen: spawn target %q not found", s.Target)
+		}
+		if tgtTy.Kind == types.Tuple || tgtTy.Kind == types.RcPtr {
+			return fmt.Errorf("cgen: spawn targets of type %s are not supported by the C back end", tgtTy)
+		}
+	}
+
+	f.g.liftN++
+	id := f.g.liftN
+	var lf strings.Builder
+	fmt.Fprintf(&lf, "/* spawn site %d: %s */\n", id, call.Fun)
+	fmt.Fprintf(&lf, "typedef struct {\n")
+	for i, pt := range sig.Type.Params {
+		fmt.Fprintf(&lf, "    %s_a%d;\n", padType(f.g.cType(pt)), i)
+	}
+	if tgtTy != nil {
+		fmt.Fprintf(&lf, "    %s_res;\n", padType(f.g.cType(tgtTy)))
+		fmt.Fprintf(&lf, "    %s*_dst;\n", padType(f.g.cType(tgtTy)))
+	}
+	fmt.Fprintf(&lf, "} _spargs%d;\n", id)
+
+	fmt.Fprintf(&lf, "static void *_spwrap%d(void *_p) {\n", id)
+	fmt.Fprintf(&lf, "    _spargs%d *_a = (_spargs%d *)_p;\n", id, id)
+	var argv []string
+	for i := range sig.Type.Params {
+		argv = append(argv, fmt.Sprintf("_a->_a%d", i))
+	}
+	callText := fmt.Sprintf("%s(%s)", cname(call.Fun), strings.Join(argv, ", "))
+	if tgtTy != nil {
+		callText = fmt.Sprintf("_a->_res = %s", promoteScalar(callText, ret, tgtTy))
+	} else if ret.IsMatrix() {
+		// discard an owned result
+		callText = fmt.Sprintf("cm_decref(%s)", callText)
+	}
+	fmt.Fprintf(&lf, "    %s;\n", callText)
+	fmt.Fprintf(&lf, "    return 0;\n}\n")
+
+	fmt.Fprintf(&lf, "static void _spfini%d(void *_p) {\n", id)
+	fmt.Fprintf(&lf, "    _spargs%d *_a = (_spargs%d *)_p;\n", id, id)
+	for i, pt := range sig.Type.Params {
+		if pt.IsMatrix() {
+			fmt.Fprintf(&lf, "    cm_decref(_a->_a%d); /* argument reference taken at spawn */\n", i)
+		}
+	}
+	if tgtTy != nil {
+		if tgtTy.IsMatrix() {
+			fmt.Fprintf(&lf, "    cm_decref(*_a->_dst);\n")
+			fmt.Fprintf(&lf, "    *_a->_dst = _a->_res; /* ownership transferred from the callee */\n")
+		} else {
+			fmt.Fprintf(&lf, "    *_a->_dst = _a->_res;\n")
+		}
+	}
+	fmt.Fprintf(&lf, "}\n\n")
+	f.g.lifted.WriteString(lf.String())
+
+	// Call site: evaluate arguments now (Cilk semantics), take matrix
+	// references for the thread's lifetime, create the thread, push
+	// the task.
+	args := f.g.fresh("sa")
+	f.b.line("_spargs%d *%s = (_spargs%d *)malloc(sizeof(_spargs%d));", id, args, id, id)
+	for i, a := range call.Args {
+		v, err := f.expr(a)
+		if err != nil {
+			return err
+		}
+		f.b.line("%s->_a%d = %s;", args, i, promoteScalar(v, f.g.info.TypeOf(a), sig.Type.Params[i]))
+		if sig.Type.Params[i].IsMatrix() {
+			f.b.line("cm_incref(%s->_a%d);", args, i)
+		}
+	}
+	if tgtTy != nil {
+		f.b.line("%s->_dst = &%s;", args, cname(s.Target))
+	}
+	tid := f.g.fresh("tid")
+	f.b.line("pthread_t %s;", tid)
+	f.b.line("pthread_create(&%s, 0, _spwrap%d, %s);", tid, id, args)
+	f.b.line("cm_spawn_push(%s, %s, _spfini%d);", tid, args, id)
+	f.releaseTemps()
+	return nil
+}

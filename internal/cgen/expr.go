@@ -1,0 +1,377 @@
+// Expression translation. Scalar expressions become C expressions;
+// matrix-valued expressions become owned cm_mat* temporaries produced
+// by runtime calls (released at end of statement), except with-loops
+// and matrixMap, which lower to explicit loop nests in withloop.go.
+package cgen
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/types"
+)
+
+var cOpEnum = map[ast.BinOp]string{
+	ast.OpAdd: "CM_ADD", ast.OpSub: "CM_SUB", ast.OpMul: "CM_MUL",
+	ast.OpElemMul: "CM_MUL", ast.OpDiv: "CM_DIV", ast.OpMod: "CM_MOD",
+	ast.OpEq: "CM_EQ", ast.OpNe: "CM_NE", ast.OpLt: "CM_LT",
+	ast.OpLe: "CM_LE", ast.OpGt: "CM_GT", ast.OpGe: "CM_GE",
+	ast.OpAnd: "CM_AND", ast.OpOr: "CM_OR",
+}
+
+var cOpScalar = map[ast.BinOp]string{
+	ast.OpAdd: "+", ast.OpSub: "-", ast.OpMul: "*", ast.OpElemMul: "*",
+	ast.OpDiv: "/", ast.OpMod: "%", ast.OpEq: "==", ast.OpNe: "!=",
+	ast.OpLt: "<", ast.OpLe: "<=", ast.OpGt: ">", ast.OpGe: ">=",
+	ast.OpAnd: "&&", ast.OpOr: "||",
+}
+
+// cFloat renders a float literal with a trailing f suffix.
+func cFloat(v float64) string {
+	s := fmt.Sprintf("%g", v)
+	if !strings.ContainsAny(s, ".e") {
+		s += ".0"
+	}
+	return s + "f"
+}
+
+func (f *fnEmitter) expr(e ast.Expr) (string, error) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return fmt.Sprintf("%dL", e.Value), nil
+	case *ast.FloatLit:
+		return cFloat(e.Value), nil
+	case *ast.BoolLit:
+		if e.Value {
+			return "1", nil
+		}
+		return "0", nil
+	case *ast.StrLit:
+		return fmt.Sprintf("%q", e.Value), nil
+	case *ast.Ident:
+		return cname(e.Name), nil
+
+	case *ast.BinaryExpr:
+		return f.binary(e)
+
+	case *ast.UnaryExpr:
+		x, err := f.expr(e.X)
+		if err != nil {
+			return "", err
+		}
+		if f.g.info.TypeOf(e.X).IsMatrix() {
+			neg := "0"
+			if e.Op == ast.OpNeg {
+				neg = "1"
+			}
+			return f.temp("cm_mat *", fmt.Sprintf("cm_unary(%s, %s)", neg, x)), nil
+		}
+		if e.Op == ast.OpNeg {
+			return "(-(" + x + "))", nil
+		}
+		return "(!(" + x + "))", nil
+
+	case *ast.CastExpr:
+		x, err := f.expr(e.X)
+		if err != nil {
+			return "", err
+		}
+		switch e.To {
+		case ast.PrimInt:
+			return "((long)(" + x + "))", nil
+		case ast.PrimFloat:
+			return "((float)(" + x + "))", nil
+		default:
+			return "((" + x + ") != 0)", nil
+		}
+
+	case *ast.CallExpr:
+		return f.call(e)
+
+	case *ast.IndexExpr:
+		return f.indexLoad(e)
+
+	case *ast.EndExpr:
+		if len(f.endCtx) == 0 {
+			return "", fmt.Errorf("cgen: 'end' outside index context")
+		}
+		return f.endCtx[len(f.endCtx)-1], nil
+
+	case *ast.RangeExpr:
+		lo, err := f.expr(e.Lo)
+		if err != nil {
+			return "", err
+		}
+		hi, err := f.expr(e.Hi)
+		if err != nil {
+			return "", err
+		}
+		return f.temp("cm_mat *", fmt.Sprintf("cm_rangevec(%s, %s)", lo, hi)), nil
+
+	case *ast.TupleExpr:
+		ty := f.g.info.TypeOf(e)
+		parts := make([]string, len(e.Elems))
+		for i, el := range e.Elems {
+			v, err := f.expr(el)
+			if err != nil {
+				return "", err
+			}
+			parts[i] = promoteScalar(v, f.g.info.TypeOf(el), ty.Elems[i])
+		}
+		return fmt.Sprintf("(%s){%s}", f.g.tupleType(ty), strings.Join(parts, ", ")), nil
+
+	case *ast.WithLoop:
+		return f.emitWithLoop(e)
+
+	case *ast.MatrixMap:
+		return f.emitMatrixMap(e)
+
+	case *ast.InitExpr:
+		ty := f.g.info.TypeOf(e)
+		dims := make([]string, len(e.Dims))
+		for i, d := range e.Dims {
+			v, err := f.expr(d)
+			if err != nil {
+				return "", err
+			}
+			dims[i] = v
+		}
+		return f.temp("cm_mat *", fmt.Sprintf("cm_alloc(%s, %d, (long[]){%s})",
+			elemEnum(ty), ty.Rank, strings.Join(dims, ", "))), nil
+	}
+	return "", fmt.Errorf("cgen: unknown expression %T", e)
+}
+
+func (f *fnEmitter) binary(e *ast.BinaryExpr) (string, error) {
+	lt := f.g.info.TypeOf(e.L)
+	rt := f.g.info.TypeOf(e.R)
+	l, err := f.expr(e.L)
+	if err != nil {
+		return "", err
+	}
+	r, err := f.expr(e.R)
+	if err != nil {
+		return "", err
+	}
+	switch {
+	case lt.IsMatrix() && rt.IsMatrix():
+		if e.Op == ast.OpMul {
+			return f.temp("cm_mat *", fmt.Sprintf("cm_matmul(%s, %s)", l, r)), nil
+		}
+		return f.temp("cm_mat *", fmt.Sprintf("cm_ew(%s, %s, %s)", cOpEnum[e.Op], l, r)), nil
+	case lt.IsMatrix():
+		return f.temp("cm_mat *", fmt.Sprintf("cm_bc(%s, %s, (double)(%s), %s, 1)",
+			cOpEnum[e.Op], l, r, scalarElemEnum(rt))), nil
+	case rt.IsMatrix():
+		return f.temp("cm_mat *", fmt.Sprintf("cm_bc(%s, %s, (double)(%s), %s, 0)",
+			cOpEnum[e.Op], r, l, scalarElemEnum(lt))), nil
+	default:
+		return fmt.Sprintf("(%s %s %s)", l, cOpScalar[e.Op], r), nil
+	}
+}
+
+func scalarElemEnum(t *types.Type) string {
+	switch t.Kind {
+	case types.Float:
+		return "CM_FLOAT"
+	case types.Bool:
+		return "CM_BOOL"
+	default:
+		return "CM_INT"
+	}
+}
+
+func (f *fnEmitter) call(e *ast.CallExpr) (string, error) {
+	// Builtins first.
+	switch e.Fun {
+	case "dimSize":
+		m, err := f.expr(e.Args[0])
+		if err != nil {
+			return "", err
+		}
+		d, err := f.expr(e.Args[1])
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("cm_dim(%s, %s)", m, d), nil
+	case "readMatrix":
+		name, err := f.expr(e.Args[0])
+		if err != nil {
+			return "", err
+		}
+		return f.temp("cm_mat *", fmt.Sprintf("cm_read(%s)", name)), nil
+	case "writeMatrix":
+		name, err := f.expr(e.Args[0])
+		if err != nil {
+			return "", err
+		}
+		m, err := f.expr(e.Args[1])
+		if err != nil {
+			return "", err
+		}
+		f.b.line("cm_write(%s, %s);", name, m)
+		return "", nil
+	case "print":
+		v, err := f.expr(e.Args[0])
+		if err != nil {
+			return "", err
+		}
+		switch f.g.info.TypeOf(e.Args[0]).Kind {
+		case types.Float:
+			f.b.line("printf(\"%%g\\n\", (double)(%s));", v)
+		case types.Bool:
+			f.b.line("printf(\"%%s\\n\", (%s) ? \"true\" : \"false\");", v)
+		case types.Matrix, types.AnyMatrix:
+			f.b.line("cm_printmat(%s);", v)
+		default:
+			f.b.line("printf(\"%%ld\\n\", (long)(%s));", v)
+		}
+		return "", nil
+	case "rcnew":
+		v, err := f.expr(e.Args[0])
+		if err != nil {
+			return "", err
+		}
+		name := f.g.fresh("cell")
+		f.b.line("cm_cell *%s = cm_cell_new((double)(%s));", name, v)
+		f.cellTemps = append(f.cellTemps, name)
+		return name, nil
+	case "rcget":
+		p, err := f.expr(e.Args[0])
+		if err != nil {
+			return "", err
+		}
+		ty := f.g.info.TypeOf(e)
+		return fmt.Sprintf("((%s)cm_cell_get(%s))", strings.TrimSpace(f.g.cType(ty)), p), nil
+	case "rcset":
+		p, err := f.expr(e.Args[0])
+		if err != nil {
+			return "", err
+		}
+		v, err := f.expr(e.Args[1])
+		if err != nil {
+			return "", err
+		}
+		f.b.line("cm_cell_set(%s, (double)(%s));", p, v)
+		return "", nil
+	}
+
+	sig, ok := f.g.info.Funcs[e.Fun]
+	if !ok {
+		return "", fmt.Errorf("cgen: unknown function %q", e.Fun)
+	}
+	args := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		v, err := f.expr(a)
+		if err != nil {
+			return "", err
+		}
+		args[i] = promoteScalar(v, f.g.info.TypeOf(a), sig.Type.Params[i])
+	}
+	callExpr := fmt.Sprintf("%s(%s)", cname(e.Fun), strings.Join(args, ", "))
+	ret := sig.Type.Ret
+	switch ret.Kind {
+	case types.Matrix, types.AnyMatrix:
+		// Function results carry one owned reference (see stmt.go's
+		// return protocol); register it as a statement temp.
+		return f.temp("cm_mat *", callExpr), nil
+	case types.Tuple:
+		name := f.g.fresh("tt")
+		f.b.line("%s %s = %s;", f.g.tupleType(ret), name, callExpr)
+		f.ownedTuples = append(f.ownedTuples, scopedVar{name, ret})
+		return name, nil
+	case types.Void:
+		f.b.line("%s;", callExpr)
+		return "", nil
+	default:
+		return callExpr, nil
+	}
+}
+
+// indexLoad compiles m[args...]: all-scalar selections load one
+// element; others produce an owned sub-matrix.
+func (f *fnEmitter) indexLoad(e *ast.IndexExpr) (string, error) {
+	base, err := f.expr(e.X)
+	if err != nil {
+		return "", err
+	}
+	// 'end' needs a stable base to take cm_dim of.
+	if !isSimpleCName(base) {
+		b := f.g.fresh("b")
+		f.b.line("cm_mat *%s = %s;", b, base)
+		base = b
+	}
+	specs, err := f.indexSpecArray(e, base)
+	if err != nil {
+		return "", err
+	}
+	resTy := f.g.info.TypeOf(e)
+	if resTy.IsMatrix() {
+		return f.temp("cm_mat *", fmt.Sprintf("cm_index(%s, %d, %s)", base, len(e.Args), specs)), nil
+	}
+	load := fmt.Sprintf("cm_index_scalar(%s, %d, %s)", base, len(e.Args), specs)
+	switch resTy.Kind {
+	case types.Float:
+		return "((float)" + load + ")", nil
+	case types.Bool:
+		return "(" + load + " != 0)", nil
+	default:
+		return "((long)" + load + ")", nil
+	}
+}
+
+func isSimpleCName(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9') {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// indexSpecArray materializes a cm_spec array variable for e's index
+// arguments, binding 'end' to the base's dimension sizes.
+func (f *fnEmitter) indexSpecArray(e *ast.IndexExpr, base string) (string, error) {
+	parts := make([]string, len(e.Args))
+	for d, a := range e.Args {
+		f.endCtx = append(f.endCtx, fmt.Sprintf("(cm_dim(%s, %d) - 1)", base, d))
+		spec, err := f.oneSpec(a)
+		f.endCtx = f.endCtx[:len(f.endCtx)-1]
+		if err != nil {
+			return "", err
+		}
+		parts[d] = spec
+	}
+	name := f.g.fresh("sp")
+	f.b.line("cm_spec %s[] = {%s};", name, strings.Join(parts, ", "))
+	return name, nil
+}
+
+func (f *fnEmitter) oneSpec(a ast.IndexArg) (string, error) {
+	switch a := a.(type) {
+	case *ast.IdxScalar:
+		v, err := f.expr(a.X)
+		if err != nil {
+			return "", err
+		}
+		if f.g.info.TypeOf(a.X).IsMatrix() {
+			return fmt.Sprintf("cm_maskspec(%s)", v), nil
+		}
+		return fmt.Sprintf("cm_scalar(%s)", v), nil
+	case *ast.IdxRange:
+		lo, err := f.expr(a.Lo)
+		if err != nil {
+			return "", err
+		}
+		hi, err := f.expr(a.Hi)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("cm_span(%s, %s)", lo, hi), nil
+	case *ast.IdxAll:
+		return "cm_allspec()", nil
+	}
+	return "", fmt.Errorf("cgen: unknown index arg %T", a)
+}

@@ -1,0 +1,285 @@
+// Scalar body lowering for with-loops: the path that produces the
+// Fig 3 loop nests with direct strided element access (slice
+// elimination, §III-A.4), including nested scalar folds.
+package cgen
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/loopir"
+	"repro/internal/types"
+)
+
+// lowerBody tries to lower a with-loop body expression to a scalar
+// loopir expression (plus prelude statements for nested folds).
+// ok == false means the caller must use the general fallback.
+func (w *wlState) lowerBody(e ast.Expr) (pre []loopir.Stmt, val loopir.Expr, ok bool) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return nil, loopir.IC(e.Value), true
+	case *ast.FloatLit:
+		return nil, loopir.FC(e.Value), true
+	case *ast.BoolLit:
+		if e.Value {
+			return nil, loopir.IC(1), true
+		}
+		return nil, loopir.IC(0), true
+
+	case *ast.Ident:
+		if w.ids[e.Name] {
+			return nil, loopir.V(cname(e.Name)), true
+		}
+		ty := w.varType(e.Name)
+		if ty == nil || !ty.IsScalar() {
+			return nil, nil, false
+		}
+		return nil, loopir.V(cname(e.Name)), true
+
+	case *ast.BinaryExpr:
+		if w.f.g.info.TypeOf(e).IsMatrix() {
+			return nil, nil, false
+		}
+		lp, lv, ok := w.lowerBody(e.L)
+		if !ok {
+			return nil, nil, false
+		}
+		rp, rv, ok := w.lowerBody(e.R)
+		if !ok {
+			return nil, nil, false
+		}
+		op, ok := cOpScalar[e.Op]
+		if !ok {
+			return nil, nil, false
+		}
+		return append(lp, rp...), loopir.B(op, lv, rv), true
+
+	case *ast.UnaryExpr:
+		p, v, ok := w.lowerBody(e.X)
+		if !ok {
+			return nil, nil, false
+		}
+		if e.Op == ast.OpNeg {
+			return p, &loopir.Un{Op: "-", X: v}, true
+		}
+		return p, &loopir.Un{Op: "!", X: v}, true
+
+	case *ast.CastExpr:
+		p, v, ok := w.lowerBody(e.X)
+		if !ok {
+			return nil, nil, false
+		}
+		switch e.To {
+		case ast.PrimInt:
+			return p, &loopir.Un{Op: "(long)", X: v}, true
+		case ast.PrimFloat:
+			return p, &loopir.Un{Op: "(float)", X: v}, true
+		}
+		return nil, nil, false
+
+	case *ast.CallExpr:
+		if e.Fun == "dimSize" {
+			m, okm := e.Args[0].(*ast.Ident)
+			if !okm || !w.f.g.info.TypeOf(e.Args[0]).IsMatrix() {
+				return nil, nil, false
+			}
+			p, d, ok := w.lowerBody(e.Args[1])
+			if !ok {
+				return nil, nil, false
+			}
+			return p, loopir.Call("cm_dim", loopir.V(cname(m.Name)), d), true
+		}
+		return nil, nil, false
+
+	case *ast.EndExpr:
+		if len(w.endStk) == 0 {
+			return nil, nil, false
+		}
+		return nil, w.endStk[len(w.endStk)-1](), true
+
+	case *ast.IndexExpr:
+		return w.lowerIndex(e)
+
+	case *ast.WithLoop:
+		fo, isFold := e.Op.(*ast.FoldOp)
+		if !isFold {
+			return nil, nil, false
+		}
+		return w.lowerNestedFold(e, fo)
+	}
+	return nil, nil, false
+}
+
+// varType resolves the semantic type of a user variable during
+// lowering.
+func (w *wlState) varType(name string) *types.Type {
+	if t, ok := w.f.vars[name]; ok {
+		return t
+	}
+	if t, ok := w.f.g.info.GlobalTypes[name]; ok {
+		return t
+	}
+	return nil
+}
+
+// lowerIndex compiles m[i, j, k] with all-scalar indices into either a
+// direct strided load (slice elimination, -O) or a bounds-checked
+// runtime accessor call (the ablation baseline).
+func (w *wlState) lowerIndex(e *ast.IndexExpr) (pre []loopir.Stmt, val loopir.Expr, ok bool) {
+	base, isIdent := e.X.(*ast.Ident)
+	if !isIdent {
+		return nil, nil, false
+	}
+	baseTy := w.varType(base.Name)
+	if baseTy == nil || baseTy.Kind != types.Matrix || len(e.Args) != baseTy.Rank {
+		return nil, nil, false
+	}
+	cn := cname(base.Name)
+	idxs := make([]loopir.Expr, len(e.Args))
+	for d, a := range e.Args {
+		sc, isScalar := a.(*ast.IdxScalar)
+		if !isScalar || w.f.g.info.TypeOf(sc.X).Kind != types.Int {
+			return nil, nil, false
+		}
+		// bind 'end' to shape[d]-1; the dim variable is hoisted only
+		// if 'end' actually occurs in this index expression
+		dd := d
+		w.endStk = append(w.endStk, func() loopir.Expr {
+			return loopir.B("-", loopir.V(w.dimVar(cn, dd)), loopir.IC(1))
+		})
+		p, v, ok := w.lowerBody(sc.X)
+		w.endStk = w.endStk[:len(w.endStk)-1]
+		if !ok {
+			return nil, nil, false
+		}
+		pre = append(pre, p...)
+		idxs[d] = v
+	}
+	if !w.f.g.opts.Optimize {
+		// Baseline: bounds-checked accessor (no slice elimination).
+		args := append([]loopir.Expr{loopir.V(cn)}, idxs...)
+		call := loopir.Call(fmt.Sprintf("cm_at%d", len(idxs)), args...)
+		if baseTy.Elem.Kind == types.Int {
+			return pre, &loopir.Un{Op: "(long)", X: call}, true
+		}
+		return pre, &loopir.Un{Op: "(float)", X: call}, true
+	}
+	// Direct load through hoisted data and stride pointers.
+	dn := w.dataVar(cn, baseTy)
+	var linear loopir.Expr
+	for d, idx := range idxs {
+		term := loopir.Expr(idx)
+		if baseTy.Rank > 1 {
+			term = loopir.B("*", idx, loopir.V(w.strideVar(cn, d)))
+		}
+		if linear == nil {
+			linear = term
+		} else {
+			linear = loopir.B("+", linear, term)
+		}
+	}
+	return pre, loopir.Ld(dn, linear), true
+}
+
+// dimVar hoists (once) a variable holding cm_dim(m, d).
+func (w *wlState) dimVar(cn string, d int) string {
+	name := fmt.Sprintf("%s_dim%d", cn, d)
+	if _, done := w.varTypes[name]; !done {
+		w.hoist("long", name, fmt.Sprintf("%s->shape[%d]", cn, d))
+	}
+	return name
+}
+
+// dataVar hoists (once) the matrix's raw data pointer.
+func (w *wlState) dataVar(cn string, ty *types.Type) string {
+	name := cn + "_d"
+	if _, done := w.varTypes[name]; !done {
+		w.hoist(cElemType(ty)+" *", name, cn+"->"+dataField(ty))
+	}
+	return name
+}
+
+// strideVar hoists (once) one stride of the matrix.
+func (w *wlState) strideVar(cn string, d int) string {
+	name := fmt.Sprintf("%s_s%d", cn, d)
+	if _, done := w.varTypes[name]; !done {
+		w.hoist("long", name, fmt.Sprintf("%s->strides[%d]", cn, d))
+	}
+	return name
+}
+
+// lowerNestedFold lowers an inner scalar fold with-loop (the Fig 1 →
+// Fig 3 pattern) to an accumulator declaration plus a loop.
+func (w *wlState) lowerNestedFold(wl *ast.WithLoop, fo *ast.FoldOp) (pre []loopir.Stmt, val loopir.Expr, ok bool) {
+	rank := len(wl.Ids)
+	los := make([]loopir.Expr, rank)
+	his := make([]loopir.Expr, rank)
+	for d := 0; d < rank; d++ {
+		p, lo, ok := w.lowerBody(wl.Lower[d])
+		if !ok {
+			return nil, nil, false
+		}
+		pre = append(pre, p...)
+		p2, hi, ok := w.lowerBody(wl.Upper[d])
+		if !ok {
+			return nil, nil, false
+		}
+		pre = append(pre, p2...)
+		los[d], his[d] = lo, hi
+	}
+	pInit, initV, ok := w.lowerBody(fo.Init)
+	if !ok {
+		return nil, nil, false
+	}
+	pre = append(pre, pInit...)
+	for _, id := range wl.Ids {
+		w.ids[id] = true
+	}
+	bodyPre, bodyV, ok := w.lowerBody(fo.Body)
+	for _, id := range wl.Ids {
+		delete(w.ids, id)
+	}
+	if !ok {
+		return nil, nil, false
+	}
+	resTy := w.f.g.info.TypeOf(wl)
+	accType := "float"
+	if resTy.Kind == types.Int {
+		accType = "long"
+	}
+	w.seq++
+	acc := fmt.Sprintf("_acc%d_%d", w.f.g.tmpN, w.seq)
+	pre = append(pre, &loopir.DeclStmt{CType: accType, Name: acc,
+		Init: &loopir.Un{Op: "(" + accType + ")", X: initV}})
+	inner := append(bodyPre,
+		&loopir.AssignStmt{LHS: loopir.V(acc), RHS: foldCombine(fo.Kind, loopir.V(acc), bodyV)})
+	body := inner
+	for d := rank - 1; d >= 0; d-- {
+		body = []loopir.Stmt{&loopir.Loop{Index: cname(wl.Ids[d]), Lo: los[d], Hi: his[d], Body: body}}
+	}
+	pre = append(pre, body...)
+	return pre, loopir.V(acc), true
+}
+
+// generalBody translates an arbitrary body expression with the general
+// expression emitter, for nests whose bodies are not scalar-lowerable.
+// It returns raw C statements plus the C expression of the body value.
+func (f *fnEmitter) generalBody(e ast.Expr) (string, string, error) {
+	sub := f.g.newFnEmitter(f.fn)
+	sub.vars = f.vars
+	sub.endCtx = f.endCtx
+	val, err := sub.expr(e)
+	if err != nil {
+		return "", "", err
+	}
+	// Materialize before releasing body temporaries.
+	ty := f.g.info.TypeOf(e)
+	ctype := "double"
+	if ty.Kind == types.Int {
+		ctype = "long"
+	}
+	res := f.g.fresh("bv")
+	sub.b.line("%s %s = (%s)(%s);", ctype, res, ctype, val)
+	sub.releaseTemps()
+	return sub.b.String(), res, nil
+}

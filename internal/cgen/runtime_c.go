@@ -1,0 +1,429 @@
+// The C runtime prelude emitted at the top of every translation unit.
+// It implements, in plain C, the substrate the paper's generated code
+// relies on: the reference-counted matrix representation of §III-B
+// (a count attached to every allocation), MATLAB-style index
+// evaluation, overloaded elementwise arithmetic, and the enhanced
+// fork-join pthread pool of §III-C — threads spawned once at startup
+// that spin until the main thread releases work and then return to the
+// spin lock through a stop barrier.
+package cgen
+
+// cRuntime is the prelude text. It is self-contained C99 + pthreads.
+const cRuntime = `/* ---- CMINUS matrix runtime (generated; do not edit) ---- */
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+#include <pthread.h>
+#include <sched.h>
+
+#define CM_MAX_RANK 8
+
+enum { CM_FLOAT = 0, CM_INT = 1, CM_BOOL = 2 };
+enum { CM_ADD, CM_SUB, CM_MUL, CM_DIV, CM_MOD,
+       CM_EQ, CM_NE, CM_LT, CM_LE, CM_GT, CM_GE, CM_AND, CM_OR };
+
+typedef struct cm_mat {
+    int rc;                 /* the 4-byte reference count of the paper */
+    int elem;
+    int rank;
+    long shape[CM_MAX_RANK];
+    long strides[CM_MAX_RANK];
+    long size;
+    float *f; long *i; unsigned char *b;
+} cm_mat;
+
+static void cm_die(const char *msg) {
+    fprintf(stderr, "runtime error: %s\n", msg);
+    exit(2);
+}
+
+static cm_mat *cm_alloc(int elem, int rank, const long *shape) {
+    cm_mat *m = (cm_mat *)calloc(1, sizeof(cm_mat));
+    if (!m) cm_die("out of memory");
+    m->rc = 1; m->elem = elem; m->rank = rank;
+    long size = 1;
+    for (int d = 0; d < rank; d++) { m->shape[d] = shape[d]; size *= shape[d]; }
+    long acc = 1;
+    for (int d = rank - 1; d >= 0; d--) { m->strides[d] = acc; acc *= shape[d]; }
+    m->size = size;
+    switch (elem) {
+    case CM_FLOAT: m->f = (float *)calloc(size ? size : 1, sizeof(float)); break;
+    case CM_INT:   m->i = (long *)calloc(size ? size : 1, sizeof(long)); break;
+    default:       m->b = (unsigned char *)calloc(size ? size : 1, 1); break;
+    }
+    return m;
+}
+
+static void cm_incref(cm_mat *m) {
+    if (m) __atomic_add_fetch(&m->rc, 1, __ATOMIC_SEQ_CST);
+}
+static void cm_decref(cm_mat *m) {
+    if (!m) return;
+    if (__atomic_sub_fetch(&m->rc, 1, __ATOMIC_SEQ_CST) == 0) {
+        free(m->f); free(m->i); free(m->b); free(m);
+    }
+}
+
+static long cm_dim(cm_mat *m, long d) {
+    if (!m || d < 0 || d >= m->rank) cm_die("dimSize out of range");
+    return m->shape[d];
+}
+
+static double cm_get(cm_mat *m, long off) {
+    switch (m->elem) {
+    case CM_FLOAT: return m->f[off];
+    case CM_INT:   return (double)m->i[off];
+    default:       return m->b[off] ? 1.0 : 0.0;
+    }
+}
+static void cm_put(cm_mat *m, long off, double v) {
+    switch (m->elem) {
+    case CM_FLOAT: m->f[off] = (float)v; break;
+    case CM_INT:   m->i[off] = (long)v; break;
+    default:       m->b[off] = v != 0.0; break;
+    }
+}
+
+/* ---- index specs (scalar / inclusive range / ':' / logical mask) ---- */
+typedef struct { int kind; long i, lo, hi; cm_mat *mask; } cm_spec;
+enum { CM_SPEC_SCALAR, CM_SPEC_RANGE, CM_SPEC_ALL, CM_SPEC_MASK };
+static cm_spec cm_scalar(long i) { cm_spec s = {CM_SPEC_SCALAR, i, 0, 0, 0}; return s; }
+static cm_spec cm_span(long lo, long hi) { cm_spec s = {CM_SPEC_RANGE, 0, lo, hi, 0}; return s; }
+static cm_spec cm_allspec(void) { cm_spec s = {CM_SPEC_ALL, 0, 0, 0, 0}; return s; }
+static cm_spec cm_maskspec(cm_mat *m) { cm_spec s = {CM_SPEC_MASK, 0, 0, 0, m}; return s; }
+
+typedef struct { long n; long *list; long scalar; } cm_sel1;
+
+static void cm_resolve1(cm_spec sp, long dimsize, int d, cm_sel1 *out) {
+    out->list = 0; out->n = -1;
+    switch (sp.kind) {
+    case CM_SPEC_SCALAR:
+        if (sp.i < 0 || sp.i >= dimsize) cm_die("index out of range");
+        out->scalar = sp.i; return;
+    case CM_SPEC_RANGE: {
+        if (sp.lo < 0 || sp.hi >= dimsize || sp.lo > sp.hi) cm_die("bad index range");
+        out->n = sp.hi - sp.lo + 1;
+        out->list = (long *)malloc(out->n * sizeof(long));
+        for (long k = 0; k < out->n; k++) out->list[k] = sp.lo + k;
+        return; }
+    case CM_SPEC_ALL: {
+        out->n = dimsize;
+        out->list = (long *)malloc((dimsize ? dimsize : 1) * sizeof(long));
+        for (long k = 0; k < dimsize; k++) out->list[k] = k;
+        return; }
+    default: {
+        cm_mat *mk = sp.mask;
+        if (!mk || mk->elem != CM_BOOL || mk->rank != 1 || mk->size != dimsize)
+            cm_die("bad logical index");
+        long n = 0;
+        for (long k = 0; k < dimsize; k++) if (mk->b[k]) n++;
+        out->n = n;
+        out->list = (long *)malloc((n ? n : 1) * sizeof(long));
+        n = 0;
+        for (long k = 0; k < dimsize; k++) if (mk->b[k]) out->list[n++] = k;
+        return; }
+    }
+}
+
+/* visit the cross product of selections; returns number of cells */
+static void cm_sel_free(cm_sel1 *sel, int rank) {
+    for (int d = 0; d < rank; d++) free(sel[d].list);
+}
+
+static cm_mat *cm_index(cm_mat *m, int n, cm_spec *specs) {
+    if (!m) cm_die("index of unassigned matrix");
+    if (n != m->rank) cm_die("wrong number of indices");
+    cm_sel1 sel[CM_MAX_RANK];
+    long outshape[CM_MAX_RANK]; int outrank = 0;
+    for (int d = 0; d < n; d++) {
+        cm_resolve1(specs[d], m->shape[d], d, &sel[d]);
+        if (sel[d].n >= 0) outshape[outrank++] = sel[d].n;
+    }
+    if (outrank == 0) cm_die("cm_index used for all-scalar selection");
+    cm_mat *out = cm_alloc(m->elem, outrank, outshape);
+    long counters[CM_MAX_RANK] = {0};
+    for (long cell = 0; cell < out->size; cell++) {
+        long src = 0; int kd = 0;
+        for (int d = 0; d < n; d++) {
+            long pos = (sel[d].n >= 0) ? sel[d].list[counters[kd++]] : sel[d].scalar;
+            src += pos * m->strides[d];
+        }
+        cm_put(out, cell, cm_get(m, src));
+        for (int k = outrank - 1; k >= 0; k--) {
+            if (++counters[k] < outshape[k]) break;
+            counters[k] = 0;
+        }
+    }
+    cm_sel_free(sel, n);
+    return out;
+}
+
+static double cm_index_scalar(cm_mat *m, int n, cm_spec *specs) {
+    if (!m) cm_die("index of unassigned matrix");
+    if (n != m->rank) cm_die("wrong number of indices");
+    long off = 0;
+    for (int d = 0; d < n; d++) {
+        if (specs[d].kind != CM_SPEC_SCALAR) cm_die("non-scalar index in scalar load");
+        if (specs[d].i < 0 || specs[d].i >= m->shape[d]) cm_die("index out of range");
+        off += specs[d].i * m->strides[d];
+    }
+    return cm_get(m, off);
+}
+
+static void cm_store(cm_mat *m, int n, cm_spec *specs, cm_mat *src) {
+    if (!m) cm_die("store into unassigned matrix");
+    cm_sel1 sel[CM_MAX_RANK];
+    long outshape[CM_MAX_RANK]; int outrank = 0; long total = 1;
+    for (int d = 0; d < n; d++) {
+        cm_resolve1(specs[d], m->shape[d], d, &sel[d]);
+        if (sel[d].n >= 0) { outshape[outrank++] = sel[d].n; total *= sel[d].n; }
+    }
+    if (src->size != total) cm_die("store size mismatch");
+    long counters[CM_MAX_RANK] = {0};
+    for (long cell = 0; cell < total; cell++) {
+        long dst = 0; int kd = 0;
+        for (int d = 0; d < n; d++) {
+            long pos = (sel[d].n >= 0) ? sel[d].list[counters[kd++]] : sel[d].scalar;
+            dst += pos * m->strides[d];
+        }
+        cm_put(m, dst, cm_get(src, cell));
+        for (int k = outrank - 1; k >= 0; k--) {
+            if (++counters[k] < outshape[k]) break;
+            counters[k] = 0;
+        }
+    }
+    cm_sel_free(sel, n);
+}
+
+static void cm_store_scalar(cm_mat *m, int n, cm_spec *specs, double v) {
+    if (!m) cm_die("store into unassigned matrix");
+    long off = 0;
+    for (int d = 0; d < n; d++) {
+        if (specs[d].kind != CM_SPEC_SCALAR) cm_die("non-scalar index in scalar store");
+        if (specs[d].i < 0 || specs[d].i >= m->shape[d]) cm_die("index out of range");
+        off += specs[d].i * m->strides[d];
+    }
+    cm_put(m, off, v);
+}
+
+/* ---- overloaded arithmetic (§III-A.2) ---- */
+static double cm_apply(int op, double a, double b) {
+    switch (op) {
+    case CM_ADD: return a + b;
+    case CM_SUB: return a - b;
+    case CM_MUL: return a * b;
+    case CM_DIV: return a / b;
+    case CM_MOD: return (double)((long)a % (long)b);
+    case CM_EQ:  return a == b;
+    case CM_NE:  return a != b;
+    case CM_LT:  return a < b;
+    case CM_LE:  return a <= b;
+    case CM_GT:  return a > b;
+    case CM_GE:  return a >= b;
+    case CM_AND: return (a != 0) && (b != 0);
+    default:     return (a != 0) || (b != 0);
+    }
+}
+
+static int cm_result_elem(int op, int ea, int eb) {
+    if (op >= CM_EQ) return CM_BOOL;
+    if (ea == CM_FLOAT || eb == CM_FLOAT) return CM_FLOAT;
+    return CM_INT;
+}
+
+static cm_mat *cm_ew(int op, cm_mat *a, cm_mat *b) {
+    if (!a || !b) cm_die("elementwise op on unassigned matrix");
+    if (a->rank != b->rank || a->size != b->size) cm_die("shape mismatch");
+    for (int d = 0; d < a->rank; d++)
+        if (a->shape[d] != b->shape[d]) cm_die("shape mismatch");
+    cm_mat *out = cm_alloc(cm_result_elem(op, a->elem, b->elem), a->rank, a->shape);
+    for (long k = 0; k < a->size; k++)
+        cm_put(out, k, cm_apply(op, cm_get(a, k), cm_get(b, k)));
+    return out;
+}
+
+static cm_mat *cm_bc(int op, cm_mat *a, double s, int sElem, int matLeft) {
+    if (!a) cm_die("broadcast op on unassigned matrix");
+    cm_mat *out = cm_alloc(cm_result_elem(op, a->elem, sElem), a->rank, a->shape);
+    for (long k = 0; k < a->size; k++) {
+        double v = matLeft ? cm_apply(op, cm_get(a, k), s) : cm_apply(op, s, cm_get(a, k));
+        cm_put(out, k, v);
+    }
+    return out;
+}
+
+static cm_mat *cm_matmul(cm_mat *a, cm_mat *b) {
+    if (!a || !b || a->rank != 2 || b->rank != 2 || a->shape[1] != b->shape[0])
+        cm_die("bad matmul operands");
+    long m = a->shape[0], kk = a->shape[1], n = b->shape[1];
+    long shp[2] = {m, n};
+    int elem = (a->elem == CM_INT && b->elem == CM_INT) ? CM_INT : CM_FLOAT;
+    cm_mat *out = cm_alloc(elem, 2, shp);
+    for (long i = 0; i < m; i++)
+        for (long j = 0; j < n; j++) {
+            double acc = 0;
+            for (long x = 0; x < kk; x++)
+                acc += cm_get(a, i * kk + x) * cm_get(b, x * n + j);
+            cm_put(out, i * n + j, acc);
+        }
+    return out;
+}
+
+static cm_mat *cm_unary(int neg, cm_mat *a) {
+    if (!a) cm_die("unary op on unassigned matrix");
+    cm_mat *out = cm_alloc(a->elem, a->rank, a->shape);
+    for (long k = 0; k < a->size; k++)
+        cm_put(out, k, neg ? -cm_get(a, k) : !(cm_get(a, k) != 0));
+    return out;
+}
+
+static cm_mat *cm_rangevec(long lo, long hi) {
+    long n = hi >= lo ? hi - lo + 1 : 0;
+    long shp[1] = {n};
+    cm_mat *out = cm_alloc(CM_INT, 1, shp);
+    for (long k = 0; k < n; k++) out->i[k] = lo + k;
+    return out;
+}
+
+/* ---- matrix file I/O (CMXM format, matching internal/matio) ---- */
+static cm_mat *cm_read(const char *name) {
+    FILE *fp = fopen(name, "rb");
+    if (!fp) cm_die("readMatrix: cannot open file");
+    char mg[4];
+    long head[2];
+    if (fread(mg, 1, 4, fp) != 4 || memcmp(mg, "CMXM", 4) != 0) cm_die("bad matrix file");
+    if (fread(head, 8, 2, fp) != 2) cm_die("bad matrix header");
+    long elem = head[0], rank = head[1];
+    if (rank < 1 || rank > CM_MAX_RANK) cm_die("bad matrix rank");
+    long shape[CM_MAX_RANK];
+    if (fread(shape, 8, rank, fp) != (size_t)rank) cm_die("bad matrix shape");
+    /* file stores float64/int64/bool8 */
+    cm_mat *m = cm_alloc(elem == 0 ? CM_FLOAT : (elem == 1 ? CM_INT : CM_BOOL), (int)rank, shape);
+    for (long k = 0; k < m->size; k++) {
+        if (m->elem == CM_FLOAT) { double v; if (fread(&v, 8, 1, fp) != 1) cm_die("short read"); m->f[k] = (float)v; }
+        else if (m->elem == CM_INT) { long v; if (fread(&v, 8, 1, fp) != 1) cm_die("short read"); m->i[k] = v; }
+        else { unsigned char v; if (fread(&v, 1, 1, fp) != 1) cm_die("short read"); m->b[k] = v; }
+    }
+    fclose(fp);
+    return m;
+}
+
+static void cm_write(const char *name, cm_mat *m) {
+    FILE *fp = fopen(name, "wb");
+    if (!fp) cm_die("writeMatrix: cannot open file");
+    fwrite("CMXM", 1, 4, fp);
+    long head[2] = {m->elem == CM_FLOAT ? 0 : (m->elem == CM_INT ? 1 : 2), m->rank};
+    fwrite(head, 8, 2, fp);
+    fwrite(m->shape, 8, m->rank, fp);
+    for (long k = 0; k < m->size; k++) {
+        if (m->elem == CM_FLOAT) { double v = m->f[k]; fwrite(&v, 8, 1, fp); }
+        else if (m->elem == CM_INT) { fwrite(&m->i[k], 8, 1, fp); }
+        else { fwrite(&m->b[k], 1, 1, fp); }
+    }
+    fclose(fp);
+}
+
+/* ---- enhanced fork-join pool (§III-C) ----
+ * Threads are spawned once and "sent straight into a spin lock where
+ * they sit idle until some parallel work is to be done"; releasing
+ * them flips a generation counter, and each passes through the stop
+ * barrier back into the spin lock. */
+typedef void (*cm_work_fn)(void *arg, int worker, int nworkers);
+/* Nested parallel constructs run sequentially inside a worker (only
+ * the outermost construct is distributed, as in the paper): workers
+ * mark themselves and cm_pool_run falls back to inline execution. */
+static __thread int cm_in_worker = 0;
+static struct {
+    int n;
+    volatile unsigned long gen;
+    volatile long done;
+    cm_work_fn fn;
+    void *arg;
+    volatile int stop;
+    pthread_t tids[256];
+} cm_pool;
+
+static void *cm_pool_worker(void *p) {
+    long id = (long)p;
+    unsigned long last = 0;
+    cm_in_worker = 1;
+    for (;;) {
+        while (__atomic_load_n(&cm_pool.gen, __ATOMIC_SEQ_CST) == last) {
+            if (cm_pool.stop) return 0;
+            sched_yield();          /* spin lock with polite backoff */
+        }
+        last = __atomic_load_n(&cm_pool.gen, __ATOMIC_SEQ_CST);
+        cm_pool.fn(cm_pool.arg, (int)id, cm_pool.n);
+        __atomic_add_fetch(&cm_pool.done, 1, __ATOMIC_SEQ_CST); /* stop barrier */
+    }
+}
+
+static void cm_pool_init(int n) {
+    if (n > 256) n = 256;
+    if (n < 1) n = 1;
+    cm_pool.n = n;
+    for (long w = 0; w < n; w++)
+        pthread_create(&cm_pool.tids[w], 0, cm_pool_worker, (void *)w);
+}
+
+static void cm_pool_run(cm_work_fn fn, void *arg) {
+    if (cm_pool.n <= 0 || cm_in_worker) { fn(arg, 0, 1); return; } /* sequential fallback */
+    cm_pool.fn = fn; cm_pool.arg = arg;
+    __atomic_store_n(&cm_pool.done, 0, __ATOMIC_SEQ_CST);
+    __atomic_add_fetch(&cm_pool.gen, 1, __ATOMIC_SEQ_CST); /* release workers */
+    while (__atomic_load_n(&cm_pool.done, __ATOMIC_SEQ_CST) < cm_pool.n)
+        sched_yield();              /* main thread waits in the stop barrier */
+}
+
+static void cm_pool_shutdown(void) {
+    if (cm_pool.n <= 0) return;
+    cm_pool.stop = 1;
+    for (int w = 0; w < cm_pool.n; w++) pthread_join(cm_pool.tids[w], 0);
+    cm_pool.n = 0;
+}
+
+/* ---- matrixMap (§III-A.5): apply f over mapped dims, iterate the
+ * rest in parallel on the pool ---- */
+typedef cm_mat *(*cm_map_fn)(cm_mat *);
+typedef struct {
+    cm_mat *in, *out;
+    int ndims; const int *dims;
+    cm_map_fn fn;
+    long itersize;
+} cm_mm_args;
+
+static void cm_mm_work(void *p, int worker, int nworkers) {
+    cm_mm_args *a = (cm_mm_args *)p;
+    long chunk = (a->itersize + nworkers - 1) / nworkers;
+    long lo = (long)worker * chunk, hi = lo + chunk;
+    if (hi > a->itersize) hi = a->itersize;
+    int mapped[CM_MAX_RANK] = {0};
+    for (int k = 0; k < a->ndims; k++) mapped[a->dims[k]] = 1;
+    for (long it = lo; it < hi; it++) {
+        cm_spec specs[CM_MAX_RANK];
+        long rem = it;
+        for (int d = a->in->rank - 1; d >= 0; d--) {
+            if (mapped[d]) { specs[d] = cm_allspec(); continue; }
+            specs[d] = cm_scalar(rem % a->in->shape[d]);
+            rem /= a->in->shape[d];
+        }
+        cm_mat *sub = cm_index(a->in, a->in->rank, specs);
+        cm_mat *res = a->fn(sub);
+        cm_store(a->out, a->in->rank, specs, res);
+        cm_decref(sub); cm_decref(res);
+    }
+}
+
+static cm_mat *cm_matrixmap(cm_mat *in, int ndims, const int *dims, int outElem, cm_map_fn fn) {
+    if (!in) cm_die("matrixMap of unassigned matrix");
+    cm_mat *out = cm_alloc(outElem, in->rank, in->shape);
+    int mapped[CM_MAX_RANK] = {0};
+    for (int k = 0; k < ndims; k++) mapped[dims[k]] = 1;
+    long itersize = 1;
+    for (int d = 0; d < in->rank; d++) if (!mapped[d]) itersize *= in->shape[d];
+    cm_mm_args args = {in, out, ndims, dims, fn, itersize};
+    cm_pool_run(cm_mm_work, &args);
+    return out;
+}
+/* ---- end of runtime ---- */
+`

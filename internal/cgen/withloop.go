@@ -1,0 +1,294 @@
+// With-loop and matrixMap lowering (§III-A.4/5, §V, §III-C).
+//
+// A with-loop expands to an explicit loop nest (Fig 1 → Fig 3). When
+// the body is scalar-lowerable the nest reads matrix data through
+// hoisted data/stride pointers — the slice-elimination optimization of
+// §III-A.4 ("there was no need to iterate over a copied slice of
+// mat"); with -O off, element access goes through bounds-checked
+// runtime accessors instead (the ablation baseline). Nested scalar
+// folds lower into accumulator loops inside the nest, which is exactly
+// the Fig 3 shape. Bodies that cannot be scalar-lowered fall back to
+// general translated C inside the nest.
+//
+// User transform clauses (§V) apply loopir rewrites; the outermost
+// loop is auto-parallelized per §III-C — lifted into a worker function
+// dispatched on the fork-join pool in pthread mode ("we actually lift
+// this out into a new function so that the spawned threads can get
+// direct access to it"), or annotated with an OpenMP pragma in omp
+// mode (Fig 11).
+package cgen
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/loopir"
+	"repro/internal/types"
+)
+
+// wlState is per-with-loop lowering state.
+type wlState struct {
+	f *fnEmitter
+	// hoisted declarations emitted before the nest ("floated above
+	// the outermost for loop", Fig 11).
+	hoisted *indentWriter
+	// types of hoisted / captured C variables, for pthread lifting.
+	varTypes map[string]string
+	// matrices whose data/stride pointers are already hoisted.
+	direct map[string]bool
+	ids    map[string]bool // loop indices in scope
+	endStk []func() loopir.Expr
+	seq    int
+}
+
+func (f *fnEmitter) newWL() *wlState {
+	return &wlState{f: f, hoisted: &indentWriter{},
+		varTypes: map[string]string{}, direct: map[string]bool{}, ids: map[string]bool{}}
+}
+
+func (w *wlState) hoist(ctype, name, init string) string {
+	w.hoisted.line("%s%s = %s;", padType(ctype), name, init)
+	w.varTypes[name] = ctype
+	return name
+}
+
+// emitWithLoop compiles one with-loop expression, returning the C
+// expression holding its value.
+func (f *fnEmitter) emitWithLoop(wl *ast.WithLoop) (string, error) {
+	w := f.newWL()
+	rank := len(wl.Ids)
+	los := make([]loopir.Expr, rank)
+	his := make([]loopir.Expr, rank)
+	for d := 0; d < rank; d++ {
+		var err error
+		los[d], err = w.boundExpr(wl.Lower[d])
+		if err != nil {
+			return "", err
+		}
+		his[d], err = w.boundExpr(wl.Upper[d])
+		if err != nil {
+			return "", err
+		}
+		w.ids[wl.Ids[d]] = true
+	}
+
+	switch op := wl.Op.(type) {
+	case *ast.GenArrayOp:
+		return f.emitGenArray(w, wl, op, los, his)
+	case *ast.FoldOp:
+		return f.emitFold(w, wl, op, los, his)
+	}
+	return "", fmt.Errorf("cgen: unknown with-loop op %T", wl.Op)
+}
+
+func cElemType(t *types.Type) string {
+	switch t.Elem.Kind {
+	case types.Float:
+		return "float"
+	case types.Int:
+		return "long"
+	default:
+		return "unsigned char"
+	}
+}
+
+func dataField(t *types.Type) string {
+	switch t.Elem.Kind {
+	case types.Float:
+		return "f"
+	case types.Int:
+		return "i"
+	default:
+		return "b"
+	}
+}
+
+func (f *fnEmitter) emitGenArray(w *wlState, wl *ast.WithLoop, op *ast.GenArrayOp,
+	los, his []loopir.Expr) (string, error) {
+	resTy := f.g.info.TypeOf(wl)
+	rank := len(wl.Ids)
+	shs := make([]loopir.Expr, rank)
+	shStrs := make([]string, rank)
+	for d, se := range op.Shape {
+		sh, err := w.boundExpr(se)
+		if err != nil {
+			return "", err
+		}
+		shs[d] = sh
+		shStrs[d] = sh.String()
+	}
+	out := f.g.fresh("wl")
+	w.hoisted.line("cm_mat *%s = cm_alloc(%s, %d, (long[]){%s});",
+		out, elemEnum(resTy), rank, strings.Join(shStrs, ", "))
+	w.varTypes[out] = "cm_mat *"
+	// "the shape in the operation must be a superset of the indexes in
+	// the generator, which is something that can be checked at runtime"
+	var checks []string
+	for d := 0; d < rank; d++ {
+		checks = append(checks, fmt.Sprintf("%s < 0 || %s > %s", los[d], his[d], shs[d]))
+	}
+	w.hoisted.line("if (%s) cm_die(\"genarray shape is not a superset of the generator\");",
+		strings.Join(checks, " || "))
+	outD := w.hoist(cElemType(resTy)+" *", out+"_d", out+"->"+dataField(resTy))
+
+	// Linear output offset ((i*sh1 + j)*sh2 + k)...
+	var linear loopir.Expr = loopir.V(cname(wl.Ids[0]))
+	for d := 1; d < rank; d++ {
+		linear = loopir.B("+", loopir.B("*", linear, shs[d]), loopir.V(cname(wl.Ids[d])))
+	}
+
+	var inner []loopir.Stmt
+	pre, val, ok := w.lowerBody(op.Body)
+	if ok {
+		inner = append(pre, &loopir.AssignStmt{LHS: loopir.Ld(outD, linear), RHS: val})
+	} else {
+		raw, cval, err := f.generalBody(op.Body)
+		if err != nil {
+			return "", err
+		}
+		raw += fmt.Sprintf("cm_put(%s, %s, (double)(%s));\n", out, linear, cval)
+		inner = []loopir.Stmt{&loopir.Raw{Code: strings.TrimRight(raw, "\n")}}
+	}
+	nest := buildNest(wl.Ids, los, his, inner)
+	nest, err := f.applyTransforms(nest, wl.Transforms)
+	if err != nil {
+		return "", err
+	}
+	f.autoParallel(nest, wl.Transforms)
+	if err := f.emitNest(w, nest); err != nil {
+		return "", err
+	}
+	f.temps = append(f.temps, out)
+	if !f.g.opts.Optimize {
+		// Library-style baseline of §III-A.4: the with-loop result is
+		// copied into its destination instead of moved.
+		return f.temp("cm_mat *", fmt.Sprintf("cm_copy(%s)", out)), nil
+	}
+	return out, nil
+}
+
+func (f *fnEmitter) emitFold(w *wlState, wl *ast.WithLoop, op *ast.FoldOp,
+	los, his []loopir.Expr) (string, error) {
+	resTy := f.g.info.TypeOf(wl)
+	accType := "float"
+	if resTy.Kind == types.Int {
+		accType = "long"
+	}
+	initV, err := f.expr(op.Init)
+	if err != nil {
+		return "", err
+	}
+	acc := f.g.fresh("acc")
+	w.hoist(accType, acc, fmt.Sprintf("(%s)(%s)", accType, initV))
+
+	var inner []loopir.Stmt
+	pre, val, ok := w.lowerBody(op.Body)
+	if ok {
+		inner = append(pre, &loopir.AssignStmt{LHS: loopir.V(acc), RHS: foldCombine(op.Kind, loopir.V(acc), val)})
+	} else {
+		raw, cval, err := f.generalBody(op.Body)
+		if err != nil {
+			return "", err
+		}
+		raw += fmt.Sprintf("%s = %s;\n", acc, foldCombine(op.Kind, loopir.V(acc), loopir.V("("+cval+")")))
+		inner = []loopir.Stmt{&loopir.Raw{Code: strings.TrimRight(raw, "\n")}}
+	}
+	nest := buildNest(wl.Ids, los, his, inner)
+	nest, err = f.applyTransforms(nest, wl.Transforms)
+	if err != nil {
+		return "", err
+	}
+	// Folds run sequentially in generated code (the parallel construct
+	// is the enclosing genarray, as in Fig 1); see DESIGN.md.
+	if err := f.emitNest(w, nest); err != nil {
+		return "", err
+	}
+	return acc, nil
+}
+
+func foldCombine(kind ast.FoldKind, acc, v loopir.Expr) loopir.Expr {
+	switch kind {
+	case ast.FoldAdd:
+		return loopir.B("+", acc, v)
+	case ast.FoldMul:
+		return loopir.B("*", acc, v)
+	case ast.FoldMin:
+		return &loopir.Cond{C: loopir.B("<", acc, v), T: acc, F: v}
+	default:
+		return &loopir.Cond{C: loopir.B(">", acc, v), T: acc, F: v}
+	}
+}
+
+func buildNest(ids []string, los, his []loopir.Expr, inner []loopir.Stmt) []loopir.Stmt {
+	body := inner
+	for d := len(ids) - 1; d >= 0; d-- {
+		body = []loopir.Stmt{&loopir.Loop{
+			Index: cname(ids[d]), Lo: los[d], Hi: his[d], Body: body}}
+	}
+	return body
+}
+
+// boundExpr evaluates a with-loop bound or shape expression: integer
+// literals stay as IR constants (so transformations like split see
+// zero-based, constant-trip loops); anything else is evaluated once
+// and hoisted into a variable.
+func (w *wlState) boundExpr(e ast.Expr) (loopir.Expr, error) {
+	if lit, ok := e.(*ast.IntLit); ok {
+		return loopir.IC(lit.Value), nil
+	}
+	v, err := w.f.expr(e)
+	if err != nil {
+		return nil, err
+	}
+	return loopir.V(w.hoist("long", w.f.g.fresh("b"), v)), nil
+}
+
+// applyTransforms runs the §V clauses against the nest.
+func (f *fnEmitter) applyTransforms(nest []loopir.Stmt, clauses []ast.TransformClause) ([]loopir.Stmt, error) {
+	var err error
+	for _, c := range clauses {
+		switch c := c.(type) {
+		case *ast.SplitClause:
+			nest, err = loopir.Split(nest, cname(c.Index), c.Factor.(*ast.IntLit).Value,
+				cname(c.Inner), cname(c.Outer))
+		case *ast.VectorizeClause:
+			nest, err = loopir.Vectorize(nest, cname(c.Index))
+			if err == nil {
+				f.g.usesVectors = true
+			}
+		case *ast.ParallelizeClause:
+			nest, err = loopir.Parallelize(nest, cname(c.Index))
+		case *ast.ReorderClause:
+			order := make([]string, len(c.Indices))
+			for i, n := range c.Indices {
+				order[i] = cname(n)
+			}
+			nest, err = loopir.Reorder(nest, order)
+		case *ast.TileClause:
+			nest, err = loopir.Tile(nest, cname(c.IndexA), c.FactorA.(*ast.IntLit).Value,
+				cname(c.IndexB), c.FactorB.(*ast.IntLit).Value)
+		case *ast.UnrollClause:
+			nest, err = loopir.Unroll(nest, cname(c.Index), c.Factor.(*ast.IntLit).Value)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("cgen: %w", err)
+		}
+	}
+	return nest, nil
+}
+
+// autoParallel marks the outermost loop parallel (§III-C automatic
+// parallelization) unless the user gave explicit transform clauses —
+// then their parallelize decision stands alone.
+func (f *fnEmitter) autoParallel(nest []loopir.Stmt, clauses []ast.TransformClause) {
+	if f.g.opts.Par == ParNone || len(clauses) > 0 {
+		return
+	}
+	for _, s := range nest {
+		if l, ok := s.(*loopir.Loop); ok {
+			l.Parallel = true
+			return
+		}
+	}
+}

@@ -1,0 +1,96 @@
+// Package core is the public face of the extensible CMINUS translator
+// — the paper's primary contribution assembled from its parts: the
+// composable grammars (internal/parser, internal/grammar), the
+// attribute-grammar semantic analysis (internal/sem, internal/attr),
+// the C back end with the §III-A.4 optimizations, §III-C parallel code
+// generation and §V user-directed transformations (internal/cgen), and
+// the parallel interpreter (internal/interp).
+//
+// Typical use:
+//
+//	res := core.Compile("prog.xc", src, core.Config{})
+//	if res.Diags.HasErrors() { ... }
+//	fmt.Println(res.C)            // translated parallel C
+//
+//	code, err := core.Run("prog.xc", src, core.Config{}, interp.Options{})
+package core
+
+import (
+	"repro/internal/ast"
+	"repro/internal/cgen"
+	"repro/internal/interp"
+	"repro/internal/parser"
+	"repro/internal/sem"
+	"repro/internal/source"
+)
+
+// Config selects extensions and code-generation options.
+type Config struct {
+	// Extensions composed into the translator; zero value means all
+	// (the paper's configuration).
+	Extensions *parser.Options
+	// Codegen options; zero value means cgen.DefaultOptions().
+	Codegen *cgen.Options
+}
+
+func (c Config) exts() parser.Options {
+	if c.Extensions != nil {
+		return *c.Extensions
+	}
+	return parser.AllExtensions()
+}
+
+func (c Config) cg() cgen.Options {
+	if c.Codegen != nil {
+		return *c.Codegen
+	}
+	return cgen.DefaultOptions()
+}
+
+// Result is the outcome of a Compile.
+type Result struct {
+	Program *ast.Program
+	Info    *sem.Info
+	C       string // translated C (empty if errors)
+	Diags   source.Diagnostics
+}
+
+// Check parses and type-checks without generating code.
+func Check(name, src string, cfg Config) *Result {
+	res := &Result{}
+	res.Program = parser.ParseFile(name, src, cfg.exts(), &res.Diags)
+	if res.Program == nil {
+		return res
+	}
+	res.Info = sem.Check(res.Program, &res.Diags)
+	return res
+}
+
+// Compile runs the full translation pipeline: parse with the composed
+// extension grammars, check with the composed attribute-grammar
+// semantics, and translate to plain parallel C.
+func Compile(name, src string, cfg Config) *Result {
+	res := Check(name, src, cfg)
+	if res.Diags.HasErrors() || res.Program == nil {
+		return res
+	}
+	c, err := cgen.Generate(res.Program, res.Info, cfg.cg())
+	if err != nil {
+		res.Diags.Errorf(res.Program.Span(), "code generation: %v", err)
+		return res
+	}
+	res.C = c
+	return res
+}
+
+// Run parses, checks and executes a program with the interpreter.
+func Run(name, src string, cfg Config, opts interp.Options) (int, *Result, error) {
+	res := Check(name, src, cfg)
+	if res.Diags.HasErrors() || res.Program == nil {
+		return 0, res, res.Diags.Err()
+	}
+	i := interp.New(res.Program, res.Info, opts)
+	defer i.Close()
+	code, err := i.Run()
+	return code, res, err
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cgen"
+	"repro/internal/interp"
+	"repro/internal/matrix"
+	"repro/internal/parser"
+)
+
+const prog = `
+int add(int a, int b) { return a + b; }
+int main() {
+	Matrix int <1> v = [1 :: 4];
+	int s = with ([0] <= [i] < [4]) fold(+, 0, v[i]);
+	return add(s, 32);
+}
+`
+
+func TestCheckCompileRun(t *testing.T) {
+	res := Check("p.xc", prog, Config{})
+	if res.Diags.HasErrors() {
+		t.Fatal(res.Diags.String())
+	}
+	if res.Info == nil || res.Info.Funcs["add"] == nil {
+		t.Fatal("info missing")
+	}
+
+	cres := Compile("p.xc", prog, Config{})
+	if cres.Diags.HasErrors() || !strings.Contains(cres.C, "u_main") {
+		t.Fatalf("compile failed:\n%s", cres.Diags.String())
+	}
+
+	code, _, err := Run("p.xc", prog, Config{}, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 42 { // 1+2+3+4 + 32
+		t.Fatalf("exit = %d, want 42", code)
+	}
+}
+
+func TestCompileReportsParseErrors(t *testing.T) {
+	res := Compile("bad.xc", "int main() { return }", Config{})
+	if !res.Diags.HasErrors() {
+		t.Fatal("expected parse errors")
+	}
+	if res.C != "" {
+		t.Fatal("no C should be produced on errors")
+	}
+}
+
+func TestCompileReportsSemErrors(t *testing.T) {
+	res := Compile("bad.xc", "int main() { return zzz; }", Config{})
+	if !res.Diags.HasErrors() {
+		t.Fatal("expected semantic errors")
+	}
+	if !strings.Contains(res.Diags.String(), "undeclared") {
+		t.Fatalf("diags = %s", res.Diags.String())
+	}
+}
+
+func TestRunReportsErrorsWithoutPanic(t *testing.T) {
+	_, res, err := Run("bad.xc", "int main() { return 1 / 0; }", Config{}, interp.Options{})
+	if err == nil && !res.Diags.HasErrors() {
+		t.Fatal("division by zero should surface as an error")
+	}
+}
+
+func TestConfigSelectsExtensions(t *testing.T) {
+	// Without the matrix extension, with-loops are a syntax error.
+	exts := parser.Options{}
+	res := Check("p.xc", prog, Config{Extensions: &exts})
+	if !res.Diags.HasErrors() {
+		t.Fatal("matrix syntax should not parse without the matrix extension")
+	}
+}
+
+func TestConfigCodegenOptions(t *testing.T) {
+	cg := cgen.Options{Par: cgen.ParOMP, Optimize: true}
+	src := `
+int main() {
+	Matrix float <1> v;
+	v = with ([0] <= [i] < [8]) genarray([8], 1.0);
+	return dimSize(v, 0);
+}`
+	res := Compile("p.xc", src, Config{Codegen: &cg})
+	if res.Diags.HasErrors() {
+		t.Fatal(res.Diags.String())
+	}
+	if !strings.Contains(res.C, "#pragma omp parallel for") {
+		t.Fatal("omp mode should emit pragmas")
+	}
+}
+
+func TestRunWithFiles(t *testing.T) {
+	files := map[string]*matrix.Matrix{
+		"in.data": matrix.FromFloats([]float64{1, 2, 3}, 3),
+	}
+	src := `
+int main() {
+	Matrix float <1> v = readMatrix("in.data");
+	writeMatrix("out.data", v * 2.0);
+	return 0;
+}`
+	_, _, err := Run("p.xc", src, Config{}, interp.Options{Files: files})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := files["out.data"]
+	if out == nil || out.Floats()[2] != 6 {
+		t.Fatalf("out = %v", out)
+	}
+}

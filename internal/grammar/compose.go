@@ -1,0 +1,263 @@
+// The modular determinism analysis ("isComposable") of §VI-A of the
+// paper, after Schwerdfeger & Van Wyk (PLDI'09). An extension passes
+// the analysis when, checked in isolation against the host grammar:
+//
+//  1. host ∪ extension is LALR(1) (conflict-free), and
+//  2. every "bridge" production (an extension production whose LHS is a
+//     host nonterminal) begins with a *marker terminal* owned by the
+//     extension — the unique initial terminal the paper describes
+//     (this is the condition the tuple extension fails, since its
+//     initial terminal is the host's "("), and
+//  3. the composed automaton preserves the host automaton: on states
+//     reachable by host-symbol paths, actions on host terminals are
+//     unchanged except for benign "follow spillage" — added *reduce*
+//     actions of host productions caused by new follow contexts.
+//
+// If every selected extension passes, the composition of the host with
+// all of them is LALR(1); ComposeAll verifies the theorem's conclusion
+// by construction. Conditions 2 and 3 are a mildly conservative
+// rendering of the original analysis (which phrases 3 via follow sets
+// and an IL-subset partition of the LR DFA); they accept the paper's
+// matrix and transform extensions and reject its tuple extension for
+// the paper's stated reason.
+package grammar
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ComposeReport is the result of running the analysis on one extension.
+type ComposeReport struct {
+	Extension string
+	Passed    bool
+	Failures  []string
+	Spillage  []string // benign host-terminal action additions, recorded
+	Markers   []string // marker terminals found on bridge productions
+}
+
+func (r ComposeReport) String() string {
+	status := "PASS"
+	if !r.Passed {
+		status = "FAIL"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "extension %q: %s", r.Extension, status)
+	for _, f := range r.Failures {
+		fmt.Fprintf(&b, "\n  fail: %s", f)
+	}
+	if len(r.Markers) > 0 {
+		fmt.Fprintf(&b, "\n  markers: %s", strings.Join(r.Markers, ", "))
+	}
+	for _, s := range r.Spillage {
+		fmt.Fprintf(&b, "\n  spillage: %s", s)
+	}
+	return b.String()
+}
+
+// IsComposable runs the modular determinism analysis for ext against
+// host with the given start symbol.
+func IsComposable(start string, host *Spec, ext *Spec) ComposeReport {
+	r := ComposeReport{Extension: ext.Name}
+
+	hostG, err := New(start, host)
+	if err != nil {
+		r.Failures = append(r.Failures, fmt.Sprintf("host grammar invalid: %v", err))
+		return r
+	}
+	hostT, err := BuildTable(hostG)
+	if err != nil || len(hostT.Conflicts) > 0 {
+		r.Failures = append(r.Failures, fmt.Sprintf("host grammar is not LALR(1): %v conflicts", len(hostT.Conflicts)))
+		return r
+	}
+
+	bothG, err := New(start, host, ext)
+	if err != nil {
+		r.Failures = append(r.Failures, fmt.Sprintf("host ∪ %s invalid: %v", ext.Name, err))
+		return r
+	}
+	bothT, err := BuildTable(bothG)
+	if err != nil {
+		r.Failures = append(r.Failures, fmt.Sprintf("host ∪ %s table construction failed: %v", ext.Name, err))
+		return r
+	}
+	if len(bothT.Conflicts) > 0 {
+		for _, c := range bothT.Conflicts {
+			r.Failures = append(r.Failures, fmt.Sprintf("host ∪ %s is not LALR(1): %s [state kernel: %s]",
+				ext.Name, c, bothT.StateKernelString(c.State)))
+		}
+		return r
+	}
+
+	// Condition 2: marker terminals on bridge productions.
+	hostNT := map[string]bool{}
+	for _, nt := range host.Nonterminals {
+		hostNT[nt.Name] = true
+	}
+	extTerm := map[string]bool{}
+	for _, t := range ext.Terminals {
+		extTerm[t.Name] = true
+	}
+	markerSet := map[string]bool{}
+	for _, p := range ext.Productions {
+		if !hostNT[p.LHS] {
+			continue // internal extension production, unconstrained
+		}
+		if len(p.RHS) == 0 {
+			r.Failures = append(r.Failures,
+				fmt.Sprintf("bridge production %q is empty; extensions must introduce syntax via a marker terminal", p))
+			continue
+		}
+		first := p.RHS[0]
+		if !extTerm[first] {
+			r.Failures = append(r.Failures,
+				fmt.Sprintf("bridge production %q does not begin with an extension-owned marker terminal (initial symbol %q belongs to the host)", p, first))
+			continue
+		}
+		markerSet[first] = true
+	}
+	for m := range markerSet {
+		r.Markers = append(r.Markers, m)
+	}
+	sort.Strings(r.Markers)
+
+	// Condition 3: host-state preservation with benign spillage.
+	spill, violations := comparePreservation(hostT, bothT, extTerm)
+	r.Spillage = spill
+	r.Failures = append(r.Failures, violations...)
+
+	r.Passed = len(r.Failures) == 0
+	return r
+}
+
+// comparePreservation walks the host and composed automatons in
+// lockstep along host-symbol transitions and compares action rows.
+func comparePreservation(hostT, bothT *Table, extTerm map[string]bool) (spillage, violations []string) {
+	type pair struct{ h, b int32 }
+	seen := map[pair]bool{{0, 0}: true}
+	queue := []pair{{0, 0}}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		hRow := hostT.ActionRow(int(p.h))
+		bRow := bothT.ActionRow(int(p.b))
+		// All host actions must be preserved with corresponding targets.
+		for term, hAct := range hRow {
+			bAct, ok := bRow[term]
+			if !ok {
+				violations = append(violations,
+					fmt.Sprintf("host state %d action on %s lost in composition", p.h, term))
+				continue
+			}
+			hk, hv := decode(hAct)
+			bk, bv := decode(bAct)
+			if hk != bk {
+				violations = append(violations,
+					fmt.Sprintf("host state %d action on %s changed kind in composition", p.h, term))
+				continue
+			}
+			switch hk {
+			case actReduce:
+				if hostT.c.src[hv] != bothT.c.src[bv] {
+					violations = append(violations,
+						fmt.Sprintf("host state %d reduce on %s reduces a different production in composition", p.h, term))
+				}
+			case actShift:
+				np := pair{hv, bv}
+				if !seen[np] {
+					seen[np] = true
+					queue = append(queue, np)
+				}
+			}
+		}
+		// Additions on host terminals must be benign spillage:
+		// reduce actions of host-owned productions.
+		for term, bAct := range bRow {
+			if _, ok := hRow[term]; ok {
+				continue
+			}
+			if extTerm[term] {
+				continue // additions on extension terminals: the point of extending
+			}
+			bk, bv := decode(bAct)
+			if bk == actReduce {
+				prod := bothT.c.src[bv]
+				if prod != nil && prod.Owner == HostOwner {
+					spillage = append(spillage,
+						fmt.Sprintf("host state %d gains reduce(%s) on host terminal %s from new follow context", p.h, prod, term))
+					continue
+				}
+			}
+			what := "action"
+			if bk == actShift {
+				what = "shift"
+			} else if bk == actReduce {
+				what = fmt.Sprintf("reduce(%s)", bothT.c.src[bv])
+			}
+			violations = append(violations,
+				fmt.Sprintf("host state %d gains non-benign %s on host terminal %s", p.h, what, term))
+		}
+		// Follow host nonterminal gotos too.
+		for nt, hTo := range hostT.gotoByName(int(p.h)) {
+			if bTo, ok := bothT.gotoByName(int(p.b))[nt]; ok {
+				np := pair{hTo, bTo}
+				if !seen[np] {
+					seen[np] = true
+					queue = append(queue, np)
+				}
+			} else {
+				violations = append(violations,
+					fmt.Sprintf("host state %d goto on %s lost in composition", p.h, nt))
+			}
+		}
+	}
+	sort.Strings(spillage)
+	sort.Strings(violations)
+	return dedup(spillage), dedup(violations)
+}
+
+func dedup(in []string) []string {
+	var out []string
+	for i, s := range in {
+		if i == 0 || s != in[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// gotoByName returns the nonterminal-name -> target-state map of a state.
+func (t *Table) gotoByName(state int) map[string]int32 {
+	out := map[string]int32{}
+	for nid, to := range t.gotoTab[state] {
+		if to >= 0 {
+			out[t.c.ntNames[nid]] = to
+		}
+	}
+	return out
+}
+
+// ComposeAll verifies the composition theorem's conclusion: given a
+// host and extensions that individually passed IsComposable, the n-ary
+// composition must be conflict-free LALR(1). It returns the composed
+// grammar and table, or an error if (contrary to the guarantee) a
+// conflict appears.
+func ComposeAll(start string, host *Spec, exts ...*Spec) (*Grammar, *Table, error) {
+	g, err := New(start, host, exts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	t, err := BuildTable(g)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(t.Conflicts) > 0 {
+		var b strings.Builder
+		for _, c := range t.Conflicts {
+			fmt.Fprintf(&b, "%s\n", c)
+		}
+		return g, t, fmt.Errorf("composition of %d extension(s) is not LALR(1):\n%s", len(exts), b.String())
+	}
+	return g, t, nil
+}

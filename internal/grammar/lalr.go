@@ -1,0 +1,577 @@
+// LALR(1) parse-table construction. The algorithm is the classic
+// efficient one (Dragon Book Alg. 4.62/4.63): build the LR(0)
+// collection, then compute LALR lookaheads for kernel items by
+// spontaneous generation and propagation, then fill ACTION/GOTO with
+// precedence-based conflict resolution.
+package grammar
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// symRef identifies a grammar symbol in compiled (integer) form.
+type symRef struct {
+	term bool
+	id   int32
+}
+
+// compiled grammar: integer-indexed symbols and productions.
+type compiled struct {
+	g         *Grammar
+	termNames []string // id -> name; id 0 is $eof
+	ntNames   []string // id -> name
+	termID    map[string]int32
+	ntID      map[string]int32
+	// prods[0] is the augmented start production S' -> Start.
+	prods [][]symRef // RHS of each production
+	lhs   []int32    // LHS nt id of each production
+	src   []*Production
+	byLHS [][]int32 // nt id -> production ids
+
+	first    [][]bool // nt id -> terminal-id set
+	nullable []bool
+}
+
+// item is an LR(0) item: production id and dot position.
+type item struct {
+	prod int32
+	dot  int32
+}
+
+func (c *compiled) itemString(it item) string {
+	var b strings.Builder
+	if it.prod == 0 {
+		b.WriteString("$start -> ")
+	} else {
+		b.WriteString(c.ntNames[c.lhs[it.prod]] + " -> ")
+	}
+	for i, s := range c.prods[it.prod] {
+		if int32(i) == it.dot {
+			b.WriteString(". ")
+		}
+		if s.term {
+			b.WriteString(c.termNames[s.id])
+		} else {
+			b.WriteString(c.ntNames[s.id])
+		}
+		b.WriteByte(' ')
+	}
+	if it.dot == int32(len(c.prods[it.prod])) {
+		b.WriteString(".")
+	}
+	return strings.TrimSpace(b.String())
+}
+
+func compile(g *Grammar) *compiled {
+	c := &compiled{g: g, termID: map[string]int32{}, ntID: map[string]int32{}}
+	c.termNames = append(c.termNames, EOFName)
+	c.termID[EOFName] = 0
+	// Deterministic ordering: declaration order for terminals,
+	// sorted for nonterminals.
+	for _, t := range g.Terminals() {
+		if t.Skip {
+			continue // skip terminals never reach the parser
+		}
+		c.termID[t.Name] = int32(len(c.termNames))
+		c.termNames = append(c.termNames, t.Name)
+	}
+	ntNames := make([]string, 0, len(g.nts))
+	for n := range g.nts {
+		ntNames = append(ntNames, n)
+	}
+	sort.Strings(ntNames)
+	for _, n := range ntNames {
+		c.ntID[n] = int32(len(c.ntNames))
+		c.ntNames = append(c.ntNames, n)
+	}
+	// Production 0: S' -> Start.
+	c.prods = append(c.prods, []symRef{{term: false, id: c.ntID[g.Start]}})
+	c.lhs = append(c.lhs, -1)
+	c.src = append(c.src, nil)
+	for _, p := range g.prods {
+		rhs := make([]symRef, len(p.RHS))
+		for i, s := range p.RHS {
+			if id, ok := c.termID[s]; ok {
+				rhs[i] = symRef{term: true, id: id}
+			} else {
+				rhs[i] = symRef{term: false, id: c.ntID[s]}
+			}
+		}
+		c.prods = append(c.prods, rhs)
+		c.lhs = append(c.lhs, c.ntID[p.LHS])
+		c.src = append(c.src, p)
+	}
+	c.byLHS = make([][]int32, len(c.ntNames))
+	for pi := 1; pi < len(c.prods); pi++ {
+		l := c.lhs[pi]
+		c.byLHS[l] = append(c.byLHS[l], int32(pi))
+	}
+	c.computeFirst()
+	return c
+}
+
+func (c *compiled) computeFirst() {
+	n := len(c.ntNames)
+	c.first = make([][]bool, n)
+	for i := range c.first {
+		c.first[i] = make([]bool, len(c.termNames))
+	}
+	c.nullable = make([]bool, n)
+	for changed := true; changed; {
+		changed = false
+		for pi := 1; pi < len(c.prods); pi++ {
+			l := c.lhs[pi]
+			allNullable := true
+			for _, s := range c.prods[pi] {
+				if s.term {
+					if !c.first[l][s.id] {
+						c.first[l][s.id] = true
+						changed = true
+					}
+					allNullable = false
+					break
+				}
+				for t, ok := range c.first[s.id] {
+					if ok && !c.first[l][t] {
+						c.first[l][t] = true
+						changed = true
+					}
+				}
+				if !c.nullable[s.id] {
+					allNullable = false
+					break
+				}
+			}
+			if allNullable && !c.nullable[l] {
+				c.nullable[l] = true
+				changed = true
+			}
+		}
+	}
+}
+
+// firstOfSeq computes FIRST(rest · la) where rest is a symbol sequence
+// and la is a terminal id (or dummyLA). Result is written into out;
+// returns true if the whole sequence is nullable (so la is included).
+func (c *compiled) firstOfSeq(rest []symRef, la int32, add func(int32)) {
+	for _, s := range rest {
+		if s.term {
+			add(s.id)
+			return
+		}
+		for t, ok := range c.first[s.id] {
+			if ok {
+				add(int32(t))
+			}
+		}
+		if !c.nullable[s.id] {
+			return
+		}
+	}
+	add(la)
+}
+
+// lr0State is one state of the LR(0) automaton: its kernel items
+// (sorted) and transitions.
+type lr0State struct {
+	kernel []item
+	trans  map[symRef]int32 // symbol -> target state
+}
+
+func kernelKey(items []item) string {
+	var b strings.Builder
+	for _, it := range items {
+		fmt.Fprintf(&b, "%d.%d;", it.prod, it.dot)
+	}
+	return b.String()
+}
+
+// closure0 returns all items derivable from the kernel by LR(0) closure.
+func (c *compiled) closure0(kernel []item) []item {
+	seen := map[item]bool{}
+	var out []item
+	var stack []item
+	for _, it := range kernel {
+		if !seen[it] {
+			seen[it] = true
+			out = append(out, it)
+			stack = append(stack, it)
+		}
+	}
+	for len(stack) > 0 {
+		it := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		rhs := c.prods[it.prod]
+		if int(it.dot) >= len(rhs) || rhs[it.dot].term {
+			continue
+		}
+		for _, pi := range c.byLHS[rhs[it.dot].id] {
+			ni := item{prod: pi, dot: 0}
+			if !seen[ni] {
+				seen[ni] = true
+				out = append(out, ni)
+				stack = append(stack, ni)
+			}
+		}
+	}
+	return out
+}
+
+// buildLR0 constructs the canonical LR(0) collection.
+func (c *compiled) buildLR0() []*lr0State {
+	start := []item{{prod: 0, dot: 0}}
+	states := []*lr0State{{kernel: start, trans: map[symRef]int32{}}}
+	index := map[string]int32{kernelKey(start): 0}
+	for si := 0; si < len(states); si++ {
+		full := c.closure0(states[si].kernel)
+		// group items by the symbol after the dot
+		next := map[symRef][]item{}
+		var symsInOrder []symRef
+		for _, it := range full {
+			rhs := c.prods[it.prod]
+			if int(it.dot) >= len(rhs) {
+				continue
+			}
+			s := rhs[it.dot]
+			if _, ok := next[s]; !ok {
+				symsInOrder = append(symsInOrder, s)
+			}
+			next[s] = append(next[s], item{prod: it.prod, dot: it.dot + 1})
+		}
+		// deterministic order
+		sort.Slice(symsInOrder, func(i, j int) bool {
+			a, b := symsInOrder[i], symsInOrder[j]
+			if a.term != b.term {
+				return a.term
+			}
+			return a.id < b.id
+		})
+		for _, s := range symsInOrder {
+			kern := next[s]
+			sort.Slice(kern, func(i, j int) bool {
+				if kern[i].prod != kern[j].prod {
+					return kern[i].prod < kern[j].prod
+				}
+				return kern[i].dot < kern[j].dot
+			})
+			key := kernelKey(kern)
+			ti, ok := index[key]
+			if !ok {
+				ti = int32(len(states))
+				index[key] = ti
+				states = append(states, &lr0State{kernel: kern, trans: map[symRef]int32{}})
+			}
+			states[si].trans[s] = ti
+		}
+	}
+	return states
+}
+
+const dummyLA int32 = -1
+
+// lr1Item pairs an LR(0) item with one lookahead terminal.
+type lr1Item struct {
+	item
+	la int32
+}
+
+// closure1 computes the LR(1) closure of the given items.
+func (c *compiled) closure1(seed []lr1Item) []lr1Item {
+	seen := map[lr1Item]bool{}
+	var out, stack []lr1Item
+	for _, it := range seed {
+		if !seen[it] {
+			seen[it] = true
+			out = append(out, it)
+			stack = append(stack, it)
+		}
+	}
+	for len(stack) > 0 {
+		it := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		rhs := c.prods[it.prod]
+		if int(it.dot) >= len(rhs) || rhs[it.dot].term {
+			continue
+		}
+		rest := rhs[it.dot+1:]
+		var las []int32
+		c.firstOfSeq(rest, it.la, func(t int32) { las = append(las, t) })
+		for _, pi := range c.byLHS[rhs[it.dot].id] {
+			for _, la := range las {
+				ni := lr1Item{item{pi, 0}, la}
+				if !seen[ni] {
+					seen[ni] = true
+					out = append(out, ni)
+					stack = append(stack, ni)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Action kinds.
+const (
+	actErr = iota
+	actShift
+	actReduce
+	actAccept
+)
+
+func encShift(s int32) int32  { return s<<2 | actShift }
+func encReduce(p int32) int32 { return p<<2 | actReduce }
+
+const encAccept int32 = actAccept
+
+func decode(a int32) (kind int, val int32) { return int(a & 3), a >> 2 }
+
+// Conflict records an LALR table conflict (after precedence resolution
+// failed to decide, or decided by default policy).
+type Conflict struct {
+	State    int
+	Terminal string
+	Kind     string // "shift/reduce" or "reduce/reduce"
+	Detail   string
+	Resolved string // how the default policy resolved it
+}
+
+func (c Conflict) String() string {
+	return fmt.Sprintf("state %d on %s: %s conflict (%s) resolved as %s",
+		c.State, c.Terminal, c.Kind, c.Detail, c.Resolved)
+}
+
+// Table is a constructed LALR(1) parse table.
+type Table struct {
+	c         *compiled
+	states    []*lr0State
+	action    [][]int32 // [state][terminal id]
+	gotoTab   [][]int32 // [state][nt id], -1 = none
+	Conflicts []Conflict
+	valid     []map[string]bool // per-state valid terminal names (for the scanner)
+	// lookaheads of each kernel item per state; kept for the
+	// composability analysis.
+	kernelLA [][]map[int32]bool
+}
+
+// NumStates returns the number of LALR states.
+func (t *Table) NumStates() int { return len(t.states) }
+
+// Grammar returns the grammar the table was built from.
+func (t *Table) Grammar() *Grammar { return t.c.g }
+
+// BuildTable constructs the LALR(1) table for g. Conflicts that are not
+// resolved by declared precedence are resolved by the default policy
+// (shift wins shift/reduce; earlier production wins reduce/reduce) and
+// recorded in Table.Conflicts — callers decide whether to accept them.
+func BuildTable(g *Grammar) (*Table, error) {
+	c := compile(g)
+	states := c.buildLR0()
+
+	// --- LALR lookahead computation (spontaneous + propagation) ---
+	// kernel lookahead sets, and propagation links between kernel items.
+	la := make([][]map[int32]bool, len(states))
+	type slot struct {
+		state int32
+		ki    int // kernel item index
+	}
+	kernelIndex := make([]map[item]int, len(states))
+	for si, st := range states {
+		la[si] = make([]map[int32]bool, len(st.kernel))
+		kernelIndex[si] = map[item]int{}
+		for ki, it := range st.kernel {
+			la[si][ki] = map[int32]bool{}
+			kernelIndex[si][it] = ki
+		}
+	}
+	la[0][0][0] = true // $eof for the start item
+	links := map[slot][]slot{}
+	for si, st := range states {
+		for ki, kit := range st.kernel {
+			j := c.closure1([]lr1Item{{kit, dummyLA}})
+			for _, it := range j {
+				rhs := c.prods[it.prod]
+				if int(it.dot) >= len(rhs) {
+					continue
+				}
+				s := rhs[it.dot]
+				ti := st.trans[s]
+				target := item{it.prod, it.dot + 1}
+				tki := kernelIndex[ti][target]
+				if it.la == dummyLA {
+					from := slot{int32(si), ki}
+					links[from] = append(links[from], slot{ti, tki})
+				} else {
+					la[ti][tki][it.la] = true
+				}
+			}
+		}
+	}
+	// Propagate to fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for from, tos := range links {
+			src := la[from.state][from.ki]
+			for _, to := range tos {
+				dst := la[to.state][to.ki]
+				for t := range src {
+					if !dst[t] {
+						dst[t] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// --- Fill ACTION/GOTO ---
+	t := &Table{c: c, states: states, kernelLA: la}
+	t.action = make([][]int32, len(states))
+	t.gotoTab = make([][]int32, len(states))
+	t.valid = make([]map[string]bool, len(states))
+	for si := range states {
+		t.action[si] = make([]int32, len(c.termNames))
+		t.gotoTab[si] = make([]int32, len(c.ntNames))
+		for i := range t.gotoTab[si] {
+			t.gotoTab[si][i] = -1
+		}
+	}
+	for si, st := range states {
+		for s, ti := range st.trans {
+			if s.term {
+				t.action[si][s.id] = encShift(ti)
+			} else {
+				t.gotoTab[si][s.id] = ti
+			}
+		}
+	}
+	for si, st := range states {
+		// LR(1) closure of the kernel with computed lookaheads gives
+		// reduce lookaheads for all items, including epsilon productions.
+		var seed []lr1Item
+		for ki, kit := range st.kernel {
+			for l := range la[si][ki] {
+				seed = append(seed, lr1Item{kit, l})
+			}
+		}
+		full := c.closure1(seed)
+		for _, it := range full {
+			if int(it.dot) != len(c.prods[it.prod]) {
+				continue
+			}
+			if it.prod == 0 {
+				if it.la == 0 {
+					t.setAction(si, 0, encAccept)
+				}
+				continue
+			}
+			t.setAction(si, it.la, encReduce(it.prod))
+		}
+	}
+	// valid terminal sets for the context-aware scanner.
+	for si := range states {
+		v := map[string]bool{}
+		for tid, a := range t.action[si] {
+			if a != actErr {
+				v[c.termNames[tid]] = true
+			}
+		}
+		t.valid[si] = v
+	}
+	return t, nil
+}
+
+// setAction installs an action, resolving conflicts by precedence and
+// recording unresolved ones.
+func (t *Table) setAction(state int, term int32, act int32) {
+	cur := t.action[state][term]
+	if cur == actErr || cur == act {
+		t.action[state][term] = act
+		return
+	}
+	ck, cv := decode(cur)
+	nk, nv := decode(act)
+	termName := t.c.termNames[term]
+	// Normalize: shift in s, reduce in r.
+	if ck == actShift && nk == actReduce {
+		t.resolveSR(state, term, termName, cv, nv)
+		return
+	}
+	if ck == actReduce && nk == actShift {
+		t.resolveSR(state, term, termName, nv, cv)
+		return
+	}
+	if ck == actReduce && nk == actReduce {
+		keep, drop := cv, nv
+		if nv < cv {
+			keep, drop = nv, cv
+		}
+		t.action[state][term] = encReduce(keep)
+		t.Conflicts = append(t.Conflicts, Conflict{
+			State: state, Terminal: termName, Kind: "reduce/reduce",
+			Detail:   fmt.Sprintf("%s vs %s", t.c.src[keep], t.c.src[drop]),
+			Resolved: fmt.Sprintf("reduce %s (earlier production)", t.c.src[keep]),
+		})
+		return
+	}
+	// accept conflicts should be impossible with the augmented grammar
+	t.Conflicts = append(t.Conflicts, Conflict{
+		State: state, Terminal: termName, Kind: "other",
+		Detail: fmt.Sprintf("action %d vs %d", cur, act), Resolved: "kept first",
+	})
+}
+
+func (t *Table) resolveSR(state int, term int32, termName string, shiftTo, redProd int32) {
+	tm := t.c.g.terms[termName]
+	pPrec, pAssoc := t.c.g.prodPrec(t.c.src[redProd])
+	switch {
+	case tm.Prec > 0 && pPrec > 0 && tm.Prec > pPrec:
+		t.action[state][term] = encShift(shiftTo)
+	case tm.Prec > 0 && pPrec > 0 && tm.Prec < pPrec:
+		t.action[state][term] = encReduce(redProd)
+	case tm.Prec > 0 && pPrec > 0: // equal precedence: associativity
+		switch pAssoc {
+		case AssocLeft:
+			t.action[state][term] = encReduce(redProd)
+		case AssocRight:
+			t.action[state][term] = encShift(shiftTo)
+		default:
+			t.action[state][term] = actErr // nonassoc: error entry
+		}
+	default:
+		// No precedence information: default shift, record conflict.
+		t.action[state][term] = encShift(shiftTo)
+		t.Conflicts = append(t.Conflicts, Conflict{
+			State: state, Terminal: termName, Kind: "shift/reduce",
+			Detail:   fmt.Sprintf("shift vs reduce %s", t.c.src[redProd]),
+			Resolved: "shift (default)",
+		})
+	}
+}
+
+// ValidTerminals returns the terminal names with a defined action in
+// the given state — the set the context-aware scanner may match.
+func (t *Table) ValidTerminals(state int) map[string]bool { return t.valid[state] }
+
+// ActionRow returns a copy of the (terminal name -> encoded action)
+// row for a state; used by the composability analysis.
+func (t *Table) ActionRow(state int) map[string]int32 {
+	out := map[string]int32{}
+	for tid, a := range t.action[state] {
+		if a != actErr {
+			out[t.c.termNames[tid]] = a
+		}
+	}
+	return out
+}
+
+// StateKernelString renders a state's kernel items; for diagnostics.
+func (t *Table) StateKernelString(state int) string {
+	var b strings.Builder
+	for _, it := range t.states[state].kernel {
+		b.WriteString(t.c.itemString(it))
+		b.WriteString("; ")
+	}
+	return strings.TrimSuffix(b.String(), "; ")
+}

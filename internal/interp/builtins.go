@@ -1,0 +1,119 @@
+// Builtin library functions: the host's dimSize / readMatrix /
+// writeMatrix / print and the reference-counting extension's
+// rcnew / rcget / rcset.
+package interp
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"repro/internal/ast"
+	"repro/internal/matio"
+	"repro/internal/matrix"
+)
+
+func (c *ctx) evalBuiltin(e *ast.CallExpr, args []any) (any, error) {
+	switch e.Fun {
+	case "dimSize":
+		m, ok := args[0].(*matrix.Matrix)
+		if !ok || m == nil {
+			return nil, rerr(e, "dimSize of a non-matrix or unassigned matrix")
+		}
+		d, ok := args[1].(int64)
+		if !ok {
+			return nil, rerr(e, "dimSize dimension must be int")
+		}
+		n, err := m.DimSize(int(d))
+		if err != nil {
+			return nil, wrap(e, err)
+		}
+		return int64(n), nil
+
+	case "readMatrix":
+		name, ok := args[0].(string)
+		if !ok {
+			return nil, rerr(e, "readMatrix expects a file name string")
+		}
+		return c.readMatrix(e, name)
+
+	case "writeMatrix":
+		name, _ := args[0].(string)
+		m, ok := args[1].(*matrix.Matrix)
+		if !ok || m == nil {
+			return nil, rerr(e, "writeMatrix of a non-matrix or unassigned matrix")
+		}
+		return nil, c.writeMatrix(e, name, m)
+
+	case "print":
+		c.i.outMu.Lock()
+		defer c.i.outMu.Unlock()
+		switch v := args[0].(type) {
+		case float64:
+			fmt.Fprintf(c.i.stdout, "%g\n", v)
+		case *matrix.Matrix:
+			fmt.Fprintf(c.i.stdout, "%s\n", v)
+		default:
+			fmt.Fprintf(c.i.stdout, "%v\n", v)
+		}
+		return nil, nil
+
+	case "rcnew":
+		h := c.i.heap.Alloc(8 + 4)
+		cell := &rcCell{hdr: h, val: args[0]}
+		// The fresh count of 1 is the expression's temporary
+		// reference; binding takes its own, and the temporary is
+		// dropped when the enclosing statement finishes.
+		c.pending = append(c.pending, h)
+		return cell, nil
+
+	case "rcget":
+		cell, ok := args[0].(*rcCell)
+		if !ok || cell == nil {
+			return nil, rerr(e, "rcget of a null refcounted pointer")
+		}
+		if cell.hdr.Freed() {
+			return nil, rerr(e, "rcget of a freed refcounted pointer")
+		}
+		return cell.val, nil
+
+	case "rcset":
+		cell, ok := args[0].(*rcCell)
+		if !ok || cell == nil {
+			return nil, rerr(e, "rcset of a null refcounted pointer")
+		}
+		if cell.hdr.Freed() {
+			return nil, rerr(e, "rcset of a freed refcounted pointer")
+		}
+		cell.val = args[1]
+		return nil, nil
+	}
+	return nil, rerr(e, "undeclared function %q", e.Fun)
+}
+
+func (c *ctx) readMatrix(e *ast.CallExpr, name string) (*matrix.Matrix, error) {
+	c.i.fileMu.Lock()
+	defer c.i.fileMu.Unlock()
+	if c.i.opts.Files != nil {
+		if m, ok := c.i.opts.Files[name]; ok {
+			return m.Copy(), nil
+		}
+		if c.i.opts.Dir == "" {
+			return nil, rerr(e, "readMatrix: no matrix %q provided", name)
+		}
+	}
+	m, err := matio.ReadFile(filepath.Join(c.i.opts.Dir, name))
+	if err != nil {
+		return nil, wrap(e, err)
+	}
+	return m, nil
+}
+
+func (c *ctx) writeMatrix(e *ast.CallExpr, name string, m *matrix.Matrix) error {
+	c.i.fileMu.Lock()
+	defer c.i.fileMu.Unlock()
+	if c.i.opts.Files != nil && c.i.opts.Dir == "" {
+		c.i.opts.Files[name] = m.Copy()
+		return nil
+	}
+	return wrap(e, matio.WriteFile(filepath.Join(c.i.opts.Dir, name), m))
+}

@@ -1,0 +1,182 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/grammar"
+	"repro/internal/parser"
+	"repro/internal/sem"
+	"repro/internal/source"
+)
+
+// The classic Cilk fib: spawned recursive calls joined by sync.
+const cilkFib = `
+int fib(int n) {
+	if (n < 2) return n;
+	int a = 0;
+	int b = 0;
+	spawn a = fib(n - 1);
+	b = fib(n - 2);
+	sync;
+	return a + b;
+}
+int main() {
+	int r = 0;
+	spawn r = fib(12);
+	sync;
+	return r;
+}
+`
+
+func TestCilkFib(t *testing.T) {
+	code, _ := mustRun(t, cilkFib, Options{})
+	if code != 144 {
+		t.Fatalf("fib(12) = %d, want 144", code)
+	}
+}
+
+func TestCilkImplicitSyncAtExit(t *testing.T) {
+	// no explicit sync: the function exit must join the spawn, so the
+	// global side effect is visible afterwards.
+	// Two spawns write two distinct globals (sharing one would be a
+	// user-level data race, in Cilk as here).
+	code, _ := mustRun(t, `
+int c1 = 0;
+int c2 = 0;
+int bump1() { c1 = 5; return 0; }
+int bump2() { c2 = 7; return 0; }
+void work() {
+	spawn bump1();
+	spawn bump2();
+}
+int main() {
+	work();
+	return c1 + c2;
+}`, Options{})
+	if code != 12 {
+		t.Fatalf("c1+c2 = %d, want 12", code)
+	}
+}
+
+func TestCilkSpawnMatrixResult(t *testing.T) {
+	code, _ := mustRun(t, `
+Matrix float <1> make(int n) {
+	return with ([0] <= [i] < [n]) genarray([n], (float)i * 2.0);
+}
+int main() {
+	Matrix float <1> v;
+	spawn v = make(5);
+	sync;
+	return (int)v[4];
+}`, Options{})
+	if code != 8 {
+		t.Fatalf("v[4] = %d, want 8", code)
+	}
+}
+
+func TestCilkSpawnMatrixArgumentStaysAlive(t *testing.T) {
+	// The spawn takes a reference to its matrix argument; reassigning
+	// the caller's variable must not free it under the spawned call.
+	code, _ := mustRun(t, `
+float total(Matrix float <1> v) {
+	int n = dimSize(v, 0);
+	return with ([0] <= [i] < [n]) fold(+, 0.0, v[i]);
+}
+int main() {
+	Matrix float <1> a = [1 :: 4] * 1.0;
+	float s = 0.0;
+	spawn s = total(a);
+	a = [1 :: 2] * 1.0;  // reassign while the spawn may still run
+	sync;
+	return (int)s;
+}`, Options{})
+	if code != 10 {
+		t.Fatalf("sum = %d, want 10", code)
+	}
+}
+
+func TestCilkManySpawnsInLoop(t *testing.T) {
+	code, _ := mustRun(t, `
+int sq(int x) { return x * x; }
+int acc = 0;
+int addsq(int x) {
+	acc = acc + sq(x);
+	return 0;
+}
+int main() {
+	int r0 = 0; int r1 = 0; int r2 = 0; int r3 = 0;
+	spawn r0 = sq(1);
+	spawn r1 = sq(2);
+	spawn r2 = sq(3);
+	spawn r3 = sq(4);
+	sync;
+	return r0 + r1 + r2 + r3;
+}`, Options{})
+	if code != 30 {
+		t.Fatalf("sum of squares = %d, want 30", code)
+	}
+}
+
+func TestCilkErrorsPropagateAtSync(t *testing.T) {
+	_, _, _, err := run(t, `
+int boom(int n) {
+	Matrix int <1> v = [0 :: 2];
+	return (int)v[n];
+}
+int main() {
+	int r = 0;
+	spawn r = boom(99);
+	sync;
+	return r;
+}`, Options{})
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("spawned error should surface at sync, got %v", err)
+	}
+}
+
+func TestCilkSemErrors(t *testing.T) {
+	bad := []struct{ src, want string }{
+		{`int main() { spawn 1 + 2; return 0; }`, "function call"},
+		{`int main() { spawn print(1); return 0; }`, "user-defined"},
+		{`int f() { return 1; } int main() { spawn q = f(); return 0; }`, "not declared"},
+		{`void f() { } int main() { int x = 0; spawn x = f(); sync; return x; }`, "void"},
+		{`float f() { return 1.5; } int main() { bool b = false; spawn b = f(); sync; return 0; }`, "cannot assign"},
+	}
+	for _, c := range bad {
+		var d source.Diagnostics
+		p := parser.ParseFile("t.xc", c.src, parser.AllExtensions(), &d)
+		if p == nil {
+			t.Fatalf("parse failed: %s", d.String())
+		}
+		sem.Check(p, &d)
+		if !d.HasErrors() || !strings.Contains(d.String(), c.want) {
+			t.Errorf("src %q: want error containing %q, got:\n%s", c.src, c.want, d.String())
+		}
+	}
+}
+
+// The Cilk extension must pass both modular analyses, like the others.
+func TestCilkPassesComposabilityAnalyses(t *testing.T) {
+	r := grammar.IsComposable(parser.StartSymbol, parser.HostSpec(), parser.CilkSpec())
+	if !r.Passed {
+		t.Fatalf("cilk grammar must pass the MDA: %s", r)
+	}
+	if len(r.Markers) != 2 {
+		t.Errorf("markers = %v, want [spawn sync]", r.Markers)
+	}
+}
+
+func TestCilkKeywordStillUsableAsIdentifier(t *testing.T) {
+	// context-aware scanning: 'spawn' and 'sync' are identifiers where
+	// the keywords are not grammatically valid.
+	code, _ := mustRun(t, `
+int main() {
+	int spawn = 20;
+	int sync = 22;
+	return spawn + sync;
+}`, Options{})
+	if code != 42 {
+		t.Fatalf("exit = %d, want 42", code)
+	}
+}

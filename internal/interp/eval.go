@@ -1,0 +1,769 @@
+// Statement and expression evaluation.
+package interp
+
+import (
+	"repro/internal/ast"
+	"repro/internal/matrix"
+	"repro/internal/types"
+)
+
+// control is the statement outcome.
+type control int
+
+const (
+	ctlNone control = iota
+	ctlBreak
+	ctlContinue
+	ctlReturn
+)
+
+// callFunction runs fn with already-evaluated arguments.
+func (c *ctx) callFunction(fn *ast.FuncDecl, args []any, site ast.Node) (any, error) {
+	if c.depth > 512 {
+		return nil, rerr(site, "call stack exceeded 512 frames (infinite recursion in %q?)", fn.Name)
+	}
+	f := newFrame(c.i.globalFrame)
+	cc := c.child(f, c.pool)
+	for k, p := range fn.Params {
+		ty, err := types.FromAST(p.Type)
+		if err != nil {
+			return nil, wrap(p, err)
+		}
+		v, err := cc.coerceToType(site, ty, args[k])
+		if err != nil {
+			return nil, err
+		}
+		cc.bindValue(v)
+		f.vars[p.Name] = &binding{v: v, ty: ty}
+	}
+	ctl, ret, err := cc.execStmt(fn.Body)
+	// Implicit sync (Cilk): join outstanding spawns before the frame
+	// tears down, whatever the exit path.
+	if serr := cc.syncFutures(); serr != nil && err == nil {
+		err = serr
+	}
+	if err != nil {
+		cc.releasePending(0)
+		cc.popFrame(f)
+		return nil, err
+	}
+	if ctl == ctlReturn && ret != nil {
+		// Keep the return value alive across the frame teardown; the
+		// reference is released by the caller's enclosing statement.
+		c.escapeRef(ret)
+	}
+	cc.releasePending(0)
+	cc.popFrame(f)
+	return ret, nil
+}
+
+// execStmt executes one statement. Escape references created while the
+// statement runs are released when it completes (unless it returns,
+// in which case callFunction handles them).
+func (c *ctx) execStmt(s ast.Stmt) (control, any, error) {
+	if err := c.step(s); err != nil {
+		return ctlNone, nil, err
+	}
+	mark := len(c.pending)
+	ctl, v, err := c.execStmtInner(s)
+	if ctl != ctlReturn {
+		c.releasePending(mark)
+	}
+	return ctl, v, err
+}
+
+func (c *ctx) execStmtInner(s ast.Stmt) (control, any, error) {
+	switch s := s.(type) {
+	case nil:
+		return ctlNone, nil, nil
+	case *ast.BlockStmt:
+		f := newFrame(c.frame)
+		saved := c.frame
+		c.frame = f
+		pop := func(ctl control, v any) {
+			if ctl == ctlReturn && v != nil {
+				// A returned value may be (or contain) a matrix bound
+				// in this block; keep it alive across the frame pop.
+				// callFunction takes the caller's own reference before
+				// releasing this pending one.
+				c.escapeRef(v)
+			}
+			c.popFrame(f)
+			c.frame = saved
+		}
+		for _, st := range s.Stmts {
+			ctl, v, err := c.execStmt(st)
+			if err != nil || ctl != ctlNone {
+				pop(ctl, v)
+				return ctl, v, err
+			}
+		}
+		pop(ctlNone, nil)
+		return ctlNone, nil, nil
+
+	case *ast.DeclStmt:
+		ty, err := types.FromAST(s.Type)
+		if err != nil {
+			return ctlNone, nil, wrap(s, err)
+		}
+		var v any
+		if s.Init != nil {
+			v, err = c.evalExpr(s.Init)
+			if err != nil {
+				return ctlNone, nil, err
+			}
+			v, err = c.coerceToType(s, ty, v)
+			if err != nil {
+				return ctlNone, nil, err
+			}
+		} else {
+			v = zeroValue(s.Type)
+		}
+		c.bindValue(v)
+		c.frame.vars[s.Name] = &binding{v: v, ty: ty}
+		return ctlNone, nil, nil
+
+	case *ast.AssignStmt:
+		rhs, err := c.evalExpr(s.RHS)
+		if err != nil {
+			return ctlNone, nil, err
+		}
+		if len(s.LHS) == 1 {
+			return ctlNone, nil, c.assignTo(s.LHS[0], rhs)
+		}
+		tup, ok := rhs.([]any)
+		if !ok || len(tup) != len(s.LHS) {
+			return ctlNone, nil, rerr(s, "destructuring assignment requires a %d-tuple", len(s.LHS))
+		}
+		for k, l := range s.LHS {
+			if err := c.assignTo(l, tup[k]); err != nil {
+				return ctlNone, nil, err
+			}
+		}
+		return ctlNone, nil, nil
+
+	case *ast.IfStmt:
+		cond, err := c.evalBool(s.Cond)
+		if err != nil {
+			return ctlNone, nil, err
+		}
+		if cond {
+			return c.execStmt(s.Then)
+		}
+		if s.Else != nil {
+			return c.execStmt(s.Else)
+		}
+		return ctlNone, nil, nil
+
+	case *ast.WhileStmt:
+		for {
+			cond, err := c.evalBool(s.Cond)
+			if err != nil {
+				return ctlNone, nil, err
+			}
+			if !cond {
+				return ctlNone, nil, nil
+			}
+			ctl, v, err := c.execStmt(s.Body)
+			if err != nil {
+				return ctlNone, nil, err
+			}
+			switch ctl {
+			case ctlBreak:
+				return ctlNone, nil, nil
+			case ctlReturn:
+				return ctl, v, nil
+			}
+		}
+
+	case *ast.ForStmt:
+		f := newFrame(c.frame)
+		saved := c.frame
+		c.frame = f
+		pop := func(ctl control, v any) {
+			if ctl == ctlReturn && v != nil {
+				c.escapeRef(v) // see BlockStmt
+			}
+			c.popFrame(f)
+			c.frame = saved
+		}
+		if s.Init != nil {
+			if _, _, err := c.execStmt(s.Init); err != nil {
+				pop(ctlNone, nil)
+				return ctlNone, nil, err
+			}
+		}
+		for {
+			cond := true
+			if s.Cond != nil {
+				var err error
+				cond, err = c.evalBool(s.Cond)
+				if err != nil {
+					pop(ctlNone, nil)
+					return ctlNone, nil, err
+				}
+			}
+			if !cond {
+				pop(ctlNone, nil)
+				return ctlNone, nil, nil
+			}
+			ctl, v, err := c.execStmt(s.Body)
+			if err != nil {
+				pop(ctlNone, nil)
+				return ctlNone, nil, err
+			}
+			if ctl == ctlBreak {
+				pop(ctlNone, nil)
+				return ctlNone, nil, nil
+			}
+			if ctl == ctlReturn {
+				pop(ctl, v)
+				return ctl, v, nil
+			}
+			if s.Post != nil {
+				if _, _, err := c.execStmt(s.Post); err != nil {
+					pop(ctlNone, nil)
+					return ctlNone, nil, err
+				}
+			}
+		}
+
+	case *ast.ReturnStmt:
+		if s.Value == nil {
+			return ctlReturn, nil, nil
+		}
+		v, err := c.evalExpr(s.Value)
+		if err != nil {
+			return ctlNone, nil, err
+		}
+		return ctlReturn, v, nil
+
+	case *ast.ExprStmt:
+		_, err := c.evalExpr(s.X)
+		return ctlNone, nil, err
+
+	case *ast.BreakStmt:
+		return ctlBreak, nil, nil
+	case *ast.ContinueStmt:
+		return ctlContinue, nil, nil
+
+	case *ast.SpawnStmt:
+		return ctlNone, nil, c.execSpawn(s)
+	case *ast.SyncStmt:
+		return ctlNone, nil, c.syncFutures()
+	}
+	return ctlNone, nil, rerr(s, "unknown statement %T", s)
+}
+
+// assignTo stores v into an lvalue (identifier or indexed matrix).
+func (c *ctx) assignTo(lhs ast.Expr, v any) error {
+	switch l := lhs.(type) {
+	case *ast.Ident:
+		b, ok := c.frame.lookup(l.Name)
+		if !ok {
+			return rerr(l, "undeclared variable %q", l.Name)
+		}
+		cv, err := c.coerceToType(l, b.ty, v)
+		if err != nil {
+			return err
+		}
+		c.bindValue(cv)
+		c.releaseValue(b.v)
+		b.v = cv
+		return nil
+	case *ast.IndexExpr:
+		baseV, err := c.evalExpr(l.X)
+		if err != nil {
+			return err
+		}
+		m, ok := baseV.(*matrix.Matrix)
+		if !ok || m == nil {
+			return rerr(l, "cannot index-assign into a non-matrix or unassigned matrix")
+		}
+		specs, err := c.indexSpecs(l, m)
+		if err != nil {
+			return err
+		}
+		return wrap(l, m.SetIndex(v, specs...))
+	}
+	return rerr(lhs, "cannot assign to %s", ast.ExprString(lhs))
+}
+
+func (c *ctx) evalBool(e ast.Expr) (bool, error) {
+	v, err := c.evalExpr(e)
+	if err != nil {
+		return false, err
+	}
+	b, ok := v.(bool)
+	if !ok {
+		return false, rerr(e, "condition evaluated to %T, not bool", v)
+	}
+	return b, nil
+}
+
+func (c *ctx) evalInt(e ast.Expr) (int64, error) {
+	v, err := c.evalExpr(e)
+	if err != nil {
+		return 0, err
+	}
+	n, ok := v.(int64)
+	if !ok {
+		return 0, rerr(e, "expected an int value, got %T", v)
+	}
+	return n, nil
+}
+
+var binToMatrixOp = map[ast.BinOp]matrix.Op{
+	ast.OpAdd: matrix.OpAdd, ast.OpSub: matrix.OpSub,
+	ast.OpMul: matrix.OpMul, ast.OpElemMul: matrix.OpMul,
+	ast.OpDiv: matrix.OpDiv, ast.OpMod: matrix.OpMod,
+	ast.OpEq: matrix.OpEq, ast.OpNe: matrix.OpNe,
+	ast.OpLt: matrix.OpLt, ast.OpLe: matrix.OpLe,
+	ast.OpGt: matrix.OpGt, ast.OpGe: matrix.OpGe,
+	ast.OpAnd: matrix.OpAnd, ast.OpOr: matrix.OpOr,
+}
+
+func (c *ctx) evalExpr(e ast.Expr) (any, error) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return e.Value, nil
+	case *ast.FloatLit:
+		return e.Value, nil
+	case *ast.BoolLit:
+		return e.Value, nil
+	case *ast.StrLit:
+		return e.Value, nil
+
+	case *ast.Ident:
+		b, ok := c.frame.lookup(e.Name)
+		if !ok {
+			return nil, rerr(e, "undeclared variable %q", e.Name)
+		}
+		return b.v, nil
+
+	case *ast.BinaryExpr:
+		// Short-circuit scalar && / ||.
+		if e.Op == ast.OpAnd || e.Op == ast.OpOr {
+			l, err := c.evalExpr(e.L)
+			if err != nil {
+				return nil, err
+			}
+			if lb, ok := l.(bool); ok {
+				if e.Op == ast.OpAnd && !lb {
+					return false, nil
+				}
+				if e.Op == ast.OpOr && lb {
+					return true, nil
+				}
+				r, err := c.evalExpr(e.R)
+				if err != nil {
+					return nil, err
+				}
+				rb, ok := r.(bool)
+				if !ok {
+					return nil, rerr(e, "operator %s requires bool operands", e.Op)
+				}
+				return rb, nil
+			}
+			r, err := c.evalExpr(e.R)
+			if err != nil {
+				return nil, err
+			}
+			return c.binaryVals(e, l, r)
+		}
+		l, err := c.evalExpr(e.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.evalExpr(e.R)
+		if err != nil {
+			return nil, err
+		}
+		return c.binaryVals(e, l, r)
+
+	case *ast.UnaryExpr:
+		v, err := c.evalExpr(e.X)
+		if err != nil {
+			return nil, err
+		}
+		if m, ok := v.(*matrix.Matrix); ok {
+			out, err := matrix.Unary(e.Op == ast.OpNeg, m)
+			return out, wrap(e, err)
+		}
+		switch x := v.(type) {
+		case int64:
+			if e.Op == ast.OpNeg {
+				return -x, nil
+			}
+		case float64:
+			if e.Op == ast.OpNeg {
+				return -x, nil
+			}
+		case bool:
+			if e.Op == ast.OpNot {
+				return !x, nil
+			}
+		}
+		return nil, rerr(e, "operator %s cannot be applied to %T", e.Op, v)
+
+	case *ast.CastExpr:
+		v, err := c.evalExpr(e.X)
+		if err != nil {
+			return nil, err
+		}
+		return castScalar(e, e.To, v)
+
+	case *ast.CallExpr:
+		return c.evalCall(e)
+
+	case *ast.IndexExpr:
+		baseV, err := c.evalExpr(e.X)
+		if err != nil {
+			return nil, err
+		}
+		m, ok := baseV.(*matrix.Matrix)
+		if !ok || m == nil {
+			return nil, rerr(e, "cannot index a non-matrix or unassigned matrix")
+		}
+		specs, err := c.indexSpecs(e, m)
+		if err != nil {
+			return nil, err
+		}
+		v, err := m.Index(specs...)
+		return v, wrap(e, err)
+
+	case *ast.EndExpr:
+		if len(c.end) == 0 {
+			return nil, rerr(e, "'end' used outside an index expression")
+		}
+		return c.end[len(c.end)-1], nil
+
+	case *ast.RangeExpr:
+		lo, err := c.evalInt(e.Lo)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := c.evalInt(e.Hi)
+		if err != nil {
+			return nil, err
+		}
+		return matrix.Range(lo, hi), nil
+
+	case *ast.TupleExpr:
+		out := make([]any, len(e.Elems))
+		for k, el := range e.Elems {
+			v, err := c.evalExpr(el)
+			if err != nil {
+				return nil, err
+			}
+			out[k] = v
+		}
+		return out, nil
+
+	case *ast.WithLoop:
+		return c.evalWithLoop(e)
+
+	case *ast.MatrixMap:
+		return c.evalMatrixMap(e)
+
+	case *ast.InitExpr:
+		dims := make([]int, len(e.Dims))
+		for k, d := range e.Dims {
+			n, err := c.evalInt(d)
+			if err != nil {
+				return nil, err
+			}
+			if n < 0 {
+				return nil, rerr(e, "init dimension %d is negative (%d)", k, n)
+			}
+			dims[k] = int(n)
+		}
+		elem, err := matrixElemOf(e, types.MustFrom(e.Type))
+		if err != nil {
+			return nil, err
+		}
+		return matrix.New(elem, dims...), nil
+	}
+	return nil, rerr(e, "unknown expression %T", e)
+}
+
+// binaryVals applies a binary operator to evaluated operands, choosing
+// among scalar, broadcast, elementwise and matmul forms (§III-A.2).
+func (c *ctx) binaryVals(e *ast.BinaryExpr, l, r any) (any, error) {
+	lm, lIsM := l.(*matrix.Matrix)
+	rm, rIsM := r.(*matrix.Matrix)
+	if lIsM && lm == nil || rIsM && rm == nil {
+		return nil, rerr(e, "use of unassigned matrix")
+	}
+	op, ok := binToMatrixOp[e.Op]
+	if !ok {
+		return nil, rerr(e, "unknown operator %s", e.Op)
+	}
+	switch {
+	case lIsM && rIsM:
+		if e.Op == ast.OpMul {
+			out, err := matrix.MatMul(lm, rm)
+			return out, wrap(e, err)
+		}
+		out, err := matrix.Elementwise(op, lm, rm)
+		return out, wrap(e, err)
+	case lIsM:
+		out, err := matrix.Broadcast(op, lm, r, true)
+		return out, wrap(e, err)
+	case rIsM:
+		out, err := matrix.Broadcast(op, rm, l, false)
+		return out, wrap(e, err)
+	default:
+		v, err := matrix.ScalarBinary(op, l, r)
+		return v, wrap(e, err)
+	}
+}
+
+func castScalar(n ast.Node, to ast.PrimKind, v any) (any, error) {
+	switch to {
+	case ast.PrimInt:
+		switch x := v.(type) {
+		case int64:
+			return x, nil
+		case float64:
+			return int64(x), nil
+		case bool:
+			if x {
+				return int64(1), nil
+			}
+			return int64(0), nil
+		}
+	case ast.PrimFloat:
+		switch x := v.(type) {
+		case int64:
+			return float64(x), nil
+		case float64:
+			return x, nil
+		case bool:
+			if x {
+				return 1.0, nil
+			}
+			return 0.0, nil
+		}
+	case ast.PrimBool:
+		switch x := v.(type) {
+		case bool:
+			return x, nil
+		case int64:
+			return x != 0, nil
+		case float64:
+			return x != 0, nil
+		}
+	}
+	return nil, rerr(n, "cannot cast %T to %s", v, to)
+}
+
+// indexSpecs evaluates the index arguments of e against matrix m,
+// binding 'end' per dimension (§III-A.3).
+func (c *ctx) indexSpecs(e *ast.IndexExpr, m *matrix.Matrix) ([]matrix.IndexSpec, error) {
+	if len(e.Args) != m.Rank() {
+		return nil, rerr(e, "matrix of rank %d requires %d index expression(s), got %d",
+			m.Rank(), m.Rank(), len(e.Args))
+	}
+	specs := make([]matrix.IndexSpec, len(e.Args))
+	for d, arg := range e.Args {
+		size, err := m.DimSize(d)
+		if err != nil {
+			return nil, wrap(e, err)
+		}
+		c.end = append(c.end, int64(size-1))
+		spec, err := c.oneIndexSpec(arg)
+		c.end = c.end[:len(c.end)-1]
+		if err != nil {
+			return nil, err
+		}
+		specs[d] = spec
+	}
+	return specs, nil
+}
+
+func (c *ctx) oneIndexSpec(arg ast.IndexArg) (matrix.IndexSpec, error) {
+	switch a := arg.(type) {
+	case *ast.IdxScalar:
+		v, err := c.evalExpr(a.X)
+		if err != nil {
+			return matrix.IndexSpec{}, err
+		}
+		switch x := v.(type) {
+		case int64:
+			return matrix.Scalar(int(x)), nil
+		case *matrix.Matrix:
+			return matrix.Mask(x), nil
+		}
+		return matrix.IndexSpec{}, rerr(a, "index must be an int or a bool matrix, got %T", v)
+	case *ast.IdxRange:
+		lo, err := c.evalInt(a.Lo)
+		if err != nil {
+			return matrix.IndexSpec{}, err
+		}
+		hi, err := c.evalInt(a.Hi)
+		if err != nil {
+			return matrix.IndexSpec{}, err
+		}
+		return matrix.Span(int(lo), int(hi)), nil
+	case *ast.IdxAll:
+		return matrix.All(), nil
+	}
+	return matrix.IndexSpec{}, rerr(arg, "unknown index argument %T", arg)
+}
+
+// evalWithLoop executes a with-loop (§III-A.4) on the pool; bodies run
+// in child contexts with parallelism disabled, so nests parallelize
+// the outermost construct only, as in the generated C.
+func (c *ctx) evalWithLoop(w *ast.WithLoop) (any, error) {
+	lower := make([]int, len(w.Lower))
+	upper := make([]int, len(w.Upper))
+	for k := range w.Lower {
+		lo, err := c.evalInt(w.Lower[k])
+		if err != nil {
+			return nil, err
+		}
+		hi, err := c.evalInt(w.Upper[k])
+		if err != nil {
+			return nil, err
+		}
+		lower[k], upper[k] = int(lo), int(hi)
+	}
+	body := func(op ast.Expr) matrix.BodyFunc {
+		return func(idx []int) (any, error) {
+			f := newFrame(c.frame)
+			for k, id := range w.Ids {
+				f.vars[id] = &binding{v: int64(idx[k]), ty: types.IntT}
+			}
+			cc := c.child(f, nil)
+			v, err := cc.evalExpr(op)
+			if err != nil {
+				cc.releasePending(0)
+				return nil, err
+			}
+			cc.releasePending(0)
+			return v, nil
+		}
+	}
+	switch op := w.Op.(type) {
+	case *ast.GenArrayOp:
+		shape := make([]int, len(op.Shape))
+		for k, se := range op.Shape {
+			n, err := c.evalInt(se)
+			if err != nil {
+				return nil, err
+			}
+			shape[k] = int(n)
+		}
+		elem, err := matrixElemOf(w, c.i.info.TypeOf(w))
+		if err != nil {
+			return nil, err
+		}
+		out, err := matrix.GenArray(elem, lower, upper, shape, body(op.Body), c.pool)
+		return out, wrap(w, err)
+	case *ast.FoldOp:
+		base, err := c.evalExpr(op.Init)
+		if err != nil {
+			return nil, err
+		}
+		kind := map[ast.FoldKind]matrix.FoldKind{
+			ast.FoldAdd: matrix.FoldAdd, ast.FoldMul: matrix.FoldMul,
+			ast.FoldMin: matrix.FoldMin, ast.FoldMax: matrix.FoldMax,
+		}[op.Kind]
+		// Promote the base to float when the loop's static type is
+		// float, so int literals fold correctly with float bodies.
+		if ty := c.i.info.TypeOf(w); ty.Kind == types.Float {
+			if iv, ok := base.(int64); ok {
+				base = float64(iv)
+			}
+		}
+		out, err := matrix.Fold(kind, base, lower, upper, body(op.Body), c.pool)
+		return out, wrap(w, err)
+	}
+	return nil, rerr(w, "unknown with-loop operation %T", w.Op)
+}
+
+// evalMatrixMap executes matrixMap(f, m, dims) (§III-A.5) in parallel
+// over the unmapped dimensions.
+func (c *ctx) evalMatrixMap(e *ast.MatrixMap) (any, error) {
+	argV, err := c.evalExpr(e.Arg)
+	if err != nil {
+		return nil, err
+	}
+	m, ok := argV.(*matrix.Matrix)
+	if !ok || m == nil {
+		return nil, rerr(e, "matrixMap requires a matrix argument")
+	}
+	dims := make([]int, len(e.Dims))
+	for k, d := range e.Dims {
+		lit, ok := d.(*ast.IntLit)
+		if !ok {
+			return nil, rerr(d, "matrixMap dimensions must be integer literals")
+		}
+		dims[k] = int(lit.Value)
+	}
+	sig, ok := c.i.info.Funcs[e.Fun]
+	if !ok {
+		return nil, rerr(e, "undeclared function %q", e.Fun)
+	}
+	outElem, err := matrixElemOf(e, c.i.info.TypeOf(e))
+	if err != nil {
+		return nil, err
+	}
+	mapF := func(sub *matrix.Matrix) (*matrix.Matrix, error) {
+		cc := c.child(c.frame, nil)
+		v, err := cc.callFunction(sig.Decl, []any{sub}, e)
+		if err != nil {
+			cc.releasePending(0)
+			return nil, err
+		}
+		res, ok := v.(*matrix.Matrix)
+		if !ok || res == nil {
+			cc.releasePending(0)
+			return nil, rerr(e, "matrixMap function %q returned %T, want a matrix", e.Fun, v)
+		}
+		// The result is copied into the output before the escape
+		// reference is dropped, so this release is safe.
+		out := res.Copy()
+		cc.releasePending(0)
+		return out, nil
+	}
+	if e.General {
+		out, err := matrix.MatrixMapG(m, dims, outElem, mapF, c.pool)
+		return out, wrap(e, err)
+	}
+	out, err := matrix.MatrixMap(m, dims, outElem, mapF, c.pool)
+	return out, wrap(e, err)
+}
+
+// matrixElemOf maps a static matrix type to the runtime element kind.
+func matrixElemOf(n ast.Node, ty *types.Type) (matrix.Elem, error) {
+	if ty == nil || ty.Kind != types.Matrix {
+		return 0, rerr(n, "internal error: expected a matrix type, have %s", ty)
+	}
+	switch ty.Elem.Kind {
+	case types.Float:
+		return matrix.Float, nil
+	case types.Int:
+		return matrix.Int, nil
+	case types.Bool:
+		return matrix.Bool, nil
+	}
+	return 0, rerr(n, "internal error: bad matrix element type %s", ty.Elem)
+}
+
+// evalCall dispatches builtin and user function calls.
+func (c *ctx) evalCall(e *ast.CallExpr) (any, error) {
+	args := make([]any, len(e.Args))
+	for k, a := range e.Args {
+		v, err := c.evalExpr(a)
+		if err != nil {
+			return nil, err
+		}
+		args[k] = v
+	}
+	if sig, ok := c.i.info.Funcs[e.Fun]; ok {
+		return c.callFunction(sig.Decl, args, e)
+	}
+	return c.evalBuiltin(e, args)
+}

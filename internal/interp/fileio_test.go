@@ -1,0 +1,80 @@
+package interp
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/matio"
+	"repro/internal/matrix"
+)
+
+// readMatrix/writeMatrix against real files (the cmd/cmrun path).
+func TestFileIOThroughDirectory(t *testing.T) {
+	dir := t.TempDir()
+	in := matrix.FromFloats([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	if err := matio.WriteFile(filepath.Join(dir, "in.data"), in); err != nil {
+		t.Fatal(err)
+	}
+	code, _ := mustRun(t, `
+int main() {
+	Matrix float <2> m = readMatrix("in.data");
+	Matrix float <2> doubled = m .* 2.0;
+	writeMatrix("out.data", doubled);
+	return (int)doubled[1, 2];
+}`, Options{Dir: dir})
+	if code != 12 {
+		t.Fatalf("exit = %d, want 12", code)
+	}
+	out, err := matio.ReadFile(filepath.Join(dir, "out.data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := matrix.FromFloats([]float64{2, 4, 6, 8, 10, 12}, 2, 3)
+	if !matrix.Equal(out, want) {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestFileIOMissingFileErrors(t *testing.T) {
+	_, _, _, err := run(t, `
+int main() {
+	Matrix float <1> m = readMatrix("absent.data");
+	return 0;
+}`, Options{Dir: t.TempDir()})
+	if err == nil {
+		t.Fatal("missing file should be a runtime error")
+	}
+}
+
+func TestFilesTakePrecedenceOverDir(t *testing.T) {
+	dir := t.TempDir()
+	onDisk := matrix.FromFloats([]float64{9}, 1)
+	if err := matio.WriteFile(filepath.Join(dir, "x.data"), onDisk); err != nil {
+		t.Fatal(err)
+	}
+	inMem := matrix.FromFloats([]float64{5}, 1)
+	code, _ := mustRun(t, `
+int main() {
+	Matrix float <1> m = readMatrix("x.data");
+	return (int)m[0];
+}`, Options{Dir: dir, Files: map[string]*matrix.Matrix{"x.data": inMem}})
+	if code != 5 {
+		t.Fatalf("exit = %d; in-memory file should win", code)
+	}
+}
+
+func TestReadMatrixIsolatesCallerCopy(t *testing.T) {
+	// mutating a matrix read from Files must not corrupt the provided
+	// input for later runs.
+	orig := matrix.FromFloats([]float64{1, 2}, 2)
+	files := map[string]*matrix.Matrix{"x.data": orig}
+	mustRun(t, `
+int main() {
+	Matrix float <1> m = readMatrix("x.data");
+	m[0] = 99.0;
+	return 0;
+}`, Options{Files: files})
+	if orig.Floats()[0] != 1 {
+		t.Fatal("readMatrix must hand out a copy of the in-memory input")
+	}
+}

@@ -1,0 +1,396 @@
+// Package interp executes type-checked extended-CMINUS programs. It
+// implements the same semantics the code generator's emitted C has:
+// matrices are reference values managed by reference counting
+// (§III-B), with-loops and matrixMap execute on the spawn-once
+// fork-join pool (§III-C) with the outermost parallel construct
+// distributed and inner constructs sequential, and matrix indexing /
+// overloaded operators behave per §III-A.
+//
+// Together with internal/cgen this gives the reproduction both halves
+// of the paper's translator: inspectable generated C, and runnable
+// semantics for the applications of §IV.
+package interp
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/ast"
+	"repro/internal/matrix"
+	"repro/internal/par"
+	"repro/internal/rc"
+	"repro/internal/sem"
+	"repro/internal/types"
+)
+
+// Options configures an interpreter.
+type Options struct {
+	// Threads is the worker-pool size for parallel constructs;
+	// 0 or 1 runs sequentially (the -t command line argument of the
+	// generated programs).
+	Threads int
+	// Stdout receives print output (defaults to os.Stdout).
+	Stdout io.Writer
+	// Dir is the base directory for readMatrix/writeMatrix paths.
+	Dir string
+	// Heap receives reference-count accounting (defaults to a fresh
+	// heap; tests use it to assert leak-freedom).
+	Heap *rc.Heap
+	// MaxSteps bounds execution (0 = no bound) to catch runaway loops.
+	MaxSteps int64
+	// Files provides in-memory matrices for readMatrix, checked
+	// before the filesystem. writeMatrix writes back into it when
+	// non-nil and Dir is empty.
+	Files map[string]*matrix.Matrix
+}
+
+// Interp executes one program.
+type Interp struct {
+	prog *ast.Program
+	info *sem.Info
+	opts Options
+
+	pool        *par.Pool
+	heap        *rc.Heap
+	stdout      io.Writer
+	outMu       sync.Mutex
+	fileMu      sync.Mutex
+	globalFrame *frame
+	steps       int64
+	stepMu      sync.Mutex
+}
+
+// New builds an interpreter for a checked program.
+func New(prog *ast.Program, info *sem.Info, opts Options) *Interp {
+	i := &Interp{prog: prog, info: info, opts: opts}
+	i.stdout = opts.Stdout
+	if i.stdout == nil {
+		i.stdout = os.Stdout
+	}
+	i.heap = opts.Heap
+	if i.heap == nil {
+		i.heap = rc.NewHeap()
+	}
+	if opts.Threads > 1 {
+		i.pool = par.NewPool(opts.Threads)
+	}
+	return i
+}
+
+// Close shuts down the worker pool.
+func (i *Interp) Close() {
+	if i.pool != nil {
+		i.pool.Shutdown()
+	}
+}
+
+// Heap exposes the RC heap for leak assertions in tests.
+func (i *Interp) Heap() *rc.Heap { return i.heap }
+
+// RuntimeError is an execution failure with source position.
+type RuntimeError struct {
+	Node ast.Node
+	Err  error
+}
+
+func (e *RuntimeError) Error() string {
+	if e.Node != nil && e.Node.Span().Start.IsValid() {
+		return fmt.Sprintf("%s: runtime error: %v", e.Node.Span(), e.Err)
+	}
+	return fmt.Sprintf("runtime error: %v", e.Err)
+}
+
+func (e *RuntimeError) Unwrap() error { return e.Err }
+
+func rerr(n ast.Node, format string, args ...any) error {
+	return &RuntimeError{Node: n, Err: fmt.Errorf(format, args...)}
+}
+
+func wrap(n ast.Node, err error) error {
+	if err == nil {
+		return nil
+	}
+	if _, ok := err.(*RuntimeError); ok {
+		return err
+	}
+	return &RuntimeError{Node: n, Err: err}
+}
+
+// --- frames and reference counting ---
+
+// binding is a variable's current value plus its declared type,
+// which drives runtime coercion checks (readMatrix results, int→float
+// promotion) on every assignment.
+type binding struct {
+	v  any
+	ty *types.Type
+}
+
+// frame is one lexical scope of variable bindings.
+type frame struct {
+	parent *frame
+	vars   map[string]*binding
+}
+
+func newFrame(parent *frame) *frame {
+	return &frame{parent: parent, vars: map[string]*binding{}}
+}
+
+func (f *frame) lookup(name string) (*binding, bool) {
+	for cur := f; cur != nil; cur = cur.parent {
+		if b, ok := cur.vars[name]; ok {
+			return b, true
+		}
+	}
+	return nil, false
+}
+
+// ctx is the per-goroutine execution context: parallel with-loop and
+// matrixMap bodies run in child contexts with the pool disabled, so
+// only the outermost construct is distributed (as in the generated C).
+type ctx struct {
+	i       *Interp
+	pool    *par.Pool
+	frame   *frame
+	end     []int64 // stack of 'end' values for nested index dims
+	pending []*rc.Header
+	depth   int
+	// futures holds the enclosing function's outstanding Cilk spawns;
+	// callFunction syncs them implicitly before returning.
+	futures []*spawnFuture
+}
+
+func (c *ctx) child(frame *frame, pool *par.Pool) *ctx {
+	return &ctx{i: c.i, pool: pool, frame: frame, depth: c.depth + 1}
+}
+
+// bindValue takes a reference to v on behalf of a variable binding.
+func (c *ctx) bindValue(v any) {
+	switch x := v.(type) {
+	case *matrix.Matrix:
+		if x == nil {
+			return
+		}
+		if x.Hdr == nil {
+			x.Hdr = c.i.heap.Alloc(x.Size()*8 + 4) // data + the 4-byte RC header of §III-B
+		} else {
+			x.Hdr.IncRef()
+		}
+	case *rcCell:
+		if x != nil {
+			x.hdr.IncRef()
+		}
+	case []any:
+		for _, e := range x {
+			c.bindValue(e)
+		}
+	}
+}
+
+// releaseValue drops a reference taken by bindValue.
+func (c *ctx) releaseValue(v any) {
+	switch x := v.(type) {
+	case *matrix.Matrix:
+		if x != nil {
+			x.Hdr.DecRef()
+		}
+	case *rcCell:
+		if x != nil {
+			x.hdr.DecRef()
+		}
+	case []any:
+		for _, e := range x {
+			c.releaseValue(e)
+		}
+	}
+}
+
+// escapeRef takes an extra reference so a value survives its frame's
+// teardown; the reference is registered for release at the end of the
+// consuming statement.
+func (c *ctx) escapeRef(v any) {
+	switch x := v.(type) {
+	case *matrix.Matrix:
+		if x != nil && x.Hdr != nil {
+			x.Hdr.IncRef()
+			c.pending = append(c.pending, x.Hdr)
+		}
+	case *rcCell:
+		if x != nil {
+			x.hdr.IncRef()
+			c.pending = append(c.pending, x.hdr)
+		}
+	case []any:
+		for _, e := range x {
+			c.escapeRef(e)
+		}
+	}
+}
+
+// releasePending drops escape references accumulated since mark.
+func (c *ctx) releasePending(mark int) {
+	for _, h := range c.pending[mark:] {
+		h.DecRef()
+	}
+	c.pending = c.pending[:mark]
+}
+
+// popFrame releases all bindings in f.
+func (c *ctx) popFrame(f *frame) {
+	for _, b := range f.vars {
+		c.releaseValue(b.v)
+	}
+}
+
+func (c *ctx) step(n ast.Node) error {
+	max := c.i.opts.MaxSteps
+	if max == 0 {
+		return nil
+	}
+	c.i.stepMu.Lock()
+	c.i.steps++
+	s := c.i.steps
+	c.i.stepMu.Unlock()
+	if s > max {
+		return rerr(n, "execution exceeded %d steps", max)
+	}
+	return nil
+}
+
+// Run executes main() and returns its exit code.
+func (i *Interp) Run() (int, error) {
+	mainSig, ok := i.info.Funcs["main"]
+	if !ok {
+		return 0, fmt.Errorf("interp: program has no main function")
+	}
+	root := &ctx{i: i, pool: i.pool, frame: newFrame(nil)}
+	i.globalFrame = root.frame
+	// Globals: evaluate initializers in order.
+	gframe := root.frame
+	for _, d := range i.prog.Decls {
+		g, ok := d.(*ast.GlobalVarDecl)
+		if !ok {
+			continue
+		}
+		ty, terr := types.FromAST(g.Type)
+		if terr != nil {
+			return 0, wrap(g, terr)
+		}
+		var v any
+		var err error
+		if g.Init != nil {
+			v, err = root.evalExpr(g.Init)
+			if err != nil {
+				return 0, err
+			}
+			v, err = root.coerceToType(g, ty, v)
+			if err != nil {
+				return 0, err
+			}
+		} else {
+			v = zeroValue(g.Type)
+		}
+		root.bindValue(v)
+		gframe.vars[g.Name] = &binding{v: v, ty: ty}
+		root.releasePending(0)
+	}
+	ret, err := root.callFunction(mainSig.Decl, nil, mainSig.Decl)
+	if err != nil {
+		return 0, err
+	}
+	root.releasePending(0)
+	root.popFrame(gframe)
+	code := 0
+	if n, ok := ret.(int64); ok {
+		code = int(n)
+	}
+	return code, nil
+}
+
+// zeroValue produces the default value for a declared type.
+func zeroValue(te ast.TypeExpr) any {
+	switch t := te.(type) {
+	case *ast.PrimType:
+		switch t.Kind {
+		case ast.PrimInt:
+			return int64(0)
+		case ast.PrimFloat:
+			return float64(0)
+		case ast.PrimBool:
+			return false
+		}
+		return nil
+	case *ast.MatrixType:
+		// Declared-but-unassigned matrices start empty; they must be
+		// assigned before use (indexing an empty matrix errors).
+		return (*matrix.Matrix)(nil)
+	case *ast.TupleType:
+		out := make([]any, len(t.Elems))
+		for k, e := range t.Elems {
+			out[k] = zeroValue(e)
+		}
+		return out
+	case *ast.RcPtrType:
+		return (*rcCell)(nil)
+	}
+	return nil
+}
+
+// rcCell is the runtime value of the refcount extension's pointers.
+type rcCell struct {
+	hdr *rc.Header
+	val any
+}
+
+// coerceToDeclared checks a value against a declared type at binding
+// time — this is where readMatrix's dynamically typed result (and any
+// other AnyMatrix value) is validated, and int→float promotion
+// happens for scalars.
+func (c *ctx) coerceToDeclared(n ast.Node, te ast.TypeExpr, v any) (any, error) {
+	ty, err := types.FromAST(te)
+	if err != nil {
+		return nil, wrap(n, err)
+	}
+	return c.coerceToType(n, ty, v)
+}
+
+func (c *ctx) coerceToType(n ast.Node, ty *types.Type, v any) (any, error) {
+	switch ty.Kind {
+	case types.Float:
+		if iv, ok := v.(int64); ok {
+			return float64(iv), nil
+		}
+	case types.Matrix:
+		m, ok := v.(*matrix.Matrix)
+		if !ok {
+			return nil, rerr(n, "expected a matrix value, got %T", v)
+		}
+		if m == nil {
+			return nil, rerr(n, "use of unassigned matrix")
+		}
+		wantElem := map[types.Kind]matrix.Elem{
+			types.Float: matrix.Float, types.Int: matrix.Int, types.Bool: matrix.Bool,
+		}[ty.Elem.Kind]
+		if m.Elem() != wantElem || m.Rank() != ty.Rank {
+			return nil, rerr(n, "matrix of type Matrix %s <%d> cannot hold a Matrix %s <%d> value",
+				ty.Elem, ty.Rank, m.Elem(), m.Rank())
+		}
+	case types.Tuple:
+		tup, ok := v.([]any)
+		if !ok || len(tup) != len(ty.Elems) {
+			return nil, rerr(n, "expected a %d-tuple", len(ty.Elems))
+		}
+		out := make([]any, len(tup))
+		for k := range tup {
+			cv, err := c.coerceToType(n, ty.Elems[k], tup[k])
+			if err != nil {
+				return nil, err
+			}
+			out[k] = cv
+		}
+		return out, nil
+	}
+	return v, nil
+}

@@ -1,0 +1,487 @@
+package interp
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/matrix"
+	"repro/internal/parser"
+	"repro/internal/sem"
+	"repro/internal/source"
+)
+
+// run parses, checks and executes src, returning exit code, stdout,
+// the interpreter (for heap inspection) and any runtime error.
+func run(t *testing.T, src string, opts Options) (int, string, *Interp, error) {
+	t.Helper()
+	var d source.Diagnostics
+	prog := parser.ParseFile("t.xc", src, parser.AllExtensions(), &d)
+	if prog == nil {
+		t.Fatalf("parse failed:\n%s", d.String())
+	}
+	info := sem.Check(prog, &d)
+	if d.HasErrors() {
+		t.Fatalf("check failed:\n%s", d.String())
+	}
+	var out bytes.Buffer
+	opts.Stdout = &out
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = 50_000_000
+	}
+	i := New(prog, info, opts)
+	defer i.Close()
+	code, err := i.Run()
+	return code, out.String(), i, err
+}
+
+// mustRun asserts successful execution and a leak-free RC heap.
+func mustRun(t *testing.T, src string, opts Options) (int, string) {
+	t.Helper()
+	code, out, i, err := run(t, src, opts)
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if err := i.Heap().CheckLeaks(); err != nil {
+		t.Fatalf("reference counting leak: %v", err)
+	}
+	return code, out
+}
+
+func TestReturnCode(t *testing.T) {
+	code, _ := mustRun(t, `int main() { return 41 + 1; }`, Options{})
+	if code != 42 {
+		t.Errorf("exit code = %d", code)
+	}
+}
+
+func TestArithmeticAndControlFlow(t *testing.T) {
+	code, out := mustRun(t, `
+int fib(int n) {
+	if (n < 2) return n;
+	return fib(n - 1) + fib(n - 2);
+}
+int main() {
+	int acc = 0;
+	for (int i = 0; i < 10; i++) {
+		if (i % 2 == 0) { continue; }
+		acc = acc + i;
+	}
+	while (acc > 26) { acc--; }
+	print(fib(10));
+	return acc;
+}`, Options{})
+	if code != 25 {
+		t.Errorf("exit = %d, want 25", code)
+	}
+	if strings.TrimSpace(out) != "55" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestFloatsAndCasts(t *testing.T) {
+	_, out := mustRun(t, `
+int main() {
+	float x = (1.0 - 5.0) / (float)(0 - 2);
+	print(x);
+	print((int)x);
+	print((float)3);
+	return 0;
+}`, Options{})
+	if out != "2\n2\n3\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestTuples(t *testing.T) {
+	code, _ := mustRun(t, `
+(int, int, bool) divmod(int a, int b) {
+	return (a / b, a % b, a % b == 0);
+}
+int main() {
+	int q; int r; bool exact;
+	(q, r, exact) = divmod(17, 5);
+	if (exact) return 99;
+	return q * 10 + r;
+}`, Options{})
+	if code != 32 {
+		t.Errorf("exit = %d, want 32", code)
+	}
+}
+
+func TestRcExtension(t *testing.T) {
+	code, _ := mustRun(t, `
+int main() {
+	refcounted int * p = rcnew(40);
+	rcset(p, rcget(p) + 2);
+	return rcget(p);
+}`, Options{})
+	if code != 42 {
+		t.Errorf("exit = %d", code)
+	}
+}
+
+func TestMatrixBasics(t *testing.T) {
+	code, _ := mustRun(t, `
+int main() {
+	Matrix int <2> m = init(Matrix int <2>, 3, 3);
+	m[1, 1] = 5;
+	m[0, 2] = 7;
+	Matrix int <2> twice = m .* 2;
+	return twice[1, 1] + twice[0, 2];
+}`, Options{})
+	if code != 24 {
+		t.Errorf("exit = %d, want 24", code)
+	}
+}
+
+func TestMatMulVsElemMul(t *testing.T) {
+	code, _ := mustRun(t, `
+int main() {
+	Matrix int <2> a = init(Matrix int <2>, 2, 2);
+	a[0, 0] = 1; a[0, 1] = 2; a[1, 0] = 3; a[1, 1] = 4;
+	Matrix int <2> mm = a * a;    // linear algebra: [[7,10],[15,22]]
+	Matrix int <2> em = a .* a;   // elementwise: [[1,4],[9,16]]
+	return mm[0, 0] * 100 + em[1, 1];
+}`, Options{})
+	if code != 716 {
+		t.Errorf("exit = %d, want 716", code)
+	}
+}
+
+func TestEndAndRanges(t *testing.T) {
+	code, _ := mustRun(t, `
+int main() {
+	Matrix int <1> v = [10 :: 19];
+	int last = v[end];
+	Matrix int <1> tail = v[end - 2 : end];
+	Matrix int <1> slice = v[2 :: 4];
+	return last + tail[0] + slice[0];
+}`, Options{})
+	if code != 19+17+12 {
+		t.Errorf("exit = %d, want %d", code, 19+17+12)
+	}
+}
+
+func TestLogicalIndexing(t *testing.T) {
+	code, _ := mustRun(t, `
+int main() {
+	Matrix int <1> v = [0 :: 9];
+	Matrix int <1> odds = v[v % 2 == 1];
+	int n = dimSize(odds, 0);
+	return n * 100 + (int)odds[0] + (int)odds[end];
+}`, Options{})
+	if code != 500+1+9 {
+		t.Errorf("exit = %d, want %d", code, 510)
+	}
+}
+
+func TestFig1TemporalMean(t *testing.T) {
+	const m, n, p = 5, 6, 7
+	ssh := matrix.New(matrix.Float, m, n, p)
+	r := rand.New(rand.NewSource(7))
+	fl := ssh.Floats()
+	for k := range fl {
+		fl[k] = r.Float64() * 4
+	}
+	files := map[string]*matrix.Matrix{"ssh.data": ssh}
+	_, _ = mustRun(t, `
+int main() {
+	Matrix float <3> mat = readMatrix("ssh.data");
+	int m = dimSize(mat, 0);
+	int n = dimSize(mat, 1);
+	int p = dimSize(mat, 2);
+	Matrix float <2> means;
+	means = with ([0, 0] <= [i, j] < [m, n])
+		genarray([m, n],
+			with ([0] <= [k] < [p])
+				fold(+, 0.0, mat[i, j, k]) / p);
+	writeMatrix("means.data", means);
+	return 0;
+}`, Options{Files: files})
+	got := files["means.data"]
+	if got == nil {
+		t.Fatal("means.data not written")
+	}
+	want := matrix.New(matrix.Float, m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			acc := 0.0
+			for k := 0; k < p; k++ {
+				acc += fl[i*n*p+j*p+k]
+			}
+			want.Floats()[i*n+j] = acc / p
+		}
+	}
+	if !matrix.AlmostEqual(got, want, 1e-9) {
+		t.Fatal("temporal mean differs from Fig 3 reference")
+	}
+}
+
+func TestFig1ParallelMatchesSequential(t *testing.T) {
+	ssh := matrix.New(matrix.Float, 6, 5, 8)
+	r := rand.New(rand.NewSource(3))
+	for k := range ssh.Floats() {
+		ssh.Floats()[k] = r.NormFloat64()
+	}
+	src := `
+int main() {
+	Matrix float <3> mat = readMatrix("ssh.data");
+	int m = dimSize(mat, 0);
+	int n = dimSize(mat, 1);
+	int p = dimSize(mat, 2);
+	Matrix float <2> means;
+	means = with ([0, 0] <= [i, j] < [m, n])
+		genarray([m, n],
+			with ([0] <= [k] < [p])
+				fold(+, 0.0, mat[i, j, k]) / p);
+	writeMatrix("means.data", means);
+	return 0;
+}`
+	seqFiles := map[string]*matrix.Matrix{"ssh.data": ssh}
+	parFiles := map[string]*matrix.Matrix{"ssh.data": ssh}
+	mustRun(t, src, Options{Files: seqFiles})
+	mustRun(t, src, Options{Files: parFiles, Threads: 4})
+	if !matrix.Equal(seqFiles["means.data"], parFiles["means.data"]) {
+		t.Fatal("parallel with-loop result differs from sequential")
+	}
+}
+
+func TestMatrixMapProgram(t *testing.T) {
+	data := matrix.New(matrix.Float, 3, 4, 5)
+	for k := range data.Floats() {
+		data.Floats()[k] = float64(k)
+	}
+	files := map[string]*matrix.Matrix{"d.data": data}
+	mustRun(t, `
+Matrix float <1> double(Matrix float <1> ts) {
+	int n = dimSize(ts, 0);
+	return with ([0] <= [i] < [n]) genarray([n], ts[i] * 2.0);
+}
+int main() {
+	Matrix float <3> d = readMatrix("d.data");
+	Matrix float <3> out;
+	out = matrixMap(double, d, [2]);
+	writeMatrix("out.data", out);
+	return 0;
+}`, Options{Files: files, Threads: 3})
+	out := files["out.data"]
+	for k, v := range data.Floats() {
+		if out.Floats()[k] != 2*v {
+			t.Fatalf("out[%d] = %v, want %v", k, out.Floats()[k], 2*v)
+		}
+	}
+}
+
+func TestWholeDimAndMaskAssignment(t *testing.T) {
+	dates := matrix.FromInts([]int64{19990101, 20000101, 20010101}, 3)
+	ssh := matrix.New(matrix.Float, 2, 2, 3)
+	for k := range ssh.Floats() {
+		ssh.Floats()[k] = float64(k)
+	}
+	files := map[string]*matrix.Matrix{"ssh.data": ssh, "dates.data": dates}
+	mustRun(t, `
+int main() {
+	Matrix float <3> ssh = readMatrix("ssh.data");
+	Matrix int <1> dates = readMatrix("dates.data");
+	Matrix float <3> recent = ssh[:, :, dates >= 20000101];
+	writeMatrix("recent.data", recent);
+	return 0;
+}`, Options{Files: files})
+	recent := files["recent.data"]
+	if recent.Rank() != 3 || recent.Shape()[2] != 2 {
+		t.Fatalf("recent shape = %v", recent.Shape())
+	}
+	// column 0 dropped; entries with k=1,2 kept
+	if recent.Floats()[0] != ssh.Floats()[1] {
+		t.Errorf("recent[0] = %v", recent.Floats()[0])
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"index oob", `int main() {
+			Matrix int <1> v = [0 :: 4];
+			return (int)v[9]; }`, "out of range"},
+		{"div zero", `int main() { int z = 0; return 1 / z; }`, "division by zero"},
+		{"readMatrix type", `int main() {
+			Matrix float <2> m = readMatrix("ssh.data");
+			return 0; }`, "cannot hold"},
+		{"genarray superset", `int main() {
+			int n = 10;
+			Matrix float <1> m;
+			m = with ([0] <= [i] < [n]) genarray([5], 1.0);
+			return 0; }`, "superset"},
+		{"missing file", `int main() {
+			Matrix float <1> m = readMatrix("nope.data");
+			return 0; }`, "no matrix"},
+		{"unassigned matrix", `int main() {
+			Matrix float <1> m;
+			return (int)m[0]; }`, "unassigned"},
+		{"infinite recursion", `int f(int x) { return f(x); } int main() { return f(1); }`, "stack"},
+		{"bad range", `int main() {
+			Matrix int <1> v = [0 :: 9];
+			Matrix int <1> w = v[5 : 2];
+			return 0; }`, "range"},
+	}
+	ssh := matrix.New(matrix.Float, 2, 2, 2)
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, _, _, err := run(t, c.src, Options{
+				Files: map[string]*matrix.Matrix{"ssh.data": ssh}})
+			if err == nil {
+				t.Fatalf("expected runtime error containing %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error = %v, want substring %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestMaxStepsGuard(t *testing.T) {
+	_, _, _, err := run(t, `int main() { while (true) { } return 0; }`,
+		Options{MaxSteps: 1000})
+	if err == nil || !strings.Contains(err.Error(), "steps") {
+		t.Fatalf("runaway loop should hit the step limit: %v", err)
+	}
+}
+
+func TestGlobals(t *testing.T) {
+	code, _ := mustRun(t, `
+int counter = 10;
+int bump(int by) {
+	counter = counter + by;
+	return counter;
+}
+int main() {
+	bump(5);
+	bump(7);
+	return counter;
+}`, Options{})
+	if code != 22 {
+		t.Errorf("exit = %d, want 22", code)
+	}
+}
+
+func TestMatrixAliasingSemantics(t *testing.T) {
+	// Assignment of a matrix variable aliases (reference semantics,
+	// like the RC pointers the implementation is built on, §III-B).
+	code, _ := mustRun(t, `
+int main() {
+	Matrix int <1> a = init(Matrix int <1>, 3);
+	Matrix int <1> b = a;
+	b[0] = 9;
+	return (int)a[0];
+}`, Options{})
+	if code != 9 {
+		t.Errorf("exit = %d, want 9 (aliasing)", code)
+	}
+}
+
+func TestIndexedStoreOfSlice(t *testing.T) {
+	code, _ := mustRun(t, `
+int main() {
+	Matrix float <1> scores = init(Matrix float <1>, 6);
+	Matrix float <1> area = init(Matrix float <1>, 3);
+	area[0] = 1.5; area[1] = 2.5; area[2] = 3.5;
+	scores[2 : 4] = area;
+	return (int)(scores[2] + scores[3] + scores[4]);
+}`, Options{})
+	if code != 7 {
+		t.Errorf("exit = %d, want 7", code)
+	}
+}
+
+func TestScoreTSStructure(t *testing.T) {
+	// A condensed version of Fig 8's trough scoring on a known series.
+	ts := matrix.FromFloats([]float64{1, 2, 1.5, 1, 1.5, 2, 1}, 7)
+	files := map[string]*matrix.Matrix{"ts.data": ts}
+	mustRun(t, `
+(Matrix float <1>, int, int) getTrough(Matrix float <1> ts, int i) {
+	int beginning = i;
+	int n = dimSize(ts, 0);
+	while (i + 1 < n && ts[i] >= ts[i + 1])
+		i = i + 1;
+	while (i + 1 < n && ts[i] < ts[i + 1])
+		i = i + 1;
+	return (ts[beginning :: i], beginning, i);
+}
+Matrix float <1> computeArea(Matrix float <1> aoi) {
+	float y1 = aoi[0];
+	float y2 = aoi[end];
+	int x1 = 0;
+	int x2 = dimSize(aoi, 0) - 1;
+	float m = (y1 - y2) / (float)(x1 - x2);
+	float b = y1 - m * x1;
+	Matrix float <1> Line = [x1 :: x2] * m + b;
+	float area = with ([0] <= [i] < [dimSize(Line, 0)])
+		fold(+, 0.0, Line[i] - aoi[i]);
+	return with ([0] <= [i] < [dimSize(Line, 0)])
+		genarray([dimSize(Line, 0)], area);
+}
+int main() {
+	Matrix float <1> ts = readMatrix("ts.data");
+	Matrix float <1> trough;
+	int b = 0;
+	int i = 1;
+	(trough, b, i) = getTrough(ts, i);
+	Matrix float <1> scores = computeArea(trough);
+	writeMatrix("scores.data", scores);
+	return i * 10 + b;
+}`, Options{Files: files})
+	scores := files["scores.data"]
+	if scores == nil || scores.Size() != 5 {
+		t.Fatalf("scores = %v", scores)
+	}
+	// trough 2,1.5,1,1.5,2 under the line 2..2: area = (0+0.5+1+0.5+0) = 2
+	if v := scores.Floats()[0]; v < 1.99 || v > 2.01 {
+		t.Errorf("area = %v, want 2", v)
+	}
+}
+
+func TestFoldMinMaxFloat(t *testing.T) {
+	code, _ := mustRun(t, `
+int main() {
+	Matrix float <1> v = init(Matrix float <1>, 4);
+	v[0] = 3.5; v[1] = -1.25; v[2] = 9.0; v[3] = 0.5;
+	float mx = with ([0] <= [i] < [4]) fold(max, -1000.0, v[i]);
+	float mn = with ([0] <= [i] < [4]) fold(min, 1000.0, v[i]);
+	return (int)(mx * 4.0) + (int)(mn * 4.0);
+}`, Options{})
+	if code != 36-5 {
+		t.Errorf("exit = %d, want 31", code)
+	}
+}
+
+func TestPrintMatrix(t *testing.T) {
+	_, out := mustRun(t, `
+int main() {
+	Matrix int <1> v = [1 :: 3];
+	print(v);
+	return 0;
+}`, Options{})
+	if !strings.Contains(out, "Matrix int") {
+		t.Errorf("out = %q", out)
+	}
+}
+
+// The interpreter must reject programs sem would reject; belt and
+// braces for the pipeline used by cmd/cmrun.
+func TestPipelineRejectsBadPrograms(t *testing.T) {
+	var d source.Diagnostics
+	prog := parser.ParseFile("t.xc", `int main() { return x; }`, parser.AllExtensions(), &d)
+	if prog == nil {
+		t.Fatal("parse should succeed")
+	}
+	sem.Check(prog, &d)
+	if !d.HasErrors() {
+		t.Fatal("sem should reject undeclared variable")
+	}
+}
+
+var _ = ast.Print

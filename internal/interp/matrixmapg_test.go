@@ -1,0 +1,117 @@
+package interp
+
+import (
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+// matrixMapG (§III-A.5's generalization, implemented): the mapped
+// function may shrink or grow the mapped dimensions.
+func TestMatrixMapGShrinks(t *testing.T) {
+	data := matrix.New(matrix.Float, 3, 4, 8)
+	for k := range data.Floats() {
+		data.Floats()[k] = float64(k)
+	}
+	files := map[string]*matrix.Matrix{"d.data": data}
+	mustRun(t, `
+Matrix float <1> firstHalf(Matrix float <1> ts) {
+	int n = dimSize(ts, 0);
+	return ts[0 : n / 2 - 1];
+}
+int main() {
+	Matrix float <3> d = readMatrix("d.data");
+	Matrix float <3> out;
+	out = matrixMapG(firstHalf, d, [2]);
+	writeMatrix("out.data", out);
+	return 0;
+}`, Options{Files: files, Threads: 2})
+	out := files["out.data"]
+	sh := out.Shape()
+	if sh[0] != 3 || sh[1] != 4 || sh[2] != 4 {
+		t.Fatalf("out shape = %v, want [3 4 4]", sh)
+	}
+	// out[i,j,k] == d[i,j,k] for k < 4
+	got, _ := out.At(2, 3, 3)
+	want, _ := data.At(2, 3, 3)
+	if got != want {
+		t.Fatalf("out[2,3,3] = %v, want %v", got, want)
+	}
+}
+
+func TestMatrixMapGGrows(t *testing.T) {
+	data := matrix.New(matrix.Float, 2, 3)
+	for k := range data.Floats() {
+		data.Floats()[k] = float64(k + 1)
+	}
+	files := map[string]*matrix.Matrix{"d.data": data}
+	mustRun(t, `
+// duplicate each row: [a b c] -> [a b c a b c]
+Matrix float <1> twice(Matrix float <1> row) {
+	int n = dimSize(row, 0);
+	Matrix float <1> out = init(Matrix float <1>, n * 2);
+	out[0 : n - 1] = row;
+	out[n : 2 * n - 1] = row;
+	return out;
+}
+int main() {
+	Matrix float <2> d = readMatrix("d.data");
+	Matrix float <2> out;
+	out = matrixMapG(twice, d, [1]);
+	writeMatrix("out.data", out);
+	return 0;
+}`, Options{Files: files})
+	out := files["out.data"]
+	sh := out.Shape()
+	if sh[0] != 2 || sh[1] != 6 {
+		t.Fatalf("out shape = %v, want [2 6]", sh)
+	}
+	a, _ := out.At(1, 1)
+	b, _ := out.At(1, 4)
+	if a != b || a.(float64) != 5 {
+		t.Fatalf("duplicated row wrong: %v %v", a, b)
+	}
+}
+
+// Plain matrixMap must still reject size changes (the paper's stated
+// restriction), while matrixMapG accepts them.
+func TestMatrixMapStillRestricted(t *testing.T) {
+	data := matrix.New(matrix.Float, 2, 4)
+	files := map[string]*matrix.Matrix{"d.data": data}
+	_, _, _, err := run(t, `
+Matrix float <1> firstHalf(Matrix float <1> ts) {
+	int n = dimSize(ts, 0);
+	return ts[0 : n / 2 - 1];
+}
+int main() {
+	Matrix float <2> d = readMatrix("d.data");
+	Matrix float <2> out;
+	out = matrixMap(firstHalf, d, [1]);
+	return 0;
+}`, Options{Files: files})
+	if err == nil {
+		t.Fatal("plain matrixMap must reject size-changing functions (§III-A.5)")
+	}
+}
+
+func TestMatrixMapGInconsistentSizesRejected(t *testing.T) {
+	data := matrix.New(matrix.Int, 3, 4)
+	for k := range data.Ints() {
+		data.Ints()[k] = int64(k)
+	}
+	files := map[string]*matrix.Matrix{"d.data": data}
+	_, _, _, err := run(t, `
+// result length depends on the row content: inconsistent across rows
+Matrix int <1> weird(Matrix int <1> row) {
+	return row[0 : (int)row[0] % 3];
+}
+int main() {
+	Matrix int <2> d = readMatrix("d.data");
+	Matrix int <2> out;
+	out = matrixMapG(weird, d, [1]);
+	return 0;
+}`, Options{Files: files})
+	if err == nil {
+		t.Fatal("inconsistent result sizes must be a runtime error")
+	}
+}

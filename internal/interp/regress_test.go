@@ -1,0 +1,78 @@
+package interp
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/parser"
+	"repro/internal/sem"
+	"repro/internal/source"
+)
+
+func runRepro(t *testing.T, src string) {
+	t.Helper()
+	data := matrix.New(matrix.Float, 6)
+	for k := range data.Floats() {
+		data.Floats()[k] = float64(k)
+	}
+	files := map[string]*matrix.Matrix{"v.data": data}
+	var di source.Diagnostics
+	prog := parser.ParseFile("t.xc", src, parser.AllExtensions(), &di)
+	if prog == nil {
+		t.Fatal(di.String())
+	}
+	info := sem.Check(prog, &di)
+	if di.HasErrors() {
+		t.Fatal(di.String())
+	}
+	var out bytes.Buffer
+	ii := New(prog, info, Options{Files: files, Stdout: &out, MaxSteps: 1000000})
+	defer ii.Close()
+	if _, err := ii.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := ii.Heap().CheckLeaks(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Regression: returning a matrix bound in a function's block used to
+// release it in the block's frame pop before the caller could take a
+// reference (use-after-free in the RC accounting).
+func TestReturnBoundLocalThroughBlocks(t *testing.T) {
+	runRepro(t, `
+(Matrix float <1>, int) half(Matrix float <1> ts, int i) {
+	return (ts[0 :: i], i + 1);
+}
+Matrix float <1> scoreTS(Matrix float <1> ts) {
+	Matrix float <1> trough;
+	int i = 1;
+	while (i < 4) {
+		(trough, i) = half(ts, i);
+	}
+	return trough;
+}
+int main() {
+	Matrix float <1> d = readMatrix("v.data");
+	Matrix float <1> s = scoreTS(d);
+	return 0;
+}`)
+}
+
+// Returning a bound local out of a for-loop scope.
+func TestReturnBoundLocalFromForLoop(t *testing.T) {
+	runRepro(t, `
+Matrix float <1> pick(Matrix float <1> v) {
+	for (int i = 0; i < 3; i++) {
+		Matrix float <1> w = v[0 :: i + 1];
+		if (i == 2) { return w; }
+	}
+	return v;
+}
+int main() {
+	Matrix float <1> d = readMatrix("v.data");
+	Matrix float <1> s = pick(d);
+	return dimSize(s, 0);
+}`)
+}

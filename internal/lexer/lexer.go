@@ -1,0 +1,134 @@
+// Package lexer implements a Copper-style context-aware scanner. The
+// parser passes in the set of terminals that are valid in its current
+// LR state, and the scanner matches only those (plus skip terminals
+// such as whitespace and comments). This is what lets language
+// extensions introduce keywords like "with" or "genarray" without
+// stealing them from host-language code that uses the same spellings
+// as identifiers: the keyword only exists where the grammar allows it.
+//
+// Disambiguation among valid terminals follows maximal munch: the
+// longest match wins; at equal length the higher-priority terminal
+// wins (keywords are declared with priority 1, identifier-class
+// terminals with 0); remaining ties go to declaration order.
+package lexer
+
+import (
+	"fmt"
+
+	"repro/internal/grammar"
+	"repro/internal/source"
+)
+
+// Scanner scans one source file against a grammar's terminal set.
+type Scanner struct {
+	file  *source.File
+	terms []*grammar.Terminal // non-skip terminals, declaration order
+	skips []*grammar.Terminal
+	first []([256]bool) // per non-skip terminal: possible first bytes
+	pos   int
+}
+
+// New creates a scanner for file using g's terminals.
+func New(g *grammar.Grammar, file *source.File) *Scanner {
+	s := &Scanner{file: file}
+	for _, t := range g.Terminals() {
+		if t.Skip {
+			s.skips = append(s.skips, t)
+		} else {
+			s.terms = append(s.terms, t)
+			s.first = append(s.first, t.Pattern.FirstBytes())
+		}
+	}
+	return s
+}
+
+// Pos returns the current byte offset, for tests.
+func (s *Scanner) Pos() int { return s.pos }
+
+// skipIgnorable consumes whitespace and comments.
+func (s *Scanner) skipIgnorable() {
+	for {
+		advanced := false
+		for _, t := range s.skips {
+			if n := t.Pattern.MatchPrefix(s.file.Content, s.pos); n > 0 {
+				s.pos += n
+				advanced = true
+			}
+		}
+		if !advanced {
+			return
+		}
+	}
+}
+
+// NextToken implements grammar.TokenSource. Terminals not in valid are
+// invisible to the match, which is the context-aware behaviour.
+func (s *Scanner) NextToken(valid map[string]bool) (grammar.Token, error) {
+	s.skipIgnorable()
+	if s.pos >= len(s.file.Content) {
+		return grammar.Token{
+			Terminal: grammar.EOFName,
+			Span:     s.file.SpanAt(s.pos, s.pos),
+		}, nil
+	}
+	b := s.file.Content[s.pos]
+	bestLen := -1
+	var best *grammar.Terminal
+	for i, t := range s.terms {
+		if valid != nil && !valid[t.Name] {
+			continue
+		}
+		if !s.first[i][b] {
+			continue
+		}
+		n := t.Pattern.MatchPrefix(s.file.Content, s.pos)
+		if n <= 0 {
+			continue
+		}
+		if n > bestLen || (n == bestLen && best != nil && t.Priority > best.Priority) {
+			bestLen = n
+			best = t
+		}
+	}
+	if best == nil {
+		span := s.file.SpanAt(s.pos, s.pos+1)
+		return grammar.Token{Terminal: "", Text: string(b), Span: span},
+			fmt.Errorf("%s: no valid token can start with %q", span, string(b))
+	}
+	tok := grammar.Token{
+		Terminal: best.Name,
+		Text:     s.file.Content[s.pos : s.pos+bestLen],
+		Span:     s.file.SpanAt(s.pos, s.pos+bestLen),
+	}
+	s.pos += bestLen
+	return tok, nil
+}
+
+// ScanAll scans the whole file context-free (all terminals valid).
+// Used for tests and tooling; real parsing uses NextToken with the
+// parser's valid sets.
+func (s *Scanner) ScanAll() ([]grammar.Token, error) {
+	var out []grammar.Token
+	for {
+		t, err := s.NextToken(nil)
+		if err != nil {
+			return out, err
+		}
+		if t.Terminal == grammar.EOFName {
+			return out, nil
+		}
+		out = append(out, t)
+	}
+}
+
+// StandardSkips returns the usual C whitespace and comment skip
+// terminals, shared by the host language spec.
+func StandardSkips(owner string) []*grammar.Terminal {
+	ws := grammar.Pat("WS", "[ \t\r\n]+", owner)
+	ws.Skip = true
+	line := grammar.Pat("LineComment", "//[^\n]*", owner)
+	line.Skip = true
+	block := grammar.Pat("BlockComment", "/\\*([^*]|\\*+[^*/])*\\*+/", owner)
+	block.Skip = true
+	return []*grammar.Terminal{ws, line, block}
+}

@@ -1,0 +1,188 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/grammar"
+	"repro/internal/source"
+)
+
+func testGrammar(t *testing.T) *grammar.Grammar {
+	t.Helper()
+	host := &grammar.Spec{
+		Name: grammar.HostOwner,
+		Terminals: append(StandardSkips(grammar.HostOwner),
+			grammar.Pat("Id", "[a-zA-Z_][a-zA-Z0-9_]*", grammar.HostOwner),
+			grammar.Pat("Num", "[0-9]+", grammar.HostOwner),
+			grammar.Lit("=", "=", grammar.HostOwner),
+			grammar.Lit("==", "==", grammar.HostOwner),
+			grammar.Lit(";", ";", grammar.HostOwner),
+		),
+		Nonterminals: []*grammar.Nonterminal{{Name: "S"}},
+		Productions: []*grammar.Production{
+			grammar.Rule(grammar.HostOwner, "S", []string{"Id", "=", "Num", ";"}, nil),
+		},
+	}
+	// The extension keyword "fold" is only valid after '=', so host
+	// code may freely use "fold" as an identifier elsewhere — the
+	// context-aware scanner resolves it per LR state.
+	ext := &grammar.Spec{
+		Name:      "m",
+		Terminals: []*grammar.Terminal{grammar.Lit("fold", "fold", "m")},
+		Productions: []*grammar.Production{
+			grammar.Rule("m", "S", []string{"Id", "=", "fold", "Num", ";"}, nil),
+		},
+	}
+	g, err := grammar.New("S", host, ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func scan(t *testing.T, g *grammar.Grammar, src string) []grammar.Token {
+	t.Helper()
+	s := New(g, source.NewFile("t.xc", src))
+	toks, err := s.ScanAll()
+	if err != nil {
+		t.Fatalf("scan %q: %v", src, err)
+	}
+	return toks
+}
+
+func kinds(toks []grammar.Token) string {
+	var parts []string
+	for _, t := range toks {
+		parts = append(parts, t.Terminal)
+	}
+	return strings.Join(parts, " ")
+}
+
+func TestBasicScan(t *testing.T) {
+	g := testGrammar(t)
+	toks := scan(t, g, "x = 42;")
+	if got := kinds(toks); got != "Id = Num ;" {
+		t.Errorf("kinds = %q", got)
+	}
+	if toks[2].Text != "42" {
+		t.Errorf("num text = %q", toks[2].Text)
+	}
+}
+
+func TestMaximalMunch(t *testing.T) {
+	g := testGrammar(t)
+	toks := scan(t, g, "a == b")
+	if got := kinds(toks); got != "Id == Id" {
+		t.Errorf("== should win over =: %q", got)
+	}
+	// keyword prefix of identifier: maximal munch picks the identifier
+	toks = scan(t, g, "folder")
+	if got := kinds(toks); got != "Id" {
+		t.Errorf("folder should scan as Id, got %q", got)
+	}
+}
+
+func TestKeywordPriorityAtTie(t *testing.T) {
+	g := testGrammar(t)
+	// context-free scan: both "fold" (kw) and Id match 4 chars; the
+	// keyword's priority 1 wins.
+	toks := scan(t, g, "fold")
+	if got := kinds(toks); got != "fold" {
+		t.Errorf("keyword should win tie: %q", got)
+	}
+}
+
+func TestContextAwareKeyword(t *testing.T) {
+	g := testGrammar(t)
+	s := New(g, source.NewFile("t.xc", "fold = 1;"))
+	// Simulate a host context where the extension keyword is NOT valid:
+	// the scanner must deliver an identifier instead.
+	valid := map[string]bool{"Id": true, "Num": true, "=": true, ";": true}
+	tok, err := s.NextToken(valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok.Terminal != "Id" || tok.Text != "fold" {
+		t.Errorf("in host context, 'fold' should scan as Id: %v", tok)
+	}
+	// And in an extension context it scans as the keyword.
+	s2 := New(g, source.NewFile("t.xc", "fold 3;"))
+	valid2 := map[string]bool{"Num": true, "fold": true}
+	tok2, err := s2.NextToken(valid2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok2.Terminal != "fold" {
+		t.Errorf("in extension context, 'fold' should scan as keyword: %v", tok2)
+	}
+}
+
+func TestSkipsCommentsAndWhitespace(t *testing.T) {
+	g := testGrammar(t)
+	src := "// line comment\n  x /* block\ncomment */ = 7 ; "
+	toks := scan(t, g, src)
+	if got := kinds(toks); got != "Id = Num ;" {
+		t.Errorf("kinds = %q", got)
+	}
+	// spans survive skipping
+	if toks[0].Span.Start.Line != 2 {
+		t.Errorf("x should be on line 2: %v", toks[0].Span)
+	}
+}
+
+func TestScanErrorOnBadChar(t *testing.T) {
+	g := testGrammar(t)
+	s := New(g, source.NewFile("t.xc", "x = @;"))
+	_, err := s.ScanAll()
+	if err == nil || !strings.Contains(err.Error(), "@") {
+		t.Errorf("expected scan error mentioning @, got %v", err)
+	}
+}
+
+func TestEOFToken(t *testing.T) {
+	g := testGrammar(t)
+	s := New(g, source.NewFile("t.xc", "  \n// nothing\n"))
+	tok, err := s.NextToken(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok.Terminal != grammar.EOFName {
+		t.Errorf("empty input should yield eof, got %v", tok)
+	}
+}
+
+// End-to-end: parse through the table so valid sets come from real LR
+// states; "with" used as an identifier in host syntax must parse.
+func TestEndToEndContextAware(t *testing.T) {
+	g := testGrammar(t)
+	tab, err := grammar.BuildTable(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Conflicts) != 0 {
+		t.Fatalf("conflicts: %v", tab.Conflicts)
+	}
+	// "fold = 3;" uses the extension keyword spelling as a host
+	// identifier (valid: 'fold' terminal is not legal at statement
+	// start); "x = fold 3;" uses it as the extension keyword.
+	for _, src := range []string{"fold = 3;", "x = 1;", "x = fold 3;"} {
+		s := New(g, source.NewFile("t.xc", src))
+		var d source.Diagnostics
+		_, ok := tab.Parse(s, &d)
+		if !ok {
+			t.Errorf("parse %q failed: %s", src, d.String())
+		}
+	}
+}
+
+func TestSpanOffsets(t *testing.T) {
+	g := testGrammar(t)
+	toks := scan(t, g, "ab = 12;")
+	if toks[0].Span.Start.Offset != 0 || toks[0].Span.End.Offset != 2 {
+		t.Errorf("Id span = %v", toks[0].Span)
+	}
+	if toks[2].Span.Start.Offset != 5 || toks[2].Span.End.Offset != 7 {
+		t.Errorf("Num span = %v", toks[2].Span)
+	}
+}

@@ -1,0 +1,233 @@
+// MATLAB-style indexing (§III-A.3): standard single-element indexing,
+// inclusive range indexing, whole-dimension ':' indexing, and logical
+// (bool mask) indexing, usable in any combination and on both sides of
+// assignment.
+package matrix
+
+import "fmt"
+
+// SpecKind discriminates IndexSpec.
+type SpecKind int
+
+// Index specification kinds.
+const (
+	SpecScalar SpecKind = iota // one position; dimension is dropped
+	SpecRange                  // inclusive [Lo, Hi]; dimension kept
+	SpecAll                    // ':'; dimension kept
+	SpecMask                   // rank-1 bool matrix; dimension kept
+)
+
+// IndexSpec describes the index applied to one dimension.
+type IndexSpec struct {
+	Kind   SpecKind
+	I      int     // SpecScalar
+	Lo, Hi int     // SpecRange (inclusive, like data[0:4] → 5 cells)
+	Mask   *Matrix // SpecMask
+}
+
+// Scalar builds a single-position spec.
+func Scalar(i int) IndexSpec { return IndexSpec{Kind: SpecScalar, I: i} }
+
+// Span builds an inclusive range spec.
+func Span(lo, hi int) IndexSpec { return IndexSpec{Kind: SpecRange, Lo: lo, Hi: hi} }
+
+// All builds a whole-dimension spec.
+func All() IndexSpec { return IndexSpec{Kind: SpecAll} }
+
+// Mask builds a logical-index spec from a rank-1 bool matrix.
+func Mask(m *Matrix) IndexSpec { return IndexSpec{Kind: SpecMask, Mask: m} }
+
+// dimSelection resolves one spec against a dimension size, returning
+// the selected positions (nil means the single scalar position).
+func dimSelection(spec IndexSpec, size, dim int) (scalar int, list []int, err error) {
+	switch spec.Kind {
+	case SpecScalar:
+		if spec.I < 0 || spec.I >= size {
+			return 0, nil, fmt.Errorf("matrix: index %d out of range [0,%d) in dimension %d", spec.I, size, dim)
+		}
+		return spec.I, nil, nil
+	case SpecRange:
+		if spec.Lo < 0 || spec.Hi >= size || spec.Lo > spec.Hi {
+			return 0, nil, fmt.Errorf("matrix: range %d:%d invalid for dimension %d of size %d", spec.Lo, spec.Hi, dim, size)
+		}
+		list = make([]int, spec.Hi-spec.Lo+1)
+		for k := range list {
+			list[k] = spec.Lo + k
+		}
+		return 0, list, nil
+	case SpecAll:
+		list = make([]int, size)
+		for k := range list {
+			list[k] = k
+		}
+		return 0, list, nil
+	case SpecMask:
+		mk := spec.Mask
+		if mk.elem != Bool || mk.Rank() != 1 {
+			return 0, nil, fmt.Errorf("matrix: logical index for dimension %d must be a rank-1 bool matrix", dim)
+		}
+		if mk.Size() != size {
+			return 0, nil, fmt.Errorf("matrix: logical index length %d does not match dimension %d of size %d", mk.Size(), dim, size)
+		}
+		for k, v := range mk.b {
+			if v {
+				list = append(list, k)
+			}
+		}
+		if list == nil {
+			list = []int{}
+		}
+		return 0, list, nil
+	}
+	return 0, nil, fmt.Errorf("matrix: unknown index spec kind %d", spec.Kind)
+}
+
+// selection is the resolved cross-product of per-dimension choices.
+type selection struct {
+	scalarOnly bool
+	scalars    []int   // fixed position per dimension (scalar dims)
+	lists      [][]int // selected positions for kept dims, nil for scalar dims
+	outShape   []int
+}
+
+func (m *Matrix) resolve(specs []IndexSpec) (*selection, error) {
+	if len(specs) != len(m.shape) {
+		return nil, fmt.Errorf("matrix: rank-%d matrix requires %d index expression(s), got %d",
+			len(m.shape), len(m.shape), len(specs))
+	}
+	sel := &selection{scalarOnly: true,
+		scalars: make([]int, len(specs)), lists: make([][]int, len(specs))}
+	for d, spec := range specs {
+		sc, list, err := dimSelection(spec, m.shape[d], d)
+		if err != nil {
+			return nil, err
+		}
+		if list == nil {
+			sel.scalars[d] = sc
+		} else {
+			sel.scalarOnly = false
+			sel.lists[d] = list
+			sel.outShape = append(sel.outShape, len(list))
+		}
+	}
+	return sel, nil
+}
+
+// forEach visits every selected cell, giving the source offset and the
+// destination linear offset in the selection's output shape.
+func (sel *selection) forEach(m *Matrix, f func(srcOff, dstOff int) error) error {
+	// counters over the kept dimensions
+	var keptDims []int
+	for d, l := range sel.lists {
+		if l != nil {
+			if len(l) == 0 {
+				return nil // empty selection (e.g. all-false mask)
+			}
+			keptDims = append(keptDims, d)
+		}
+	}
+	idx := make([]int, len(m.shape))
+	copy(idx, sel.scalars)
+	counters := make([]int, len(keptDims))
+	for {
+		srcOff := 0
+		for d := range idx {
+			v := idx[d]
+			if sel.lists[d] != nil {
+				v = sel.lists[d][counters[indexOf(keptDims, d)]]
+			}
+			srcOff += v * m.strides[d]
+		}
+		dstOff := 0
+		for k := range keptDims {
+			dstOff = dstOff*len(sel.lists[keptDims[k]]) + counters[k]
+		}
+		if err := f(srcOff, dstOff); err != nil {
+			return err
+		}
+		// advance counters
+		k := len(counters) - 1
+		for ; k >= 0; k-- {
+			counters[k]++
+			if counters[k] < len(sel.lists[keptDims[k]]) {
+				break
+			}
+			counters[k] = 0
+		}
+		if k < 0 {
+			return nil
+		}
+		if len(counters) == 0 {
+			return nil
+		}
+	}
+}
+
+func indexOf(xs []int, x int) int {
+	for i, v := range xs {
+		if v == x {
+			return i
+		}
+	}
+	return -1
+}
+
+// Index evaluates m[specs...]. All-scalar indexing returns the element
+// value (int64/float64/bool); otherwise a fresh matrix whose rank is
+// the number of kept dimensions.
+func (m *Matrix) Index(specs ...IndexSpec) (any, error) {
+	sel, err := m.resolve(specs)
+	if err != nil {
+		return nil, err
+	}
+	if sel.scalarOnly {
+		off, err := m.Offset(sel.scalars)
+		if err != nil {
+			return nil, err
+		}
+		return m.Get(off), nil
+	}
+	out := New(m.elem, sel.outShape...)
+	if out.Size() == 0 {
+		return out, nil
+	}
+	err = sel.forEach(m, func(srcOff, dstOff int) error {
+		return out.Set(dstOff, m.Get(srcOff))
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SetIndex assigns into m[specs...]. For an all-scalar selection v
+// must be a scalar; otherwise v may be a scalar (broadcast into the
+// selection) or a matrix whose size matches the selection.
+func (m *Matrix) SetIndex(v any, specs ...IndexSpec) error {
+	sel, err := m.resolve(specs)
+	if err != nil {
+		return err
+	}
+	if sel.scalarOnly {
+		off, err := m.Offset(sel.scalars)
+		if err != nil {
+			return err
+		}
+		return m.Set(off, v)
+	}
+	if src, ok := v.(*Matrix); ok {
+		want := 1
+		for _, d := range sel.outShape {
+			want *= d
+		}
+		if src.Size() != want {
+			return fmt.Errorf("matrix: cannot store %d element(s) into a selection of %d", src.Size(), want)
+		}
+		return sel.forEach(m, func(srcOff, dstOff int) error {
+			return m.Set(srcOff, src.Get(dstOff))
+		})
+	}
+	return sel.forEach(m, func(srcOff, dstOff int) error {
+		return m.Set(srcOff, v)
+	})
+}

@@ -1,0 +1,476 @@
+// Parallel execution of the with-loop (genarray and fold) and
+// matrixMap constructs (§III-A.4, §III-A.5, §III-C). The outermost
+// generated dimension is distributed over the fork-join pool; a nil
+// pool runs sequentially, which the interpreter uses for nested
+// parallel constructs (matching the generated C, which parallelizes
+// the outermost construct only).
+package matrix
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/par"
+)
+
+// BodyFunc computes a with-loop body value at one generator index.
+// The idx slice must not be retained.
+type BodyFunc func(idx []int) (any, error)
+
+// GenArray implements
+//
+//	with ([lower] <= [ids] < [upper]) genarray([shape], body)
+//
+// producing a matrix of the given element type and shape whose cells
+// inside the generator box hold body(idx) and 0 elsewhere. As §III-A.4
+// requires, the shape must be a superset of the generator box — a
+// runtime check.
+func GenArray(elem Elem, lower, upper, shape []int, body BodyFunc, pool *par.Pool) (*Matrix, error) {
+	if len(lower) != len(shape) || len(upper) != len(shape) {
+		return nil, fmt.Errorf("matrix: genarray shape rank %d does not match generator rank %d",
+			len(shape), len(lower))
+	}
+	for d := range shape {
+		if lower[d] < 0 || upper[d] > shape[d] {
+			return nil, fmt.Errorf(
+				"matrix: genarray shape %v is not a superset of the generator box [%v, %v) in dimension %d",
+				shape, lower, upper, d)
+		}
+	}
+	out := New(elem, shape...)
+	if out.Size() == 0 {
+		return out, nil
+	}
+	n0 := upper[0] - lower[0]
+	runRow := func(i0 int) error {
+		lo := append([]int{i0}, lower[1:]...)
+		hi := append([]int{i0 + 1}, upper[1:]...)
+		var ierr error
+		indexSpace(lo, hi, func(idx []int) {
+			if ierr != nil {
+				return
+			}
+			v, err := body(idx)
+			if err != nil {
+				ierr = err
+				return
+			}
+			off, err := out.Offset(idx)
+			if err != nil {
+				ierr = err
+				return
+			}
+			if err := out.Set(off, v); err != nil {
+				ierr = err
+			}
+		})
+		return ierr
+	}
+	if pool == nil || n0 < 2 {
+		for i0 := lower[0]; i0 < upper[0]; i0++ {
+			if err := runRow(i0); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	var mu sync.Mutex
+	var firstErr error
+	pool.ParallelFor(lower[0], upper[0], func(i0 int) {
+		if err := runRow(i0); err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+		}
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// FoldKind is the fold operator of §III-A.4.
+type FoldKind int
+
+// Fold operators.
+const (
+	FoldAdd FoldKind = iota
+	FoldMul
+	FoldMin
+	FoldMax
+)
+
+func (k FoldKind) String() string {
+	switch k {
+	case FoldAdd:
+		return "+"
+	case FoldMul:
+		return "*"
+	case FoldMin:
+		return "min"
+	case FoldMax:
+		return "max"
+	}
+	return "?"
+}
+
+func foldCombine(kind FoldKind, a, b any) (any, error) {
+	switch kind {
+	case FoldAdd:
+		return scalarOp(OpAdd, a, b)
+	case FoldMul:
+		return scalarOp(OpMul, a, b)
+	case FoldMin, FoldMax:
+		lt, err := scalarOp(OpLt, a, b)
+		if err != nil {
+			return nil, err
+		}
+		if lt.(bool) == (kind == FoldMin) {
+			return a, nil
+		}
+		return b, nil
+	}
+	return nil, fmt.Errorf("matrix: unknown fold kind %d", kind)
+}
+
+// Fold implements
+//
+//	with ([lower] <= [ids] < [upper]) fold(op, base, body)
+//
+// reducing body over the generator box with the associative operator,
+// starting from base. When a pool is supplied the outermost dimension
+// is folded in per-worker partials combined after the stop barrier —
+// valid because the fold operators are associative and commutative.
+func Fold(kind FoldKind, base any, lower, upper []int, body BodyFunc, pool *par.Pool) (any, error) {
+	if len(lower) != len(upper) {
+		return nil, fmt.Errorf("matrix: fold generator rank mismatch")
+	}
+	if len(lower) == 0 {
+		return base, nil
+	}
+	foldRow := func(i0 int, acc any) (any, error) {
+		lo := append([]int{i0}, lower[1:]...)
+		hi := append([]int{i0 + 1}, upper[1:]...)
+		var ierr error
+		indexSpace(lo, hi, func(idx []int) {
+			if ierr != nil {
+				return
+			}
+			v, err := body(idx)
+			if err != nil {
+				ierr = err
+				return
+			}
+			acc, err = foldCombine(kind, acc, v)
+			if err != nil {
+				ierr = err
+			}
+		})
+		return acc, ierr
+	}
+	n0 := upper[0] - lower[0]
+	if pool == nil || n0 < 2 {
+		acc := base
+		var err error
+		for i0 := lower[0]; i0 < upper[0]; i0++ {
+			acc, err = foldRow(i0, acc)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return acc, nil
+	}
+	// Parallel: per-worker partials seeded with the identity; base is
+	// combined exactly once at the end.
+	ident, err := foldIdentity(kind, base)
+	if err != nil {
+		return nil, err
+	}
+	partials := make([]any, pool.Workers())
+	errs := make([]error, pool.Workers())
+	pool.Run(func(worker, workers int) {
+		chunk := (n0 + workers - 1) / workers
+		start := lower[0] + worker*chunk
+		end := start + chunk
+		if end > upper[0] {
+			end = upper[0]
+		}
+		acc := ident
+		for i0 := start; i0 < end; i0++ {
+			var err error
+			acc, err = foldRow(i0, acc)
+			if err != nil {
+				errs[worker] = err
+				return
+			}
+		}
+		partials[worker] = acc
+	})
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	acc := base
+	for _, pv := range partials {
+		if pv == nil {
+			continue
+		}
+		acc, err = foldCombine(kind, acc, pv)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}
+
+// foldIdentity returns the identity element of kind in the numeric
+// type of base.
+func foldIdentity(kind FoldKind, base any) (any, error) {
+	_, isInt := toInt(base)
+	switch kind {
+	case FoldAdd:
+		if isInt {
+			return int64(0), nil
+		}
+		return float64(0), nil
+	case FoldMul:
+		if isInt {
+			return int64(1), nil
+		}
+		return float64(1), nil
+	case FoldMin:
+		if isInt {
+			return int64(1) << 62, nil
+		}
+		return float64(1e308), nil
+	case FoldMax:
+		if isInt {
+			return int64(-1) << 62, nil
+		}
+		return float64(-1e308), nil
+	}
+	return nil, fmt.Errorf("matrix: unknown fold kind %d", kind)
+}
+
+// MapFunc applies a user function to one sub-matrix in matrixMap.
+type MapFunc func(sub *Matrix) (*Matrix, error)
+
+// MatrixMap implements matrixMap(f, m, dims) (§III-A.5): f is applied
+// to the sub-matrix spanned by dims at every combination of the
+// remaining dimensions, which are iterated — in parallel on the pool —
+// and the results are reassembled into a matrix of m's shape ("the
+// result is always the same size and rank as the matrix getting
+// mapped over"). outElem is the element type of f's results.
+func MatrixMap(m *Matrix, dims []int, outElem Elem, f MapFunc, pool *par.Pool) (*Matrix, error) {
+	rank := m.Rank()
+	isMapped := make([]bool, rank)
+	for _, d := range dims {
+		if d < 0 || d >= rank {
+			return nil, fmt.Errorf("matrix: matrixMap dimension %d out of range for rank %d", d, rank)
+		}
+		if isMapped[d] {
+			return nil, fmt.Errorf("matrix: duplicate matrixMap dimension %d", d)
+		}
+		isMapped[d] = true
+	}
+	var iterDims []int
+	for d := 0; d < rank; d++ {
+		if !isMapped[d] {
+			iterDims = append(iterDims, d)
+		}
+	}
+	if len(iterDims) == 0 || len(dims) == 0 {
+		return nil, fmt.Errorf("matrix: matrixMap must keep between 1 and rank-1 dimensions")
+	}
+	out := New(outElem, m.shape...)
+	// Enumerate the iteration space linearly so the pool can split it.
+	iterSize := 1
+	for _, d := range iterDims {
+		iterSize *= m.shape[d]
+	}
+	var wantShape []int
+	for _, d := range dims {
+		wantShape = append(wantShape, m.shape[d])
+	}
+	runOne := func(it int) error {
+		// decode iteration index -> positions of the iterated dims
+		specs := make([]IndexSpec, rank)
+		rem := it
+		for k := len(iterDims) - 1; k >= 0; k-- {
+			d := iterDims[k]
+			specs[d] = Scalar(rem % m.shape[d])
+			rem /= m.shape[d]
+		}
+		for _, d := range dims {
+			specs[d] = All()
+		}
+		subAny, err := m.Index(specs...)
+		if err != nil {
+			return err
+		}
+		sub := subAny.(*Matrix)
+		res, err := f(sub)
+		if err != nil {
+			return err
+		}
+		if res.Rank() != len(dims) {
+			return fmt.Errorf("matrix: matrixMap function returned rank %d, want %d", res.Rank(), len(dims))
+		}
+		for k, d := range dims {
+			if res.shape[k] != m.shape[d] {
+				return fmt.Errorf("matrix: matrixMap function changed dimension size %v -> %v (result must have the mapped dimensions' sizes %v)",
+					m.shape[d], res.shape[k], wantShape)
+			}
+		}
+		if res.elem != outElem {
+			return fmt.Errorf("matrix: matrixMap function returned %s elements, want %s", res.elem, outElem)
+		}
+		return out.SetIndex(res, specs...)
+	}
+	if pool == nil || iterSize < 2 {
+		for it := 0; it < iterSize; it++ {
+			if err := runOne(it); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	var mu sync.Mutex
+	var firstErr error
+	pool.ParallelFor(0, iterSize, func(it int) {
+		if err := runOne(it); err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+		}
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// MatrixMapG is the generalized matrixMap the paper describes as in
+// development ("a generalization of this extension that removes this
+// restriction is being developed", §III-A.5): the mapped function may
+// return sub-matrices of a different size than it was given. The
+// output's mapped-dimension sizes are discovered from the first
+// application; every application must agree (checked at runtime).
+func MatrixMapG(m *Matrix, dims []int, outElem Elem, f MapFunc, pool *par.Pool) (*Matrix, error) {
+	rank := m.Rank()
+	isMapped := make([]bool, rank)
+	for _, d := range dims {
+		if d < 0 || d >= rank {
+			return nil, fmt.Errorf("matrix: matrixMapG dimension %d out of range for rank %d", d, rank)
+		}
+		if isMapped[d] {
+			return nil, fmt.Errorf("matrix: duplicate matrixMapG dimension %d", d)
+		}
+		isMapped[d] = true
+	}
+	var iterDims []int
+	for d := 0; d < rank; d++ {
+		if !isMapped[d] {
+			iterDims = append(iterDims, d)
+		}
+	}
+	if len(iterDims) == 0 || len(dims) == 0 {
+		return nil, fmt.Errorf("matrix: matrixMapG must keep between 1 and rank-1 dimensions")
+	}
+	iterSize := 1
+	for _, d := range iterDims {
+		iterSize *= m.shape[d]
+	}
+	specsFor := func(it int) []IndexSpec {
+		specs := make([]IndexSpec, rank)
+		rem := it
+		for k := len(iterDims) - 1; k >= 0; k-- {
+			d := iterDims[k]
+			specs[d] = Scalar(rem % m.shape[d])
+			rem /= m.shape[d]
+		}
+		for _, d := range dims {
+			specs[d] = All()
+		}
+		return specs
+	}
+	apply := func(it int) (*Matrix, error) {
+		subAny, err := m.Index(specsFor(it)...)
+		if err != nil {
+			return nil, err
+		}
+		res, err := f(subAny.(*Matrix))
+		if err != nil {
+			return nil, err
+		}
+		if res.Rank() != len(dims) {
+			return nil, fmt.Errorf("matrix: matrixMapG function returned rank %d, want %d", res.Rank(), len(dims))
+		}
+		if res.elem != outElem {
+			return nil, fmt.Errorf("matrix: matrixMapG function returned %s elements, want %s", res.elem, outElem)
+		}
+		return res, nil
+	}
+	if iterSize == 0 {
+		return New(outElem, m.shape...), nil
+	}
+	// Discover the output's mapped-dimension sizes from application 0.
+	first, err := apply(0)
+	if err != nil {
+		return nil, err
+	}
+	outShape := m.Shape()
+	for k, d := range dims {
+		outShape[d] = first.shape[k]
+	}
+	out := New(outElem, outShape...)
+	store := func(it int, res *Matrix) error {
+		for k, d := range dims {
+			if res.shape[k] != out.shape[d] {
+				return fmt.Errorf("matrix: matrixMapG applications disagree on result size (%v vs %v along dimension %d)",
+					res.shape[k], out.shape[d], d)
+			}
+		}
+		// The iterated positions are valid in out (same sizes there);
+		// the All() specs resolve against out's own mapped sizes.
+		return out.SetIndex(res, specsFor(it)...)
+	}
+	if err := store(0, first); err != nil {
+		return nil, err
+	}
+	runOne := func(it int) error {
+		res, err := apply(it)
+		if err != nil {
+			return err
+		}
+		return store(it, res)
+	}
+	if pool == nil || iterSize < 3 {
+		for it := 1; it < iterSize; it++ {
+			if err := runOne(it); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	var mu sync.Mutex
+	var firstErr error
+	pool.ParallelFor(1, iterSize, func(it int) {
+		if err := runOne(it); err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+		}
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

@@ -1,0 +1,556 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rc"
+)
+
+func seqFloat(shape ...int) *Matrix {
+	m := New(Float, shape...)
+	for k := range m.f {
+		m.f[k] = float64(k)
+	}
+	return m
+}
+
+func TestShapeAndAccess(t *testing.T) {
+	m := New(Float, 2, 3, 4)
+	if m.Rank() != 3 || m.Size() != 24 {
+		t.Fatalf("rank/size = %d/%d", m.Rank(), m.Size())
+	}
+	if d, _ := m.DimSize(1); d != 3 {
+		t.Errorf("dimSize(1) = %d", d)
+	}
+	if _, err := m.DimSize(3); err == nil {
+		t.Error("dimSize out of range should error")
+	}
+	if err := m.SetAt(2.5, 1, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.At(1, 2, 3)
+	if err != nil || v.(float64) != 2.5 {
+		t.Errorf("At = %v, %v", v, err)
+	}
+	if _, err := m.At(2, 0, 0); err == nil {
+		t.Error("out of range At should error")
+	}
+	if _, err := m.At(0, 0); err == nil {
+		t.Error("wrong arity At should error")
+	}
+}
+
+func TestSetPromotion(t *testing.T) {
+	m := New(Float, 1)
+	if err := m.Set(0, int64(3)); err != nil || m.f[0] != 3.0 {
+		t.Error("int should promote into float matrix")
+	}
+	mi := New(Int, 1)
+	if err := mi.Set(0, 1.5); err == nil {
+		t.Error("float into int matrix should error")
+	}
+	mb := New(Bool, 1)
+	if err := mb.Set(0, int64(1)); err == nil {
+		t.Error("int into bool matrix should error")
+	}
+}
+
+func TestRangeVector(t *testing.T) {
+	r := Range(3, 7)
+	if r.Rank() != 1 || r.Size() != 5 || r.i[0] != 3 || r.i[4] != 7 {
+		t.Errorf("Range(3,7) = %v", r)
+	}
+	if Range(5, 4).Size() != 0 {
+		t.Error("inverted range should be empty")
+	}
+}
+
+// §III-A.3(a): standard indexing extracts a single element.
+func TestScalarIndexing(t *testing.T) {
+	m := seqFloat(7, 5, 3)
+	v, err := m.Index(Scalar(6), Scalar(4), Scalar(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := m.At(6, 4, 1)
+	if v != want {
+		t.Errorf("m[6,4,1] = %v, want %v", v, want)
+	}
+}
+
+// §III-A.3(b): data[0:4, end-4:end, 0:4] returns a 5x5x5 matrix.
+func TestRangeIndexing(t *testing.T) {
+	m := seqFloat(10, 10, 10)
+	end := 9
+	v, err := m.Index(Span(0, 4), Span(end-4, end), Span(0, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := v.(*Matrix)
+	if sub.Rank() != 3 || sub.shape[0] != 5 || sub.shape[1] != 5 || sub.shape[2] != 5 {
+		t.Fatalf("shape = %v, want 5x5x5 (paper §III-A.3(b))", sub.shape)
+	}
+	got, _ := sub.At(0, 0, 0)
+	want, _ := m.At(0, 5, 0)
+	if got != want {
+		t.Errorf("corner = %v, want %v", got, want)
+	}
+}
+
+// §III-A.3(c): data[0, end, :] returns a vector of size dimSize(data,2).
+func TestWholeDimIndexing(t *testing.T) {
+	m := seqFloat(4, 5, 6)
+	v, err := m.Index(Scalar(0), Scalar(4), All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec := v.(*Matrix)
+	if vec.Rank() != 1 || vec.Size() != 6 {
+		t.Fatalf("shape = %v, want [6]", vec.shape)
+	}
+	for k := 0; k < 6; k++ {
+		want, _ := m.At(0, 4, k)
+		if vec.f[k] != want.(float64) {
+			t.Errorf("vec[%d] = %v, want %v", k, vec.f[k], want)
+		}
+	}
+}
+
+// §III-A.3(d): logical indexing with v % 2 == 1 over dimension 0.
+func TestLogicalIndexing(t *testing.T) {
+	m := seqFloat(6, 4)
+	mask := FromBools([]bool{false, true, false, true, false, true}, 6)
+	v, err := m.Index(Mask(mask), All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := v.(*Matrix)
+	if sub.shape[0] != 3 || sub.shape[1] != 4 {
+		t.Fatalf("shape = %v, want [3 4]", sub.shape)
+	}
+	got, _ := sub.At(1, 2)
+	want, _ := m.At(3, 2)
+	if got != want {
+		t.Errorf("sub[1,2] = %v, want %v", got, want)
+	}
+	// empty mask selection
+	none := New(Bool, 6)
+	v, err = m.Index(Mask(none), All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(*Matrix).shape[0] != 0 {
+		t.Error("all-false mask should select 0 rows")
+	}
+}
+
+func TestIndexErrors(t *testing.T) {
+	m := seqFloat(3, 3)
+	cases := [][]IndexSpec{
+		{Scalar(3), Scalar(0)},                    // out of range
+		{Scalar(-1), Scalar(0)},                   // negative
+		{Span(2, 1), All()},                       // inverted range
+		{Span(0, 3), All()},                       // range beyond end
+		{Scalar(0)},                               // wrong arity
+		{Mask(FromBools([]bool{true}, 1)), All()}, // mask length mismatch
+		{Mask(seqFloat(3)), All()},                // mask not bool
+	}
+	for i, specs := range cases {
+		if _, err := m.Index(specs...); err == nil {
+			t.Errorf("case %d should error", i)
+		}
+	}
+}
+
+// Indexing works on the left-hand side of assignment too (§III-A.3).
+func TestSetIndex(t *testing.T) {
+	m := seqFloat(4, 4)
+	// scalar store
+	if err := m.SetIndex(99.0, Scalar(1), Scalar(1)); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.At(1, 1); v.(float64) != 99.0 {
+		t.Error("scalar store failed")
+	}
+	// slice store from a matrix: scores[beginning:i] = computeArea(trough)
+	row := FromFloats([]float64{-1, -2, -3}, 3)
+	if err := m.SetIndex(row, Scalar(2), Span(1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 3; k++ {
+		if v, _ := m.At(2, 1+k); v.(float64) != row.f[k] {
+			t.Errorf("slice store [2,%d] = %v", 1+k, v)
+		}
+	}
+	// broadcast scalar into selection
+	if err := m.SetIndex(7.0, All(), Scalar(0)); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 4; r++ {
+		if v, _ := m.At(r, 0); v.(float64) != 7.0 {
+			t.Errorf("broadcast store [%d,0] = %v", r, v)
+		}
+	}
+	// size mismatch
+	if err := m.SetIndex(row, All(), Scalar(0)); err == nil {
+		t.Error("store size mismatch should error")
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := FromFloats([]float64{1, 2, 3, 4}, 2, 2)
+	b := FromFloats([]float64{10, 20, 30, 40}, 2, 2)
+	sum, err := Elementwise(OpAdd, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.f[3] != 44 {
+		t.Errorf("sum[3] = %v", sum.f[3])
+	}
+	cmp, err := Elementwise(OpLt, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.elem != Bool || !cmp.b[0] {
+		t.Error("comparison should give bool matrix")
+	}
+	if _, err := Elementwise(OpAdd, a, seqFloat(3, 3)); err == nil {
+		t.Error("shape mismatch should error")
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	a := FromInts([]int64{1, 2, 3}, 3)
+	out, err := Broadcast(OpMul, a, int64(2), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.elem != Int || out.i[2] != 6 {
+		t.Errorf("broadcast = %v", out)
+	}
+	// int matrix * float scalar promotes
+	outf, err := Broadcast(OpMul, a, 0.5, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outf.elem != Float || outf.f[1] != 1.0 {
+		t.Errorf("promoted broadcast = %v", outf)
+	}
+	// scalar on the left: 10 - a
+	outl, err := Broadcast(OpSub, a, int64(10), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outl.i[0] != 9 {
+		t.Errorf("left broadcast = %v", outl)
+	}
+	// comparison: ssh < i (Fig 4)
+	cmp, err := Broadcast(OpLt, a, int64(3), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.elem != Bool || !cmp.b[0] || cmp.b[2] {
+		t.Errorf("compare broadcast = %v", cmp)
+	}
+}
+
+func TestMatMul(t *testing.T) {
+	a := FromFloats([]float64{1, 2, 3, 4}, 2, 2)
+	id := FromFloats([]float64{1, 0, 0, 1}, 2, 2)
+	out, err := MatMul(a, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(out, a) {
+		t.Errorf("a * I = %v", out)
+	}
+	b := FromFloats([]float64{5, 6, 7, 8}, 2, 2)
+	out, _ = MatMul(a, b)
+	want := FromFloats([]float64{19, 22, 43, 50}, 2, 2)
+	if !Equal(out, want) {
+		t.Errorf("a*b = %v, want %v", out, want)
+	}
+	ai := FromInts([]int64{1, 2, 3, 4}, 2, 2)
+	outi, err := MatMul(ai, ai)
+	if err != nil || outi.elem != Int || outi.i[0] != 7 {
+		t.Errorf("int matmul = %v (%v)", outi, err)
+	}
+	if _, err := MatMul(a, seqFloat(3, 2)); err == nil {
+		t.Error("inner dimension mismatch should error")
+	}
+	if _, err := MatMul(seqFloat(2), a); err == nil {
+		t.Error("rank-1 matmul should error")
+	}
+}
+
+func TestUnary(t *testing.T) {
+	a := FromInts([]int64{1, -2}, 2)
+	n, err := Unary(true, a)
+	if err != nil || n.i[0] != -1 || n.i[1] != 2 {
+		t.Errorf("neg = %v (%v)", n, err)
+	}
+	b := FromBools([]bool{true, false}, 2)
+	nb, err := Unary(false, b)
+	if err != nil || nb.b[0] || !nb.b[1] {
+		t.Errorf("not = %v (%v)", nb, err)
+	}
+	if _, err := Unary(true, b); err == nil {
+		t.Error("negating bool matrix should error")
+	}
+	if _, err := Unary(false, a); err == nil {
+		t.Error("logical not of int matrix should error")
+	}
+}
+
+func TestGenArraySequential(t *testing.T) {
+	// with ([0,0] <= [i,j] < [2,3]) genarray([2,3], i*10+j)
+	out, err := GenArray(Int, []int{0, 0}, []int{2, 3}, []int{2, 3},
+		func(idx []int) (any, error) { return int64(idx[0]*10 + idx[1]), nil }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FromInts([]int64{0, 1, 2, 10, 11, 12}, 2, 3)
+	if !Equal(out, want) {
+		t.Errorf("genarray = %v, want %v", out, want)
+	}
+}
+
+func TestGenArraySubsetZeroFill(t *testing.T) {
+	// generator covers a subset; the rest is 0 (§III-A.4).
+	out, err := GenArray(Int, []int{1, 1}, []int{3, 3}, []int{4, 4},
+		func(idx []int) (any, error) { return int64(1), nil }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ones := 0
+	for _, v := range out.i {
+		if v == 1 {
+			ones++
+		} else if v != 0 {
+			t.Fatalf("unexpected value %d", v)
+		}
+	}
+	if ones != 4 {
+		t.Errorf("ones = %d, want 4", ones)
+	}
+}
+
+func TestGenArraySupersetCheck(t *testing.T) {
+	// "the shape in the operation must be a superset of the indexes in
+	// the generator, which is something that can be checked at runtime"
+	_, err := GenArray(Int, []int{0}, []int{10}, []int{5},
+		func(idx []int) (any, error) { return int64(0), nil }, nil)
+	if err == nil {
+		t.Fatal("generator exceeding shape must be a runtime error")
+	}
+}
+
+func TestFoldKinds(t *testing.T) {
+	body := func(idx []int) (any, error) { return int64(idx[0]), nil }
+	sum, err := Fold(FoldAdd, int64(0), []int{0}, []int{10}, body, nil)
+	if err != nil || sum.(int64) != 45 {
+		t.Errorf("fold + = %v (%v)", sum, err)
+	}
+	prod, err := Fold(FoldMul, int64(1), []int{1}, []int{5}, body, nil)
+	if err != nil || prod.(int64) != 24 {
+		t.Errorf("fold * = %v (%v)", prod, err)
+	}
+	mn, err := Fold(FoldMin, int64(100), []int{3}, []int{9}, body, nil)
+	if err != nil || mn.(int64) != 3 {
+		t.Errorf("fold min = %v (%v)", mn, err)
+	}
+	mx, err := Fold(FoldMax, int64(-100), []int{3}, []int{9}, body, nil)
+	if err != nil || mx.(int64) != 8 {
+		t.Errorf("fold max = %v (%v)", mx, err)
+	}
+	// float fold (Fig 1's temporal mean numerator)
+	fsum, err := Fold(FoldAdd, 0.0, []int{0}, []int{4},
+		func(idx []int) (any, error) { return float64(idx[0]) + 0.5, nil }, nil)
+	if err != nil || fsum.(float64) != 8.0 {
+		t.Errorf("float fold = %v (%v)", fsum, err)
+	}
+	// empty generator returns base
+	e, err := Fold(FoldAdd, int64(7), []int{5}, []int{5}, body, nil)
+	if err != nil || e.(int64) != 7 {
+		t.Errorf("empty fold = %v (%v)", e, err)
+	}
+}
+
+func TestMatrixMapSequential(t *testing.T) {
+	// double every element of each row vector (dims = [1])
+	m := seqFloat(3, 4)
+	out, err := MatrixMap(m, []int{1}, Float, func(sub *Matrix) (*Matrix, error) {
+		return Broadcast(OpMul, sub, 2.0, true)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.SameShape(m) {
+		t.Fatalf("matrixMap changed shape: %v", out.shape)
+	}
+	for k := range m.f {
+		if out.f[k] != 2*m.f[k] {
+			t.Fatalf("out[%d] = %v", k, out.f[k])
+		}
+	}
+}
+
+func TestMatrixMapEquivalentToExplicitLoop(t *testing.T) {
+	// Fig 5: matrixMap(f, ssh, [0,1]) ≡ loop over dim 2 applying f.
+	ssh := seqFloat(4, 5, 6)
+	f := func(sub *Matrix) (*Matrix, error) { return Broadcast(OpAdd, sub, 1.0, true) }
+	got, err := MatrixMap(ssh, []int{0, 1}, Float, f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := New(Float, 4, 5, 6)
+	for k := 0; k < 6; k++ {
+		subAny, _ := ssh.Index(All(), All(), Scalar(k))
+		res, _ := f(subAny.(*Matrix))
+		if err := want.SetIndex(res, All(), All(), Scalar(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !Equal(got, want) {
+		t.Fatal("matrixMap result differs from explicit dim-2 loop (Fig 5 equivalence)")
+	}
+}
+
+func TestMatrixMapErrors(t *testing.T) {
+	m := seqFloat(3, 4)
+	double := func(sub *Matrix) (*Matrix, error) { return sub.Copy(), nil }
+	if _, err := MatrixMap(m, []int{0, 1}, Float, double, nil); err == nil {
+		t.Error("mapping all dims should error")
+	}
+	if _, err := MatrixMap(m, nil, Float, double, nil); err == nil {
+		t.Error("mapping no dims should error")
+	}
+	if _, err := MatrixMap(m, []int{5}, Float, double, nil); err == nil {
+		t.Error("out-of-range dim should error")
+	}
+	if _, err := MatrixMap(m, []int{1, 1}, Float, double, nil); err == nil {
+		t.Error("duplicate dim should error")
+	}
+	bad := func(sub *Matrix) (*Matrix, error) { return New(Float, 2), nil }
+	if _, err := MatrixMap(m, []int{1}, Float, bad, nil); err == nil {
+		t.Error("size-changing function should error")
+	}
+}
+
+func TestTrackedAllocation(t *testing.T) {
+	h := rc.NewHeap()
+	m := NewTracked(h, Float, 10, 10)
+	if m.Hdr == nil || m.Hdr.Size() != 800 {
+		t.Fatalf("tracked header = %+v", m.Hdr)
+	}
+	m.Hdr.DecRef()
+	if err := h.CheckLeaks(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEqualAndAlmostEqual(t *testing.T) {
+	a := FromFloats([]float64{1, 2}, 2)
+	b := FromFloats([]float64{1, 2.0000001}, 2)
+	if Equal(a, b) {
+		t.Error("Equal should be exact")
+	}
+	if !AlmostEqual(a, b, 1e-5) {
+		t.Error("AlmostEqual should tolerate eps")
+	}
+	if Equal(a, FromInts([]int64{1, 2}, 2)) {
+		t.Error("different elem types are not equal")
+	}
+}
+
+// Property: slice composition — indexing twice equals composed range.
+func TestQuickRangeComposition(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 10 + r.Intn(20)
+		m := seqFloat(n)
+		lo1 := r.Intn(n - 2)
+		hi1 := lo1 + 1 + r.Intn(n-lo1-1)
+		subAny, err := m.Index(Span(lo1, hi1))
+		if err != nil {
+			return false
+		}
+		sub := subAny.(*Matrix)
+		k := sub.Size()
+		lo2 := r.Intn(k)
+		hi2 := lo2 + r.Intn(k-lo2)
+		inner, err := sub.Index(Span(lo2, hi2))
+		if err != nil {
+			return false
+		}
+		direct, err := m.Index(Span(lo1+lo2, lo1+hi2))
+		if err != nil {
+			return false
+		}
+		return Equal(inner.(*Matrix), direct.(*Matrix))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: get after set returns the stored value.
+func TestQuickGetSet(t *testing.T) {
+	m := New(Float, 5, 5, 5)
+	f := func(i, j, k uint8, v float64) bool {
+		idx := []int{int(i) % 5, int(j) % 5, int(k) % 5}
+		if err := m.SetAt(v, idx...); err != nil {
+			return false
+		}
+		got, err := m.At(idx...)
+		return err == nil && got.(float64) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: logical indexing keeps exactly the masked rows in order.
+func TestQuickLogicalIndexLaws(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(12)
+		m := seqFloat(n, 3)
+		bits := make([]bool, n)
+		count := 0
+		for i := range bits {
+			bits[i] = r.Intn(2) == 0
+			if bits[i] {
+				count++
+			}
+		}
+		outAny, err := m.Index(Mask(FromBools(bits, n)), All())
+		if err != nil {
+			return false
+		}
+		out := outAny.(*Matrix)
+		if out.shape[0] != count {
+			return false
+		}
+		row := 0
+		for i := 0; i < n; i++ {
+			if !bits[i] {
+				continue
+			}
+			for c := 0; c < 3; c++ {
+				want, _ := m.At(i, c)
+				got, _ := out.At(row, c)
+				if want != got {
+					return false
+				}
+			}
+			row++
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

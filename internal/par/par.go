@@ -1,0 +1,181 @@
+// Package par implements the paper's enhanced fork-join execution
+// model (§III-C, adopted from SAC): worker threads are spawned once at
+// program start and sent "straight into a spin lock where they sit
+// idle until some parallel work is to be done". When the main thread
+// encounters a parallel construct it releases all workers at once;
+// each worker passes through a stop barrier when done and returns to
+// the spin lock, while the main thread waits in the stop barrier until
+// all workers have finished.
+//
+// Workers are goroutines pinned conceptually to cores; the spin uses
+// atomic generation counters with a Gosched backoff so a pool larger
+// than GOMAXPROCS still makes progress.
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Pool is a spawn-once worker pool.
+type Pool struct {
+	nWorkers int
+	gen      atomic.Uint64 // work generation; bumped to release workers
+	done     atomic.Int64  // stop barrier: workers done with current gen
+	stop     atomic.Bool
+
+	body func(worker, n int) // current work item
+}
+
+// NewPool spawns n workers (n < 1 means GOMAXPROCS). The workers spin
+// until work arrives or the pool is shut down.
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{nWorkers: n}
+	for w := 0; w < n; w++ {
+		go p.worker(w)
+	}
+	return p
+}
+
+// Workers returns the worker count.
+func (p *Pool) Workers() int { return p.nWorkers }
+
+// worker is the spin-lock loop of §III-C.
+func (p *Pool) worker(id int) {
+	lastGen := uint64(0)
+	for {
+		// Spin lock: wait for the generation counter to advance.
+		spins := 0
+		for {
+			if p.stop.Load() {
+				return
+			}
+			g := p.gen.Load()
+			if g != lastGen {
+				lastGen = g
+				break
+			}
+			spins++
+			if spins%64 == 0 {
+				// Backoff so oversubscribed pools still progress.
+				runtime.Gosched()
+			}
+		}
+		// Execute this worker's share of the released work.
+		p.body(id, p.nWorkers)
+		// Stop barrier: last worker out signals the main thread.
+		p.done.Add(1)
+	}
+}
+
+// Run releases the workers on body and waits in the stop barrier until
+// all have completed. body(worker, nWorkers) must partition its own
+// iteration space by worker id (see ParallelFor for the common case).
+// Run is not reentrant: with-loop nests parallelize the outermost
+// construct, inner constructs run sequentially inside a worker (the
+// generated C of §III-C behaves the same way).
+func (p *Pool) Run(body func(worker, n int)) {
+	p.body = body
+	p.done.Store(0)
+	p.gen.Add(1) // release the spin lock
+	// Main thread waits in the stop barrier.
+	spins := 0
+	for p.done.Load() < int64(p.nWorkers) {
+		spins++
+		if spins%64 == 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Shutdown terminates the workers. The pool must be idle.
+func (p *Pool) Shutdown() { p.stop.Store(true) }
+
+// ParallelFor executes f(i) for i in [lo, hi) across the pool using a
+// block distribution, matching the static scheduling of the generated
+// pthread code.
+func (p *Pool) ParallelFor(lo, hi int, f func(i int)) {
+	if hi <= lo {
+		return
+	}
+	n := hi - lo
+	if n == 1 {
+		f(lo)
+		return
+	}
+	p.Run(func(worker, workers int) {
+		chunk := (n + workers - 1) / workers
+		start := lo + worker*chunk
+		end := start + chunk
+		if end > hi {
+			end = hi
+		}
+		for i := start; i < end; i++ {
+			f(i)
+		}
+	})
+}
+
+// ParallelReduce folds f(i) for i in [lo, hi) with the associative
+// combiner, computing per-worker partials in the released workers and
+// combining them in the main thread after the stop barrier.
+func (p *Pool) ParallelReduce(lo, hi int, identity float64,
+	f func(i int) float64, combine func(a, b float64) float64) float64 {
+	if hi <= lo {
+		return identity
+	}
+	n := hi - lo
+	partials := make([]float64, p.nWorkers)
+	p.Run(func(worker, workers int) {
+		chunk := (n + workers - 1) / workers
+		start := lo + worker*chunk
+		end := start + chunk
+		if end > hi {
+			end = hi
+		}
+		acc := identity
+		for i := start; i < end; i++ {
+			acc = combine(acc, f(i))
+		}
+		partials[worker] = acc
+	})
+	acc := identity
+	for _, v := range partials {
+		acc = combine(acc, v)
+	}
+	return acc
+}
+
+// NaiveSpawn is the fork-join model the paper contrasts against:
+// spawn fresh goroutines for each parallel region and join them.
+// Kept for benchmark E8 (pool vs naive overhead).
+func NaiveSpawn(workers, lo, hi int, f func(i int)) {
+	if hi <= lo {
+		return
+	}
+	n := hi - lo
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ch := make(chan struct{}, workers)
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			start := lo + w*chunk
+			end := start + chunk
+			if end > hi {
+				end = hi
+			}
+			for i := start; i < end; i++ {
+				f(i)
+			}
+			ch <- struct{}{}
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		<-ch
+	}
+}

@@ -1,0 +1,43 @@
+// The Cilk-style parallelism extension. §VIII names this as the next
+// extension the authors were developing ("an extension that adds Cilk
+// [4] style parallelism constructs to C. The goal is to determine how
+// sophisticated run-times, like in Cilk, can be delivered as a
+// pluggable language extension") — implemented here to demonstrate
+// exactly that: task parallelism as a composable extension with its
+// own marker-initiated syntax, attribute-grammar semantics, runtime
+// (goroutine futures in the interpreter) and pthread code generation.
+//
+// Syntax:
+//
+//	spawn x = f(args);   // run f asynchronously; x receives the result at sync
+//	spawn f(args);       // fire-and-forget (synced before function exit)
+//	sync;                // wait for all spawns of the enclosing function
+package parser
+
+import (
+	"repro/internal/ast"
+	"repro/internal/grammar"
+)
+
+// OwnerCilk tags the Cilk extension's spec.
+const OwnerCilk = "cilk"
+
+// CilkSpec builds the Cilk extension grammar fragment. Both bridge
+// productions start with extension-owned marker terminals (spawn,
+// sync), so the extension passes the modular determinism analysis.
+func CilkSpec() *grammar.Spec {
+	b := newSpecBuilder(OwnerCilk)
+	b.term(grammar.Lit("spawn", "spawn", OwnerCilk))
+	b.term(grammar.Lit("sync", "sync", OwnerCilk))
+
+	b.rule("Stmt", "spawn Identifier = Expr ;", func(c []any) any {
+		return &ast.SpawnStmt{Target: tk(c[1]).Text, Call: ex(c[3])}
+	})
+	b.rule("Stmt", "spawn Expr ;", func(c []any) any {
+		return &ast.SpawnStmt{Call: ex(c[1])}
+	})
+	b.rule("Stmt", "sync ;", func(c []any) any {
+		return &ast.SyncStmt{}
+	})
+	return b.spec
+}

@@ -1,0 +1,428 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/grammar"
+	"repro/internal/source"
+)
+
+func mustParse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	var d source.Diagnostics
+	p := ParseFile("test.xc", src, AllExtensions(), &d)
+	if p == nil {
+		t.Fatalf("parse failed:\n%s", d.String())
+	}
+	return p
+}
+
+func TestComposedGrammarConflictFree(t *testing.T) {
+	for _, o := range []Options{{}, {Matrix: true}, {Matrix: true, Transform: true}, AllExtensions()} {
+		tab, err := BuildTable(o)
+		if err != nil {
+			t.Fatalf("options %+v: %v", o, err)
+		}
+		if n := len(tab.Conflicts); n != 0 {
+			t.Errorf("options %+v: %d conflicts, first: %s", o, n, tab.Conflicts[0])
+		}
+	}
+}
+
+// Fig 1: the temporal-mean program, the paper's recurring example.
+const fig1Src = `
+int main() {
+	Matrix float <3> mat = readMatrix("ssh.data");
+	int m = dimSize(mat, 0);
+	int n = dimSize(mat, 1);
+	int p = dimSize(mat, 2);
+	Matrix float <2> means;
+	means = with ([0, 0] <= [i, j] < [m, n])
+		genarray([m, n],
+			with ([0] <= [k] < [p])
+				fold(+, 0.0, mat[i, j, k]) / p);
+	writeMatrix("means.data", means);
+	return 0;
+}
+`
+
+func TestParseFig1TemporalMean(t *testing.T) {
+	p := mustParse(t, fig1Src)
+	if len(p.Decls) != 1 {
+		t.Fatalf("decls = %d", len(p.Decls))
+	}
+	fn := p.Decls[0].(*ast.FuncDecl)
+	if fn.Name != "main" {
+		t.Fatalf("func name = %s", fn.Name)
+	}
+	// Find the with-loop assignment.
+	var w *ast.WithLoop
+	for _, s := range fn.Body.Stmts {
+		if a, ok := s.(*ast.AssignStmt); ok {
+			if wl, ok := a.RHS.(*ast.WithLoop); ok {
+				w = wl
+			}
+		}
+	}
+	if w == nil {
+		t.Fatal("no with-loop found")
+	}
+	if len(w.Ids) != 2 || w.Ids[0] != "i" || w.Ids[1] != "j" {
+		t.Errorf("with ids = %v", w.Ids)
+	}
+	ga, ok := w.Op.(*ast.GenArrayOp)
+	if !ok {
+		t.Fatalf("outer op = %T", w.Op)
+	}
+	// body is (inner fold-with / p)
+	div, ok := ga.Body.(*ast.BinaryExpr)
+	if !ok || div.Op != ast.OpDiv {
+		t.Fatalf("genarray body = %s", ast.ExprString(ga.Body))
+	}
+	inner, ok := div.L.(*ast.WithLoop)
+	if !ok {
+		t.Fatalf("inner = %T", div.L)
+	}
+	fo, ok := inner.Op.(*ast.FoldOp)
+	if !ok || fo.Kind != ast.FoldAdd {
+		t.Fatalf("inner op = %v", inner.Op)
+	}
+	idx, ok := fo.Body.(*ast.IndexExpr)
+	if !ok || len(idx.Args) != 3 {
+		t.Fatalf("fold body = %s", ast.ExprString(fo.Body))
+	}
+}
+
+// Fig 9: explicit transformations on the temporal-mean with-loops.
+const fig9Src = `
+int main() {
+	Matrix float <3> mat = readMatrix("ssh.data");
+	int m = dimSize(mat, 0);
+	int n = dimSize(mat, 1);
+	int p = dimSize(mat, 2);
+	Matrix float <2> means;
+	means = with ([0, 0] <= [i, j] < [m, n])
+		genarray([m, n],
+			with ([0] <= [k] < [p])
+				fold(+, 0.0, mat[i, j, k]) / p)
+		transform
+			split j by 4, jin, jout.
+			vectorize jin.
+			parallelize i;
+	return 0;
+}
+`
+
+func TestParseFig9Transforms(t *testing.T) {
+	p := mustParse(t, fig9Src)
+	fn := p.Decls[0].(*ast.FuncDecl)
+	var w *ast.WithLoop
+	for _, s := range fn.Body.Stmts {
+		if a, ok := s.(*ast.AssignStmt); ok {
+			if wl, ok := a.RHS.(*ast.WithLoop); ok {
+				w = wl
+			}
+		}
+	}
+	if w == nil {
+		t.Fatal("no with-loop")
+	}
+	if len(w.Transforms) != 3 {
+		t.Fatalf("transforms = %d, want 3", len(w.Transforms))
+	}
+	sp, ok := w.Transforms[0].(*ast.SplitClause)
+	if !ok || sp.Index != "j" || sp.Inner != "jin" || sp.Outer != "jout" {
+		t.Errorf("split clause = %v", ast.TransformString(w.Transforms[0]))
+	}
+	if v, ok := w.Transforms[1].(*ast.VectorizeClause); !ok || v.Index != "jin" {
+		t.Errorf("vectorize clause = %v", ast.TransformString(w.Transforms[1]))
+	}
+	if pz, ok := w.Transforms[2].(*ast.ParallelizeClause); !ok || pz.Index != "i" {
+		t.Errorf("parallelize clause = %v", ast.TransformString(w.Transforms[2]))
+	}
+}
+
+// Fig 8 (abridged): tuples, ranges with ::, end, matrixMap over dim 2.
+const fig8Src = `
+(Matrix float <1>, int, int) getTrough(Matrix float <1> ts, int i) {
+	int beginning = i;
+	int n = dimSize(ts, 0);
+	while (i + 1 < n && ts[i] >= ts[i + 1])
+		i = i + 1;
+	while (i + 1 < n && ts[i] < ts[i + 1])
+		i = i + 1;
+	return (ts[beginning :: i], beginning, i);
+}
+
+Matrix float <1> computeArea(Matrix float <1> areaOfInterest) {
+	float y1 = areaOfInterest[0];
+	float y2 = areaOfInterest[end];
+	int x1 = 0;
+	int x2 = dimSize(areaOfInterest, 0) - 1;
+	float m = (y1 - y2) / (float)(x1 - x2);
+	float b = y1 - m * x1;
+	Matrix float <1> Line = [x1 :: x2] * m + b;
+	float area = with ([0] <= [i] < [dimSize(Line, 0)])
+		fold(+, 0.0, Line[i] - areaOfInterest[i]);
+	return with ([0] <= [i] < [dimSize(Line, 0)])
+		genarray([dimSize(Line, 0)], area);
+}
+
+Matrix float <1> scoreTS(Matrix float <1> ts) {
+	Matrix float <1> scores = init(Matrix float <1>, dimSize(ts, 0));
+	int i = 0;
+	while (ts[i] < ts[i + 1])
+		i = i + 1;
+	int n = dimSize(ts, 0);
+	int beginning = 0;
+	Matrix float <1> trough;
+	while (i < n - 1) {
+		(trough, beginning, i) = getTrough(ts, i);
+		scores[beginning : i] = computeArea(trough);
+	}
+	return scores;
+}
+
+int main() {
+	Matrix float <3> data = readMatrix("ssh.data");
+	Matrix float <3> scores;
+	scores = matrixMap(scoreTS, data, [2]);
+	writeMatrix("temporalScores.data", scores);
+	return 0;
+}
+`
+
+func TestParseFig8EddyScoring(t *testing.T) {
+	p := mustParse(t, fig8Src)
+	if len(p.Decls) != 4 {
+		t.Fatalf("decls = %d", len(p.Decls))
+	}
+	gt := p.Decls[0].(*ast.FuncDecl)
+	tt, ok := gt.Ret.(*ast.TupleType)
+	if !ok || len(tt.Elems) != 3 {
+		t.Fatalf("getTrough return type = %s", ast.TypeString(gt.Ret))
+	}
+	// return (ts[beginning::i], beginning, i) is a TupleExpr
+	last := gt.Body.Stmts[len(gt.Body.Stmts)-1].(*ast.ReturnStmt)
+	tup, ok := last.Value.(*ast.TupleExpr)
+	if !ok || len(tup.Elems) != 3 {
+		t.Fatalf("return value = %s", ast.ExprString(last.Value))
+	}
+	// scoreTS contains a destructuring assignment and an indexed store.
+	sc := p.Decls[2].(*ast.FuncDecl)
+	found := 0
+	var walk func(s ast.Stmt)
+	walk = func(s ast.Stmt) {
+		switch s := s.(type) {
+		case *ast.BlockStmt:
+			for _, x := range s.Stmts {
+				walk(x)
+			}
+		case *ast.WhileStmt:
+			walk(s.Body)
+		case *ast.AssignStmt:
+			if len(s.LHS) == 3 {
+				found++
+			}
+			if len(s.LHS) == 1 {
+				if _, ok := s.LHS[0].(*ast.IndexExpr); ok {
+					found++
+				}
+			}
+		}
+	}
+	walk(sc.Body)
+	if found < 2 {
+		t.Errorf("expected destructuring assign and indexed store in scoreTS, found %d", found)
+	}
+	// main has the matrixMap over dim 2.
+	mm := p.Decls[3].(*ast.FuncDecl)
+	var m *ast.MatrixMap
+	for _, s := range mm.Body.Stmts {
+		if a, ok := s.(*ast.AssignStmt); ok {
+			if x, ok := a.RHS.(*ast.MatrixMap); ok {
+				m = x
+			}
+		}
+	}
+	if m == nil || m.Fun != "scoreTS" || len(m.Dims) != 1 {
+		t.Fatalf("matrixMap = %v", m)
+	}
+}
+
+// Fig 4 style: logical indexing, whole-dimension ':', matrix compare.
+const fig4Src = `
+Matrix int <2> connComp(Matrix float <2> ssh) {
+	Matrix int <2> labels = init(Matrix int <2>, 721, 1440);
+	for (int i = -100; i < 100; i++) {
+		Matrix bool <2> binary = ssh < i;
+	}
+	return labels;
+}
+
+int main() {
+	Matrix float <3> ssh = readMatrix("ssh.data");
+	Matrix int <1> dates = readMatrix("dates.data");
+	ssh = ssh[:, :, dates >= 20000101];
+	Matrix int <3> labels = matrixMap(connComp, ssh, [0, 1]);
+	writeMatrix("eddyLabels.data", labels);
+	return 0;
+}
+`
+
+func TestParseFig4ConnComp(t *testing.T) {
+	p := mustParse(t, fig4Src)
+	main := p.Decls[1].(*ast.FuncDecl)
+	// ssh = ssh[:, :, dates >= 20000101];
+	var idx *ast.IndexExpr
+	for _, s := range main.Body.Stmts {
+		if a, ok := s.(*ast.AssignStmt); ok {
+			if x, ok := a.RHS.(*ast.IndexExpr); ok {
+				idx = x
+			}
+		}
+	}
+	if idx == nil || len(idx.Args) != 3 {
+		t.Fatal("logical-index assignment not found")
+	}
+	if _, ok := idx.Args[0].(*ast.IdxAll); !ok {
+		t.Errorf("arg0 = %T, want IdxAll", idx.Args[0])
+	}
+	if _, ok := idx.Args[1].(*ast.IdxAll); !ok {
+		t.Errorf("arg1 = %T, want IdxAll", idx.Args[1])
+	}
+	sc, ok := idx.Args[2].(*ast.IdxScalar)
+	if !ok {
+		t.Fatalf("arg2 = %T, want IdxScalar(mask expr)", idx.Args[2])
+	}
+	if be, ok := sc.X.(*ast.BinaryExpr); !ok || be.Op != ast.OpGe {
+		t.Errorf("mask expr = %s", ast.ExprString(sc.X))
+	}
+}
+
+func TestParseMisc(t *testing.T) {
+	srcs := []string{
+		// extension keyword spellings usable as host identifiers where
+		// the keyword is not grammatically valid (context-aware scanning)
+		`int main() { int by = 2; int split = by + 1; return split; }`,
+		// refcount extension
+		`int main() { refcounted int * p = rcnew(41); rcset(p, rcget(p) + 1); return rcget(p); }`,
+		// matrix arithmetic incl elementwise .* vs matmul *
+		`int main() {
+			Matrix float <2> a = init(Matrix float <2>, 4, 4);
+			Matrix float <2> b = a .* a + a * a - a / 2.0;
+			Matrix bool <2> c = a == b;
+			return 0;
+		}`,
+		// ranges with end arithmetic (paper §III-A.3(b))
+		`int main() {
+			Matrix float <3> d = readMatrix("x");
+			Matrix float <3> e = d[0:4, end - 4 : end, 0:4];
+			return 0;
+		}`,
+		// dangling else binds to nearest if
+		`int main() { if (true) if (false) return 1; else return 2; return 3; }`,
+		// tile and unroll transform clauses
+		`int main() {
+			Matrix float <2> a = init(Matrix float <2>, 8, 8);
+			Matrix float <2> r;
+			r = with ([0,0] <= [x,y] < [8,8]) genarray([8,8], a[x,y] * 2.0)
+				transform tile x by 4, y by 4. unroll y by 2;
+			return 0;
+		}`,
+		// global variables
+		`int g = 42; float h; int main() { return g; }`,
+		// void function, break/continue
+		`void f() { for (;;) { break; } } int main() { f(); return 0; }`,
+	}
+	for i, src := range srcs {
+		var d source.Diagnostics
+		if p := ParseFile("t.xc", src, AllExtensions(), &d); p == nil {
+			t.Errorf("program %d failed:\n%s", i, d.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`int main() { return 0 }`,                                  // missing ;
+		`int main() { x = ; }`,                                     // missing rhs
+		`int main() { with ([0] <= [1] < [2]) genarray([1], 0); }`, // ids must be identifiers
+		`int main( { return 0; }`,                                  // bad params
+		`int main() { a[; }`,                                       // bad index
+	}
+	for i, src := range bad {
+		var d source.Diagnostics
+		if p := ParseFile("t.xc", src, AllExtensions(), &d); p != nil {
+			t.Errorf("program %d should fail to parse", i)
+		}
+		if !d.HasErrors() {
+			t.Errorf("program %d should record diagnostics", i)
+		}
+	}
+}
+
+func TestSpansArePopulated(t *testing.T) {
+	p := mustParse(t, fig1Src)
+	fn := p.Decls[0].(*ast.FuncDecl)
+	if !fn.Span().Start.IsValid() {
+		t.Error("function has no span")
+	}
+	if fn.Body.Stmts[0].Span().Start.Line != 3 {
+		t.Errorf("first stmt line = %d, want 3", fn.Body.Stmts[0].Span().Start.Line)
+	}
+}
+
+func TestStandaloneTupleSpecsForAnalysis(t *testing.T) {
+	// The standalone tuple extension fails the modular determinism
+	// analysis (host "(" initial terminal), the fixed one passes —
+	// reproducing the paper's §VI-A discussion on the real grammars.
+	r := grammar.IsComposable(StartSymbol, HostSpecCore(), TupleSpec())
+	if r.Passed {
+		t.Error("standalone tuple extension must fail the analysis")
+	}
+	r2 := grammar.IsComposable(StartSymbol, HostSpecCore(), TupleFixedSpec())
+	if !r2.Passed {
+		t.Errorf("fixed tuple extension should pass: %s", r2)
+	}
+}
+
+func TestMatrixExtensionPassesAnalysis(t *testing.T) {
+	r := grammar.IsComposable(StartSymbol, HostSpec(), MatrixSpec())
+	if !r.Passed {
+		t.Fatalf("matrix extension must pass the analysis, as in the paper: %s", r)
+	}
+	if len(r.Markers) == 0 || !strings.Contains(strings.Join(r.Markers, " "), "with") {
+		t.Errorf("markers = %v", r.Markers)
+	}
+}
+
+func TestTransformExtensionPassesAnalysis(t *testing.T) {
+	// The transform extension extends the matrix extension, so its
+	// "host" for the analysis is CMINUS ∪ matrix.
+	merged := HostSpec()
+	m := MatrixSpec()
+	merged.Terminals = append(merged.Terminals, m.Terminals...)
+	merged.Nonterminals = append(merged.Nonterminals, m.Nonterminals...)
+	merged.Productions = append(merged.Productions, m.Productions...)
+	// Re-tag the matrix parts as host for this analysis run.
+	for _, t2 := range m.Terminals {
+		t2.Owner = grammar.HostOwner
+	}
+	for _, p := range m.Productions {
+		p.Owner = grammar.HostOwner
+	}
+	r := grammar.IsComposable(StartSymbol, merged, TransformSpec())
+	if !r.Passed {
+		t.Fatalf("transform extension must pass the analysis: %s", r)
+	}
+}
+
+func TestRcExtensionPassesAnalysis(t *testing.T) {
+	r := grammar.IsComposable(StartSymbol, HostSpec(), RcSpec())
+	if !r.Passed {
+		t.Fatalf("rc extension must pass the analysis: %s", r)
+	}
+}

@@ -1,0 +1,89 @@
+package parser
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/source"
+)
+
+// The front end must never panic: random byte soup, random token soup
+// and truncations of valid programs must all produce diagnostics (or
+// parse), never crash.
+func TestQuickParserNeverPanics(t *testing.T) {
+	f := func(raw []byte) bool {
+		var d source.Diagnostics
+		// ParseFile must return nil+diags or a program; panics fail
+		// the test via the testing framework.
+		p := ParseFile("fuzz.xc", string(raw), AllExtensions(), &d)
+		return p != nil || d.Len() > 0 || len(strings.TrimSpace(string(raw))) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTokenSoupNeverPanics(t *testing.T) {
+	words := []string{
+		"int", "float", "Matrix", "with", "genarray", "fold", "matrixMap",
+		"init", "transform", "split", "by", "vectorize", "parallelize",
+		"spawn", "sync", "refcounted", "rcnew", "if", "else", "while",
+		"for", "return", "(", ")", "[", "]", "{", "}", ",", ";", "=",
+		"+", "-", "*", "/", "%", "<", "<=", ">", ">=", "==", "!=", ".*",
+		"::", ":", "end", "x", "y", "main", "42", "3.14", `"f.data"`,
+	}
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		var b strings.Builder
+		for i := 0; i < int(n); i++ {
+			b.WriteString(words[r.Intn(len(words))])
+			b.WriteByte(' ')
+		}
+		var d source.Diagnostics
+		p := ParseFile("soup.xc", b.String(), AllExtensions(), &d)
+		return p != nil || d.Len() > 0 || n == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTruncationsOfValidProgram(t *testing.T) {
+	// every prefix of a valid program either parses or errors cleanly
+	for i := 0; i <= len(fig8Src); i += 7 {
+		var d source.Diagnostics
+		ParseFile("trunc.xc", fig8Src[:i], AllExtensions(), &d)
+	}
+}
+
+func TestUnterminatedConstructs(t *testing.T) {
+	bad := []string{
+		`int main() { /* unterminated comment`,
+		`int main() { Matrix float <`,
+		`int main() { x = with ([0] <= [i] < `,
+		`int main() { "unterminated string`,
+		`int main() { a[0`,
+		`(int, float`,
+	}
+	for _, src := range bad {
+		var d source.Diagnostics
+		if p := ParseFile("bad.xc", src, AllExtensions(), &d); p != nil {
+			t.Errorf("%q should not parse", src)
+		}
+		if d.Len() == 0 {
+			t.Errorf("%q should produce diagnostics", src)
+		}
+	}
+}
+
+func TestDeeplyNestedExpressions(t *testing.T) {
+	// deep nesting must not blow the table-driven parser
+	src := "int main() { return " + strings.Repeat("(", 200) + "1" +
+		strings.Repeat(")", 200) + "; }"
+	var d source.Diagnostics
+	if p := ParseFile("deep.xc", src, AllExtensions(), &d); p == nil {
+		t.Fatalf("deep nesting failed: %s", d.String())
+	}
+}

@@ -1,0 +1,253 @@
+// Package rc models the reference-counting memory management of
+// §III-B: every allocation carries a (4-byte, in the paper) reference
+// count header; copies increment it, scope exits and reassignments
+// decrement it, and the data is freed when the count reaches zero.
+// The package also models the allocator-scalability discussion of
+// §III-C — a global-lock allocator versus a sharded per-thread arena
+// allocator — for benchmark E9.
+//
+// The matrix runtime (internal/matrix) and the interpreter use this
+// package so that RC invariant violations (double free, use after
+// free, leaks) become detectable test failures rather than silent
+// corruption.
+package rc
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Header is the per-allocation reference count record — the "extra 4
+// bytes attached to every piece of memory" of §III-B.
+type Header struct {
+	count int32
+	freed atomic.Bool
+	size  int
+	heap  *Heap
+}
+
+// Heap tracks live allocations for leak accounting.
+type Heap struct {
+	live      atomic.Int64
+	liveBytes atomic.Int64
+	allocs    atomic.Int64
+	frees     atomic.Int64
+	// OnFree, if set, observes each release (used by arena models).
+	OnFree func(size int)
+}
+
+// NewHeap creates an empty heap.
+func NewHeap() *Heap { return &Heap{} }
+
+// DefaultHeap is used by package-level helpers and the matrix runtime.
+var DefaultHeap = NewHeap()
+
+// Alloc records a new allocation with reference count 1.
+func (h *Heap) Alloc(size int) *Header {
+	h.live.Add(1)
+	h.liveBytes.Add(int64(size))
+	h.allocs.Add(1)
+	return &Header{count: 1, size: size, heap: h}
+}
+
+// IncRef increments the reference count ("another variable also
+// becomes a reference for that same piece of data").
+func (hd *Header) IncRef() {
+	if hd == nil {
+		return
+	}
+	if hd.freed.Load() {
+		panic("rc: IncRef on freed allocation (use after free)")
+	}
+	atomic.AddInt32(&hd.count, 1)
+}
+
+// DecRef decrements the count; at zero the allocation is freed.
+// Returns true if this call freed the data.
+func (hd *Header) DecRef() bool {
+	if hd == nil {
+		return false
+	}
+	if hd.freed.Load() {
+		panic("rc: DecRef on freed allocation (double free)")
+	}
+	n := atomic.AddInt32(&hd.count, -1)
+	if n < 0 {
+		panic("rc: reference count went negative")
+	}
+	if n == 0 {
+		hd.freed.Store(true)
+		hd.heap.live.Add(-1)
+		hd.heap.liveBytes.Add(-int64(hd.size))
+		hd.heap.frees.Add(1)
+		if hd.heap.OnFree != nil {
+			hd.heap.OnFree(hd.size)
+		}
+		return true
+	}
+	return false
+}
+
+// Count returns the current reference count.
+func (hd *Header) Count() int32 { return atomic.LoadInt32(&hd.count) }
+
+// Freed reports whether the allocation was released.
+func (hd *Header) Freed() bool { return hd.freed.Load() }
+
+// Size returns the allocation size recorded at Alloc.
+func (hd *Header) Size() int { return hd.size }
+
+// Stats is a snapshot of heap accounting.
+type Stats struct {
+	Live      int64
+	LiveBytes int64
+	Allocs    int64
+	Frees     int64
+}
+
+// Stats returns the current counters.
+func (h *Heap) Stats() Stats {
+	return Stats{
+		Live:      h.live.Load(),
+		LiveBytes: h.liveBytes.Load(),
+		Allocs:    h.allocs.Load(),
+		Frees:     h.frees.Load(),
+	}
+}
+
+// CheckLeaks returns an error when live allocations remain — used by
+// tests to enforce the RC discipline end to end.
+func (h *Heap) CheckLeaks() error {
+	if s := h.Stats(); s.Live != 0 {
+		return fmt.Errorf("rc: %d allocation(s) (%d bytes) leaked", s.Live, s.LiveBytes)
+	}
+	return nil
+}
+
+// --- Allocator contention models (§III-C, benchmark E9) ---
+
+// Allocator is the interface both contention models implement.
+type Allocator interface {
+	Allocate(size int) int // returns a block id
+	Free(id int)
+	Name() string
+}
+
+// GlobalLockAllocator models "some implementations of malloc [...]
+// naively implemented using a mutex lock to deal with contention over
+// the heap": one free list guarded by one mutex.
+type GlobalLockAllocator struct {
+	mu       sync.Mutex
+	nextID   int
+	freeList []int
+	sizes    map[int]int
+	// HoldWork simulates per-operation critical-section work
+	// (bookkeeping walks); larger values model slower allocators.
+	HoldWork int
+}
+
+// NewGlobalLock creates the global-lock model.
+func NewGlobalLock(holdWork int) *GlobalLockAllocator {
+	return &GlobalLockAllocator{sizes: map[int]int{}, HoldWork: holdWork}
+}
+
+// Name implements Allocator.
+func (g *GlobalLockAllocator) Name() string { return "global-lock" }
+
+// Allocate implements Allocator.
+func (g *GlobalLockAllocator) Allocate(size int) int {
+	g.mu.Lock()
+	spin(g.HoldWork)
+	var id int
+	if n := len(g.freeList); n > 0 {
+		id = g.freeList[n-1]
+		g.freeList = g.freeList[:n-1]
+	} else {
+		g.nextID++
+		id = g.nextID
+	}
+	g.sizes[id] = size
+	g.mu.Unlock()
+	return id
+}
+
+// Free implements Allocator.
+func (g *GlobalLockAllocator) Free(id int) {
+	g.mu.Lock()
+	spin(g.HoldWork)
+	delete(g.sizes, id)
+	g.freeList = append(g.freeList, id)
+	g.mu.Unlock()
+}
+
+// ArenaAllocator models the per-thread arena design ("more recent
+// implementations separate the heap into arenas as soon as contention
+// is detected"): allocations hash to one of N independently locked
+// arenas, so threads rarely contend.
+type ArenaAllocator struct {
+	arenas   []arena
+	next     atomic.Int64
+	HoldWork int
+}
+
+type arena struct {
+	mu       sync.Mutex
+	freeList []int
+	sizes    map[int]int
+	nextID   int
+	_        [40]byte // padding to keep arenas off the same cache line
+}
+
+// NewArena creates an arena allocator with n shards.
+func NewArena(n, holdWork int) *ArenaAllocator {
+	a := &ArenaAllocator{arenas: make([]arena, n), HoldWork: holdWork}
+	for i := range a.arenas {
+		a.arenas[i].sizes = map[int]int{}
+	}
+	return a
+}
+
+// Name implements Allocator.
+func (a *ArenaAllocator) Name() string { return "sharded-arena" }
+
+// Allocate implements Allocator. Block ids encode the arena index so
+// Free returns the block to its own arena without a global lookup.
+func (a *ArenaAllocator) Allocate(size int) int {
+	shard := int(a.next.Add(1)) % len(a.arenas)
+	ar := &a.arenas[shard]
+	ar.mu.Lock()
+	spin(a.HoldWork)
+	var local int
+	if n := len(ar.freeList); n > 0 {
+		local = ar.freeList[n-1]
+		ar.freeList = ar.freeList[:n-1]
+	} else {
+		ar.nextID++
+		local = ar.nextID
+	}
+	ar.sizes[local] = size
+	ar.mu.Unlock()
+	return local*len(a.arenas) + shard
+}
+
+// Free implements Allocator.
+func (a *ArenaAllocator) Free(id int) {
+	shard := id % len(a.arenas)
+	local := id / len(a.arenas)
+	ar := &a.arenas[shard]
+	ar.mu.Lock()
+	spin(a.HoldWork)
+	delete(ar.sizes, local)
+	ar.freeList = append(ar.freeList, local)
+	ar.mu.Unlock()
+}
+
+// spin burns a deterministic amount of CPU inside a critical section.
+func spin(n int) {
+	x := 1
+	for i := 0; i < n; i++ {
+		x = x*1103515245 + 12345
+	}
+	_ = x
+}

@@ -1,0 +1,196 @@
+package rx
+
+import (
+	"math/rand"
+	"regexp"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLiteralMatch(t *testing.T) {
+	n := Literal("with")
+	if !n.Matches("with") {
+		t.Fatal("Literal(with) should match with")
+	}
+	if n.Matches("withx") || n.Matches("wit") {
+		t.Fatal("Literal(with) should only match exactly")
+	}
+}
+
+func TestLiteralMetachars(t *testing.T) {
+	for _, s := range []string{"(", ")", "[", "]", "**", "a+b", "c?", "a|b", ".", "\\"} {
+		n := Literal(s)
+		if !n.Matches(s) {
+			t.Errorf("Literal(%q) should match itself", s)
+		}
+	}
+}
+
+func TestIdentifierPattern(t *testing.T) {
+	id := MustCompile("[a-zA-Z_][a-zA-Z0-9_]*")
+	cases := map[string]bool{
+		"x":       true,
+		"_foo":    true,
+		"a1B2_c3": true,
+		"1abc":    false,
+		"":        false,
+		"a-b":     false,
+	}
+	for s, want := range cases {
+		if got := id.Matches(s); got != want {
+			t.Errorf("id.Matches(%q) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestNumberPatterns(t *testing.T) {
+	intLit := MustCompile("[0-9]+")
+	floatLit := MustCompile("[0-9]+\\.[0-9]+")
+	if !intLit.Matches("007") || intLit.Matches("1.5") {
+		t.Error("int literal pattern wrong")
+	}
+	if !floatLit.Matches("3.14") || floatLit.Matches("3") || floatLit.Matches(".5") {
+		t.Error("float literal pattern wrong")
+	}
+}
+
+func TestAlternationAndGroups(t *testing.T) {
+	n := MustCompile("(ab|cd)+e?")
+	for s, want := range map[string]bool{
+		"ab": true, "cd": true, "abcd": true, "abcde": true,
+		"e": false, "abc": false, "": false,
+	} {
+		if got := n.Matches(s); got != want {
+			t.Errorf("Matches(%q) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestNegatedClass(t *testing.T) {
+	// C-style string literal: " ( [^"\n] )* "
+	str := MustCompile("\"[^\"\n]*\"")
+	if !str.Matches(`"hello world"`) {
+		t.Error("string literal should match")
+	}
+	if str.Matches(`"unterminated`) || str.Matches("\"two\nlines\"") {
+		t.Error("string literal should not match unterminated/multiline")
+	}
+}
+
+func TestMatchPrefixLongest(t *testing.T) {
+	n := MustCompile("a+")
+	if got := n.MatchPrefix("aaab", 0); got != 3 {
+		t.Errorf("MatchPrefix = %d, want 3", got)
+	}
+	if got := n.MatchPrefix("baaa", 0); got != -1 {
+		t.Errorf("MatchPrefix on non-match = %d, want -1", got)
+	}
+	if got := n.MatchPrefix("baaa", 1); got != 3 {
+		t.Errorf("MatchPrefix at offset = %d, want 3", got)
+	}
+}
+
+func TestBlockComment(t *testing.T) {
+	// /* ... */ without nesting: /\*([^*]|\*+[^*/])*\*+/
+	n := MustCompile("/\\*([^*]|\\*+[^*/])*\\*+/")
+	if !n.Matches("/* hello */") || !n.Matches("/**/") || !n.Matches("/* a * b */") {
+		t.Error("block comment should match")
+	}
+	if n.Matches("/* unterminated") {
+		t.Error("unterminated comment should not match")
+	}
+	// longest prefix should stop at first close
+	if got := n.MatchPrefix("/* a */ x = 1; /* b */", 0); got != 7 {
+		t.Errorf("comment prefix = %d, want 7", got)
+	}
+}
+
+func TestAcceptsEmpty(t *testing.T) {
+	if MustCompile("a*").AcceptsEmpty() != true {
+		t.Error("a* accepts empty")
+	}
+	if MustCompile("a+").AcceptsEmpty() != false {
+		t.Error("a+ does not accept empty")
+	}
+}
+
+func TestFirstBytes(t *testing.T) {
+	fb := MustCompile("(with|when)").FirstBytes()
+	if !fb['w'] {
+		t.Error("first byte should include w")
+	}
+	for b := 0; b < 256; b++ {
+		if b != 'w' && fb[b] {
+			t.Errorf("unexpected first byte %q", byte(b))
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	bad := []string{"(", "[", "a)", "*a", "[z-a]", "a\\", "[]"}
+	for _, p := range bad {
+		if _, err := Compile(p); err == nil {
+			t.Errorf("Compile(%q) should fail", p)
+		}
+	}
+}
+
+// TestQuickAgainstStdRegexp cross-checks our engine against the
+// standard library on randomly generated inputs over a small alphabet.
+func TestQuickAgainstStdRegexp(t *testing.T) {
+	patterns := []string{
+		"a(b|c)*d",
+		"[ab]+c?",
+		"(ab)+",
+		"a*b*c*",
+		"[^a]b+",
+		"(a|b)(a|b)(a|b)",
+	}
+	for _, p := range patterns {
+		mine := MustCompile(p)
+		std := regexp.MustCompile("^(" + p + ")$")
+		f := func(seed int64, n uint8) bool {
+			r := rand.New(rand.NewSource(seed))
+			var b strings.Builder
+			for i := 0; i < int(n%12); i++ {
+				b.WriteByte("abcd"[r.Intn(4)])
+			}
+			s := b.String()
+			return mine.Matches(s) == std.MatchString(s)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("pattern %q disagrees with std regexp: %v", p, err)
+		}
+	}
+}
+
+// TestQuickPrefixConsistency: MatchPrefix result, when >= 0, must be a
+// length whose prefix Matches, and no longer prefix may match.
+func TestQuickPrefixConsistency(t *testing.T) {
+	n := MustCompile("(ab|a)*b?")
+	f := func(seed int64, ln uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		var b strings.Builder
+		for i := 0; i < int(ln%10); i++ {
+			b.WriteByte("ab"[r.Intn(2)])
+		}
+		s := b.String()
+		k := n.MatchPrefix(s, 0)
+		if k < 0 {
+			return !n.Matches("")
+		}
+		if !n.Matches(s[:k]) {
+			return false
+		}
+		for j := k + 1; j <= len(s); j++ {
+			if n.Matches(s[:j]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

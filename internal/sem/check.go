@@ -1,0 +1,42 @@
+// Public entry point: compose the semantic attribute-grammar
+// specifications and evaluate them over a parsed program.
+package sem
+
+import (
+	"repro/internal/ast"
+	"repro/internal/attr"
+	"repro/internal/source"
+)
+
+// ComposeAG builds the composed semantic attribute grammar for the
+// full language (host + matrix + transform + rc library bindings),
+// wiring inferred results into info.
+func ComposeAG(info *Info) (*attr.Grammar, error) {
+	builtins := hostBuiltins()
+	for name, f := range rcBuiltins() {
+		builtins[name] = f
+	}
+	return attr.Compose(HostAG(info, builtins), MatrixAG(info), TransformAG(info), CilkAG(info))
+}
+
+// Check type-checks prog, recording diagnostics in diags and
+// returning the analysis results. The returned Info is valid for
+// downstream use only if diags has no errors.
+func Check(prog *ast.Program, diags *source.Diagnostics) *Info {
+	info := NewInfo()
+	g, err := ComposeAG(info)
+	if err != nil {
+		diags.Errorf(prog.Span(), "internal error composing semantic specification: %v", err)
+		return info
+	}
+	tree := BuildTree(g, prog)
+	v, err := tree.SafeSyn("errs")
+	if err != nil {
+		diags.Errorf(prog.Span(), "internal error during semantic analysis: %v", err)
+		return info
+	}
+	for _, d := range v.(errlist) {
+		diags.Add(d)
+	}
+	return info
+}

@@ -1,0 +1,219 @@
+// Package source provides source positions, spans and diagnostic
+// reporting shared by the scanner, parser and semantic analysis.
+package source
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Pos is a position in a source file. Line and Col are 1-based;
+// Offset is the 0-based byte offset.
+type Pos struct {
+	Offset int
+	Line   int
+	Col    int
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// NoPos is the zero position, used for synthesized nodes.
+var NoPos = Pos{}
+
+// IsValid reports whether p refers to an actual source location.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// Span is a half-open region [Start, End) of a file.
+type Span struct {
+	File  string
+	Start Pos
+	End   Pos
+}
+
+// String renders the span as "file:line:col".
+func (s Span) String() string {
+	if s.File == "" {
+		return s.Start.String()
+	}
+	return fmt.Sprintf("%s:%s", s.File, s.Start)
+}
+
+// Severity classifies a diagnostic.
+type Severity int
+
+// Severity levels, in increasing order of badness.
+const (
+	Note Severity = iota
+	Warning
+	Error
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Note:
+		return "note"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	}
+	return "unknown"
+}
+
+// Diagnostic is one reported problem.
+type Diagnostic struct {
+	Severity Severity
+	Span     Span
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Span, d.Severity, d.Message)
+}
+
+// Diagnostics collects problems found during a compiler phase.
+type Diagnostics struct {
+	list []Diagnostic
+}
+
+// Errorf records an error at span.
+func (d *Diagnostics) Errorf(span Span, format string, args ...any) {
+	d.list = append(d.list, Diagnostic{Error, span, fmt.Sprintf(format, args...)})
+}
+
+// Warnf records a warning at span.
+func (d *Diagnostics) Warnf(span Span, format string, args ...any) {
+	d.list = append(d.list, Diagnostic{Warning, span, fmt.Sprintf(format, args...)})
+}
+
+// Notef records a note at span.
+func (d *Diagnostics) Notef(span Span, format string, args ...any) {
+	d.list = append(d.list, Diagnostic{Note, span, fmt.Sprintf(format, args...)})
+}
+
+// Add appends a prebuilt diagnostic.
+func (d *Diagnostics) Add(diag Diagnostic) { d.list = append(d.list, diag) }
+
+// Merge appends all diagnostics from other.
+func (d *Diagnostics) Merge(other *Diagnostics) {
+	if other != nil {
+		d.list = append(d.list, other.list...)
+	}
+}
+
+// HasErrors reports whether any Error-severity diagnostic was recorded.
+func (d *Diagnostics) HasErrors() bool {
+	for _, diag := range d.list {
+		if diag.Severity == Error {
+			return true
+		}
+	}
+	return false
+}
+
+// ErrorCount returns the number of Error-severity diagnostics.
+func (d *Diagnostics) ErrorCount() int {
+	n := 0
+	for _, diag := range d.list {
+		if diag.Severity == Error {
+			n++
+		}
+	}
+	return n
+}
+
+// All returns the recorded diagnostics sorted by file then offset.
+func (d *Diagnostics) All() []Diagnostic {
+	out := make([]Diagnostic, len(d.list))
+	copy(out, d.list)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Span.File != out[j].Span.File {
+			return out[i].Span.File < out[j].Span.File
+		}
+		return out[i].Span.Start.Offset < out[j].Span.Start.Offset
+	})
+	return out
+}
+
+// Len returns the total number of diagnostics.
+func (d *Diagnostics) Len() int { return len(d.list) }
+
+// String renders all diagnostics one per line.
+func (d *Diagnostics) String() string {
+	var b strings.Builder
+	for _, diag := range d.All() {
+		b.WriteString(diag.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Err returns an error summarizing the diagnostics, or nil if there
+// are no errors.
+func (d *Diagnostics) Err() error {
+	if !d.HasErrors() {
+		return nil
+	}
+	return fmt.Errorf("%d error(s):\n%s", d.ErrorCount(), strings.TrimRight(d.String(), "\n"))
+}
+
+// File maps byte offsets to line/column positions for one source file.
+type File struct {
+	Name    string
+	Content string
+	lines   []int // byte offset of the start of each line
+}
+
+// NewFile indexes content for position lookup.
+func NewFile(name, content string) *File {
+	f := &File{Name: name, Content: content}
+	f.lines = append(f.lines, 0)
+	for i := 0; i < len(content); i++ {
+		if content[i] == '\n' {
+			f.lines = append(f.lines, i+1)
+		}
+	}
+	return f
+}
+
+// PosAt converts a byte offset into a Pos.
+func (f *File) PosAt(offset int) Pos {
+	if offset < 0 {
+		offset = 0
+	}
+	if offset > len(f.Content) {
+		offset = len(f.Content)
+	}
+	// Binary search for the line containing offset.
+	lo, hi := 0, len(f.lines)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if f.lines[mid] <= offset {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return Pos{Offset: offset, Line: lo + 1, Col: offset - f.lines[lo] + 1}
+}
+
+// SpanAt builds a Span for the byte range [start, end).
+func (f *File) SpanAt(start, end int) Span {
+	return Span{File: f.Name, Start: f.PosAt(start), End: f.PosAt(end)}
+}
+
+// LineText returns the text of the given 1-based line, without the
+// trailing newline. It returns "" for out-of-range lines.
+func (f *File) LineText(line int) string {
+	if line < 1 || line > len(f.lines) {
+		return ""
+	}
+	start := f.lines[line-1]
+	end := len(f.Content)
+	if line < len(f.lines) {
+		end = f.lines[line] - 1
+	}
+	return f.Content[start:end]
+}

@@ -1,0 +1,125 @@
+package source
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPosAt(t *testing.T) {
+	f := NewFile("t.c", "int main() {\n  return 0;\n}\n")
+	cases := []struct {
+		off       int
+		line, col int
+	}{
+		{0, 1, 1},
+		{4, 1, 5},
+		{12, 1, 13}, // the newline itself
+		{13, 2, 1},
+		{15, 2, 3},
+		{25, 3, 1},
+	}
+	for _, c := range cases {
+		p := f.PosAt(c.off)
+		if p.Line != c.line || p.Col != c.col {
+			t.Errorf("PosAt(%d) = %d:%d, want %d:%d", c.off, p.Line, p.Col, c.line, c.col)
+		}
+	}
+}
+
+func TestPosAtClamps(t *testing.T) {
+	f := NewFile("t.c", "ab")
+	if p := f.PosAt(-5); p.Offset != 0 {
+		t.Error("negative offset should clamp to 0")
+	}
+	if p := f.PosAt(99); p.Offset != 2 {
+		t.Error("overlong offset should clamp to len")
+	}
+}
+
+func TestLineText(t *testing.T) {
+	f := NewFile("t.c", "one\ntwo\nthree")
+	if got := f.LineText(2); got != "two" {
+		t.Errorf("LineText(2) = %q", got)
+	}
+	if got := f.LineText(3); got != "three" {
+		t.Errorf("LineText(3) = %q", got)
+	}
+	if got := f.LineText(0); got != "" {
+		t.Errorf("LineText(0) = %q", got)
+	}
+	if got := f.LineText(9); got != "" {
+		t.Errorf("LineText(9) = %q", got)
+	}
+}
+
+func TestDiagnosticsSortingAndCounts(t *testing.T) {
+	var d Diagnostics
+	f := NewFile("a.c", "xxx\nyyy\n")
+	d.Warnf(f.SpanAt(5, 6), "later warning")
+	d.Errorf(f.SpanAt(1, 2), "early error")
+	d.Notef(f.SpanAt(3, 4), "middle note")
+	if !d.HasErrors() || d.ErrorCount() != 1 || d.Len() != 3 {
+		t.Fatalf("counts wrong: %v %d %d", d.HasErrors(), d.ErrorCount(), d.Len())
+	}
+	all := d.All()
+	if all[0].Message != "early error" || all[2].Message != "later warning" {
+		t.Errorf("diagnostics not sorted by offset: %v", all)
+	}
+	if d.Err() == nil {
+		t.Error("Err should be non-nil when errors present")
+	}
+}
+
+func TestDiagnosticsMergeAndNoErrors(t *testing.T) {
+	var a, b Diagnostics
+	b.Warnf(Span{}, "just a warning")
+	a.Merge(&b)
+	a.Merge(nil)
+	if a.HasErrors() {
+		t.Error("warnings are not errors")
+	}
+	if a.Err() != nil {
+		t.Error("Err should be nil without errors")
+	}
+	if a.Len() != 1 {
+		t.Errorf("merge lost diagnostics: %d", a.Len())
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	f := NewFile("m.xc", "abc")
+	var d Diagnostics
+	d.Errorf(f.SpanAt(1, 2), "bad thing")
+	s := d.String()
+	if !strings.Contains(s, "m.xc:1:2") || !strings.Contains(s, "error") || !strings.Contains(s, "bad thing") {
+		t.Errorf("diagnostic string missing parts: %q", s)
+	}
+}
+
+// Property: for any content and any valid offset, PosAt returns a
+// position whose line's start offset plus col-1 equals the offset.
+func TestQuickPosAtRoundTrip(t *testing.T) {
+	f := func(raw []byte, offU uint16) bool {
+		content := strings.ReplaceAll(string(raw), "\r", "")
+		file := NewFile("q", content)
+		off := int(offU)
+		if off > len(content) {
+			off = len(content)
+		}
+		p := file.PosAt(off)
+		// Recompute: count newlines before off.
+		line := 1
+		lineStart := 0
+		for i := 0; i < off; i++ {
+			if content[i] == '\n' {
+				line++
+				lineStart = i + 1
+			}
+		}
+		return p.Line == line && p.Col == off-lineStart+1 && p.Offset == off
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,443 @@
+// Package types defines the semantic type representations of extended
+// CMINUS — primitives, the matrix extension's Matrix T <r> types,
+// tuples, reference-counted pointers and function signatures — and the
+// operator-overloading rules of §III-A.2: elementwise arithmetic and
+// comparison over matrices, matrix–scalar broadcasting, '*' as linear
+// algebra matrix multiplication with '.*' elementwise, and overloaded
+// assignment.
+package types
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ast"
+)
+
+// Kind discriminates Type.
+type Kind int
+
+// Type kinds.
+const (
+	Invalid Kind = iota
+	Int
+	Float
+	Bool
+	Void
+	String
+	Matrix
+	Tuple
+	Func
+	RcPtr
+	// AnyMatrix is the type of readMatrix(...) results: a matrix whose
+	// element type and rank are known only at run time, assignable to
+	// any concrete matrix type (checked when the file is read).
+	AnyMatrix
+)
+
+// Type is a semantic type. Types are immutable after construction.
+type Type struct {
+	Kind   Kind
+	Elem   *Type   // Matrix element (always a scalar type), RcPtr target
+	Rank   int     // Matrix
+	Elems  []*Type // Tuple
+	Params []*Type // Func
+	Ret    *Type   // Func
+}
+
+// Shared scalar singletons.
+var (
+	IntT     = &Type{Kind: Int}
+	FloatT   = &Type{Kind: Float}
+	BoolT    = &Type{Kind: Bool}
+	VoidT    = &Type{Kind: Void}
+	StringT  = &Type{Kind: String}
+	InvalidT = &Type{Kind: Invalid}
+	AnyMatT  = &Type{Kind: AnyMatrix}
+)
+
+// MatrixOf builds a matrix type.
+func MatrixOf(elem *Type, rank int) *Type { return &Type{Kind: Matrix, Elem: elem, Rank: rank} }
+
+// TupleOf builds a tuple type.
+func TupleOf(elems ...*Type) *Type { return &Type{Kind: Tuple, Elems: elems} }
+
+// RcPtrOf builds a reference-counted pointer type.
+func RcPtrOf(elem *Type) *Type { return &Type{Kind: RcPtr, Elem: elem} }
+
+// FuncOf builds a function signature type.
+func FuncOf(ret *Type, params ...*Type) *Type {
+	return &Type{Kind: Func, Ret: ret, Params: params}
+}
+
+// String renders the type in source syntax.
+func (t *Type) String() string {
+	if t == nil {
+		return "<nil>"
+	}
+	switch t.Kind {
+	case Int:
+		return "int"
+	case Float:
+		return "float"
+	case Bool:
+		return "bool"
+	case Void:
+		return "void"
+	case String:
+		return "string"
+	case Matrix:
+		return fmt.Sprintf("Matrix %s <%d>", t.Elem, t.Rank)
+	case AnyMatrix:
+		return "Matrix ? <?>"
+	case Tuple:
+		parts := make([]string, len(t.Elems))
+		for i, e := range t.Elems {
+			parts[i] = e.String()
+		}
+		return "(" + strings.Join(parts, ", ") + ")"
+	case RcPtr:
+		return "refcounted " + t.Elem.String() + " *"
+	case Func:
+		parts := make([]string, len(t.Params))
+		for i, p := range t.Params {
+			parts[i] = p.String()
+		}
+		return fmt.Sprintf("%s(%s)", t.Ret, strings.Join(parts, ", "))
+	}
+	return "<invalid>"
+}
+
+// Equal reports structural type equality.
+func Equal(a, b *Type) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Kind != b.Kind || a.Rank != b.Rank {
+		return false
+	}
+	if (a.Elem == nil) != (b.Elem == nil) || (a.Elem != nil && !Equal(a.Elem, b.Elem)) {
+		return false
+	}
+	if len(a.Elems) != len(b.Elems) {
+		return false
+	}
+	for i := range a.Elems {
+		if !Equal(a.Elems[i], b.Elems[i]) {
+			return false
+		}
+	}
+	if len(a.Params) != len(b.Params) {
+		return false
+	}
+	for i := range a.Params {
+		if !Equal(a.Params[i], b.Params[i]) {
+			return false
+		}
+	}
+	if (a.Ret == nil) != (b.Ret == nil) || (a.Ret != nil && !Equal(a.Ret, b.Ret)) {
+		return false
+	}
+	return true
+}
+
+// IsNumeric reports whether t is int or float.
+func (t *Type) IsNumeric() bool { return t.Kind == Int || t.Kind == Float }
+
+// IsScalar reports whether t is a scalar value type.
+func (t *Type) IsScalar() bool {
+	return t.Kind == Int || t.Kind == Float || t.Kind == Bool
+}
+
+// IsMatrix reports whether t is a (concrete or any) matrix.
+func (t *Type) IsMatrix() bool { return t.Kind == Matrix || t.Kind == AnyMatrix }
+
+// FromAST resolves a syntactic type. Unresolvable parts yield InvalidT
+// plus an error message (the caller attaches the span).
+func FromAST(te ast.TypeExpr) (*Type, error) {
+	switch te := te.(type) {
+	case *ast.PrimType:
+		switch te.Kind {
+		case ast.PrimInt:
+			return IntT, nil
+		case ast.PrimFloat:
+			return FloatT, nil
+		case ast.PrimBool:
+			return BoolT, nil
+		case ast.PrimVoid:
+			return VoidT, nil
+		}
+		return InvalidT, fmt.Errorf("unsupported primitive %v", te.Kind)
+	case *ast.MatrixType:
+		var elem *Type
+		switch te.Elem {
+		case ast.PrimInt:
+			elem = IntT
+		case ast.PrimFloat:
+			elem = FloatT
+		case ast.PrimBool:
+			elem = BoolT
+		default:
+			return InvalidT, fmt.Errorf("matrices may contain int, bool or float, not %v", te.Elem)
+		}
+		if te.Rank < 1 {
+			return InvalidT, fmt.Errorf("matrix rank must be at least 1, got %d", te.Rank)
+		}
+		return MatrixOf(elem, te.Rank), nil
+	case *ast.TupleType:
+		elems := make([]*Type, len(te.Elems))
+		for i, e := range te.Elems {
+			t, err := FromAST(e)
+			if err != nil {
+				return InvalidT, err
+			}
+			elems[i] = t
+		}
+		return TupleOf(elems...), nil
+	case *ast.RcPtrType:
+		t, err := FromAST(te.Elem)
+		if err != nil {
+			return InvalidT, err
+		}
+		return RcPtrOf(t), nil
+	case nil:
+		return InvalidT, fmt.Errorf("missing type")
+	}
+	return InvalidT, fmt.Errorf("unknown type expression %T", te)
+}
+
+// MustFrom is FromAST returning InvalidT on error, for contexts where
+// semantic analysis has already validated the type expression.
+func MustFrom(te ast.TypeExpr) *Type {
+	t, err := FromAST(te)
+	if err != nil {
+		return InvalidT
+	}
+	return t
+}
+
+// AssignableTo reports whether a value of type src may be assigned to
+// a target of type dst, applying int→float promotion and the
+// AnyMatrix rule.
+func AssignableTo(src, dst *Type) bool {
+	if src.Kind == Invalid || dst.Kind == Invalid {
+		return true // avoid error cascades
+	}
+	if Equal(src, dst) {
+		return true
+	}
+	if src.Kind == Int && dst.Kind == Float {
+		return true
+	}
+	if src.Kind == AnyMatrix && dst.IsMatrix() {
+		return true
+	}
+	if dst.Kind == AnyMatrix && src.IsMatrix() {
+		return true
+	}
+	if src.Kind == Tuple && dst.Kind == Tuple && len(src.Elems) == len(dst.Elems) {
+		for i := range src.Elems {
+			if !AssignableTo(src.Elems[i], dst.Elems[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// promote returns the wider of two numeric scalar types.
+func promote(a, b *Type) *Type {
+	if a.Kind == Float || b.Kind == Float {
+		return FloatT
+	}
+	return IntT
+}
+
+// BinaryResult resolves the overloaded operator op applied to operand
+// types l and r (§III-A.2), returning the result type or an error
+// describing the misuse.
+func BinaryResult(op ast.BinOp, l, r *Type) (*Type, error) {
+	if l.Kind == Invalid || r.Kind == Invalid {
+		return InvalidT, nil // error already reported upstream
+	}
+	// AnyMatrix operands are too weakly typed for static overload
+	// resolution; require a declared-type variable first.
+	if l.Kind == AnyMatrix || r.Kind == AnyMatrix {
+		return InvalidT, fmt.Errorf("operand of %s has unresolved matrix type; assign it to a declared Matrix variable first", op)
+	}
+	switch op {
+	case ast.OpAnd, ast.OpOr:
+		if l.Kind == Bool && r.Kind == Bool {
+			return BoolT, nil
+		}
+		if lm, rm := l.Kind == Matrix && l.Elem.Kind == Bool, r.Kind == Matrix && r.Elem.Kind == Bool; lm || rm {
+			return elementwiseLogical(op, l, r)
+		}
+		return InvalidT, fmt.Errorf("operator %s requires bool operands, got %s and %s", op, l, r)
+
+	case ast.OpEq, ast.OpNe, ast.OpLt, ast.OpLe, ast.OpGt, ast.OpGe:
+		return compareResult(op, l, r)
+
+	case ast.OpMod:
+		return intOpResult(op, l, r)
+
+	case ast.OpMul:
+		// '*' on two matrices is linear-algebra multiplication.
+		if l.Kind == Matrix && r.Kind == Matrix {
+			if !l.Elem.IsNumeric() || !r.Elem.IsNumeric() {
+				return InvalidT, fmt.Errorf("matrix multiplication requires numeric matrices, got %s and %s", l, r)
+			}
+			if l.Rank != 2 || r.Rank != 2 {
+				return InvalidT, fmt.Errorf("matrix multiplication requires rank-2 matrices, got ranks %d and %d", l.Rank, r.Rank)
+			}
+			return MatrixOf(promote(l.Elem, r.Elem), 2), nil
+		}
+		return arithResult(op, l, r)
+
+	case ast.OpElemMul:
+		// '.*' is always elementwise.
+		return arithResult(op, l, r)
+
+	case ast.OpAdd, ast.OpSub, ast.OpDiv:
+		return arithResult(op, l, r)
+	}
+	return InvalidT, fmt.Errorf("unknown operator %s", op)
+}
+
+func elementwiseLogical(op ast.BinOp, l, r *Type) (*Type, error) {
+	lift := func(t *Type) (*Type, int, bool) {
+		if t.Kind == Matrix {
+			return t.Elem, t.Rank, true
+		}
+		return t, 0, false
+	}
+	le, lr, lm := lift(l)
+	re, rr, rm := lift(r)
+	if le.Kind != Bool || re.Kind != Bool {
+		return InvalidT, fmt.Errorf("operator %s requires bool elements, got %s and %s", op, l, r)
+	}
+	if lm && rm && lr != rr {
+		return InvalidT, fmt.Errorf("operator %s requires equal ranks, got %d and %d", op, lr, rr)
+	}
+	rank := lr
+	if rr > rank {
+		rank = rr
+	}
+	return MatrixOf(BoolT, rank), nil
+}
+
+func intOpResult(op ast.BinOp, l, r *Type) (*Type, error) {
+	lift := func(t *Type) (*Type, int, bool) {
+		if t.Kind == Matrix {
+			return t.Elem, t.Rank, true
+		}
+		return t, 0, false
+	}
+	le, lr, lm := lift(l)
+	re, rr, rm := lift(r)
+	if le.Kind != Int || re.Kind != Int {
+		return InvalidT, fmt.Errorf("operator %s requires int operands, got %s and %s", op, l, r)
+	}
+	if lm && rm && lr != rr {
+		return InvalidT, fmt.Errorf("operator %s requires equal ranks, got %d and %d", op, lr, rr)
+	}
+	if lm || rm {
+		rank := lr
+		if rr > rank {
+			rank = rr
+		}
+		return MatrixOf(IntT, rank), nil
+	}
+	return IntT, nil
+}
+
+// arithResult handles elementwise +,-,/,.* and scalar arithmetic with
+// matrix/scalar broadcasting.
+func arithResult(op ast.BinOp, l, r *Type) (*Type, error) {
+	switch {
+	case l.Kind == Matrix && r.Kind == Matrix:
+		if l.Rank != r.Rank {
+			return InvalidT, fmt.Errorf("operator %s requires matrices of equal rank, got %d and %d", op, l.Rank, r.Rank)
+		}
+		if !l.Elem.IsNumeric() || !r.Elem.IsNumeric() {
+			return InvalidT, fmt.Errorf("operator %s requires numeric matrices, got %s and %s", op, l, r)
+		}
+		return MatrixOf(promote(l.Elem, r.Elem), l.Rank), nil
+	case l.Kind == Matrix && r.IsNumeric():
+		if !l.Elem.IsNumeric() {
+			return InvalidT, fmt.Errorf("operator %s requires a numeric matrix, got %s", op, l)
+		}
+		return MatrixOf(promote(l.Elem, r), l.Rank), nil
+	case l.IsNumeric() && r.Kind == Matrix:
+		if !r.Elem.IsNumeric() {
+			return InvalidT, fmt.Errorf("operator %s requires a numeric matrix, got %s", op, r)
+		}
+		return MatrixOf(promote(l, r.Elem), r.Rank), nil
+	case l.IsNumeric() && r.IsNumeric():
+		return promote(l, r), nil
+	}
+	return InvalidT, fmt.Errorf("operator %s cannot be applied to %s and %s", op, l, r)
+}
+
+func compareResult(op ast.BinOp, l, r *Type) (*Type, error) {
+	eqOnly := op == ast.OpEq || op == ast.OpNe
+	scalarOK := func(a, b *Type) bool {
+		if a.IsNumeric() && b.IsNumeric() {
+			return true
+		}
+		return eqOnly && a.Kind == Bool && b.Kind == Bool
+	}
+	switch {
+	case l.Kind == Matrix && r.Kind == Matrix:
+		if l.Rank != r.Rank {
+			return InvalidT, fmt.Errorf("comparison %s requires equal ranks, got %d and %d", op, l.Rank, r.Rank)
+		}
+		if !scalarOK(l.Elem, r.Elem) {
+			return InvalidT, fmt.Errorf("comparison %s cannot be applied to %s and %s", op, l, r)
+		}
+		return MatrixOf(BoolT, l.Rank), nil
+	case l.Kind == Matrix && r.IsScalar():
+		if !scalarOK(l.Elem, r) {
+			return InvalidT, fmt.Errorf("comparison %s cannot be applied to %s and %s", op, l, r)
+		}
+		return MatrixOf(BoolT, l.Rank), nil
+	case l.IsScalar() && r.Kind == Matrix:
+		if !scalarOK(l, r.Elem) {
+			return InvalidT, fmt.Errorf("comparison %s cannot be applied to %s and %s", op, l, r)
+		}
+		return MatrixOf(BoolT, r.Rank), nil
+	case l.IsScalar() && r.IsScalar():
+		if !scalarOK(l, r) {
+			return InvalidT, fmt.Errorf("comparison %s cannot be applied to %s and %s", op, l, r)
+		}
+		return BoolT, nil
+	}
+	return InvalidT, fmt.Errorf("comparison %s cannot be applied to %s and %s", op, l, r)
+}
+
+// UnaryResult resolves unary operators, elementwise over matrices.
+func UnaryResult(op ast.UnOp, x *Type) (*Type, error) {
+	if x.Kind == Invalid {
+		return InvalidT, nil
+	}
+	switch op {
+	case ast.OpNeg:
+		if x.IsNumeric() {
+			return x, nil
+		}
+		if x.Kind == Matrix && x.Elem.IsNumeric() {
+			return x, nil
+		}
+		return InvalidT, fmt.Errorf("unary - requires a numeric operand, got %s", x)
+	case ast.OpNot:
+		if x.Kind == Bool {
+			return BoolT, nil
+		}
+		if x.Kind == Matrix && x.Elem.Kind == Bool {
+			return x, nil
+		}
+		return InvalidT, fmt.Errorf("unary ! requires a bool operand, got %s", x)
+	}
+	return InvalidT, fmt.Errorf("unknown unary operator %v", op)
+}

@@ -1,0 +1,189 @@
+package types
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+)
+
+func mf(rank int) *Type { return MatrixOf(FloatT, rank) }
+func mi(rank int) *Type { return MatrixOf(IntT, rank) }
+func mb(rank int) *Type { return MatrixOf(BoolT, rank) }
+
+func TestString(t *testing.T) {
+	cases := map[*Type]string{
+		IntT:                 "int",
+		mf(3):                "Matrix float <3>",
+		TupleOf(mf(1), IntT): "(Matrix float <1>, int)",
+		RcPtrOf(IntT):        "refcounted int *",
+		FuncOf(VoidT, IntT):  "void(int)",
+		AnyMatT:              "Matrix ? <?>",
+	}
+	for ty, want := range cases {
+		if got := ty.String(); got != want {
+			t.Errorf("String = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal(mf(2), mf(2)) || Equal(mf(2), mf(3)) || Equal(mf(2), mi(2)) {
+		t.Error("matrix equality wrong")
+	}
+	if !Equal(TupleOf(IntT, FloatT), TupleOf(IntT, FloatT)) {
+		t.Error("tuple equality wrong")
+	}
+	if Equal(TupleOf(IntT), TupleOf(IntT, IntT)) {
+		t.Error("tuple arity")
+	}
+}
+
+func TestFromAST(t *testing.T) {
+	ty, err := FromAST(&ast.MatrixType{Elem: ast.PrimFloat, Rank: 3})
+	if err != nil || !Equal(ty, mf(3)) {
+		t.Errorf("FromAST matrix = %s, %v", ty, err)
+	}
+	if _, err := FromAST(&ast.MatrixType{Elem: ast.PrimVoid, Rank: 2}); err == nil {
+		t.Error("void matrix should be rejected")
+	}
+	if _, err := FromAST(&ast.MatrixType{Elem: ast.PrimInt, Rank: 0}); err == nil {
+		t.Error("rank-0 matrix should be rejected")
+	}
+	tt, err := FromAST(&ast.TupleType{Elems: []ast.TypeExpr{
+		&ast.PrimType{Kind: ast.PrimInt}, &ast.MatrixType{Elem: ast.PrimBool, Rank: 1}}})
+	if err != nil || !Equal(tt, TupleOf(IntT, mb(1))) {
+		t.Errorf("FromAST tuple = %s, %v", tt, err)
+	}
+}
+
+func TestAssignable(t *testing.T) {
+	cases := []struct {
+		src, dst *Type
+		want     bool
+	}{
+		{IntT, FloatT, true},
+		{FloatT, IntT, false},
+		{AnyMatT, mf(3), true},
+		{mf(3), AnyMatT, true},
+		{mf(2), mf(3), false},
+		{mi(2), mf(2), false}, // element types must match exactly
+		{TupleOf(IntT, IntT), TupleOf(FloatT, IntT), true},
+		{TupleOf(IntT), TupleOf(IntT, IntT), false},
+	}
+	for _, c := range cases {
+		if got := AssignableTo(c.src, c.dst); got != c.want {
+			t.Errorf("AssignableTo(%s, %s) = %v, want %v", c.src, c.dst, got, c.want)
+		}
+	}
+}
+
+func TestArithmeticOverloads(t *testing.T) {
+	ok := []struct {
+		op   ast.BinOp
+		l, r *Type
+		want *Type
+	}{
+		{ast.OpAdd, IntT, IntT, IntT},
+		{ast.OpAdd, IntT, FloatT, FloatT},
+		{ast.OpAdd, mf(2), mf(2), mf(2)},     // elementwise
+		{ast.OpAdd, mf(2), IntT, mf(2)},      // broadcast
+		{ast.OpAdd, IntT, mi(3), mi(3)},      // broadcast
+		{ast.OpAdd, mi(2), FloatT, mf(2)},    // promotion
+		{ast.OpMul, mf(2), mf(2), mf(2)},     // matmul rank 2
+		{ast.OpMul, mf(2), FloatT, mf(2)},    // matrix * scalar
+		{ast.OpElemMul, mf(3), mf(3), mf(3)}, // elementwise mul any rank
+		{ast.OpDiv, mf(1), IntT, mf(1)},
+		{ast.OpMod, mi(2), IntT, mi(2)},
+		{ast.OpMod, IntT, IntT, IntT},
+	}
+	for _, c := range ok {
+		got, err := BinaryResult(c.op, c.l, c.r)
+		if err != nil {
+			t.Errorf("%s %s %s: unexpected error %v", c.l, c.op, c.r, err)
+			continue
+		}
+		if !Equal(got, c.want) {
+			t.Errorf("%s %s %s = %s, want %s", c.l, c.op, c.r, got, c.want)
+		}
+	}
+	bad := []struct {
+		op   ast.BinOp
+		l, r *Type
+	}{
+		{ast.OpAdd, mf(2), mf(3)},     // rank mismatch (§III-A.2 check)
+		{ast.OpMul, mf(3), mf(3)},     // matmul needs rank 2
+		{ast.OpElemMul, mf(2), mf(3)}, // rank mismatch
+		{ast.OpAdd, BoolT, IntT},
+		{ast.OpMod, FloatT, IntT},
+		{ast.OpAdd, mb(1), mb(1)}, // bool matrices are not numeric
+		{ast.OpAdd, AnyMatT, IntT},
+	}
+	for _, c := range bad {
+		if _, err := BinaryResult(c.op, c.l, c.r); err == nil {
+			t.Errorf("%s %s %s should be an error", c.l, c.op, c.r)
+		}
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	got, err := BinaryResult(ast.OpLt, mf(2), IntT)
+	if err != nil || !Equal(got, mb(2)) {
+		t.Errorf("matrix<scalar = %s (%v), want bool matrix", got, err)
+	}
+	got, err = BinaryResult(ast.OpGe, mi(1), mi(1))
+	if err != nil || !Equal(got, mb(1)) {
+		t.Errorf("matrix>=matrix = %s (%v)", got, err)
+	}
+	got, err = BinaryResult(ast.OpEq, IntT, FloatT)
+	if err != nil || !Equal(got, BoolT) {
+		t.Errorf("int==float = %s (%v)", got, err)
+	}
+	if _, err = BinaryResult(ast.OpLt, BoolT, BoolT); err == nil {
+		t.Error("bool < bool should be an error")
+	}
+	got, err = BinaryResult(ast.OpEq, mb(2), BoolT)
+	if err != nil || !Equal(got, mb(2)) {
+		t.Errorf("boolmatrix==bool = %s (%v)", got, err)
+	}
+}
+
+func TestLogicalOps(t *testing.T) {
+	got, err := BinaryResult(ast.OpAnd, BoolT, BoolT)
+	if err != nil || !Equal(got, BoolT) {
+		t.Errorf("bool&&bool = %s (%v)", got, err)
+	}
+	got, err = BinaryResult(ast.OpAnd, mb(2), mb(2))
+	if err != nil || !Equal(got, mb(2)) {
+		t.Errorf("elementwise && = %s (%v)", got, err)
+	}
+	if _, err = BinaryResult(ast.OpOr, IntT, BoolT); err == nil {
+		t.Error("int||bool should be an error")
+	}
+	if _, err = BinaryResult(ast.OpAnd, mb(1), mb(2)); err == nil {
+		t.Error("rank mismatch && should be an error")
+	}
+}
+
+func TestUnary(t *testing.T) {
+	if got, err := UnaryResult(ast.OpNeg, mf(2)); err != nil || !Equal(got, mf(2)) {
+		t.Errorf("-matrix = %s (%v)", got, err)
+	}
+	if got, err := UnaryResult(ast.OpNot, mb(1)); err != nil || !Equal(got, mb(1)) {
+		t.Errorf("!boolmatrix = %s (%v)", got, err)
+	}
+	if _, err := UnaryResult(ast.OpNeg, BoolT); err == nil {
+		t.Error("-bool should be an error")
+	}
+	if _, err := UnaryResult(ast.OpNot, IntT); err == nil {
+		t.Error("!int should be an error")
+	}
+}
+
+func TestInvalidPropagatesSilently(t *testing.T) {
+	if got, err := BinaryResult(ast.OpAdd, InvalidT, IntT); err != nil || got.Kind != Invalid {
+		t.Error("invalid operands should not cascade errors")
+	}
+	if got, err := UnaryResult(ast.OpNeg, InvalidT); err != nil || got.Kind != Invalid {
+		t.Error("invalid unary operand should not cascade")
+	}
+}

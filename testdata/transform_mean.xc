@@ -1,0 +1,19 @@
+// Fig 9: explicit transformations on the temporal mean.
+int main() {
+	Matrix float <3> mat = readMatrix("ssh.data");
+	int m = dimSize(mat, 0);
+	int n = dimSize(mat, 1);
+	int p = dimSize(mat, 2);
+	Matrix float <2> means;
+	means = with ([0, 0] <= [i, j] < [m, n])
+		genarray([m, n],
+			with ([0] <= [k] < [p])
+				fold(+, 0.0, mat[i, j, k]) / p)
+		transform
+			split j by 4, jin, jout.
+			vectorize jin.
+			parallelize i;
+	writeMatrix("means.data", means);
+	print(means[1, 1]);
+	return 0;
+}
