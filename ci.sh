@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# ci.sh — the repo's check gate: formatting, vet, build, full tests,
+# and a one-shot benchmark smoke pass (E1 plus the compile-service
+# cold/warm pair). Run locally before pushing; the GitHub Actions
+# workflow runs exactly this script.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== bench smoke =="
+go test -run='^$' -bench='BenchmarkE1_' -benchtime=1x .
+go test -run='^$' -bench='BenchmarkCompileService' -benchtime=1x ./internal/driver
+
+echo "OK"

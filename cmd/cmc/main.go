@@ -9,7 +9,7 @@
 //
 //	cmc [flags] file.xc
 //
-//	-ext matrix,transform,rc   extensions to compose (default all)
+//	-ext matrix,transform,rc,cilk   extensions to compose (also: all, none)
 //	-emit c|ast                output kind (default c)
 //	-par pthread|omp|none      parallel code generation mode
 //	-O                         §III-A.4 high-level optimizations (default on)
@@ -20,16 +20,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
-	"repro/internal/ast"
 	"repro/internal/cgen"
-	"repro/internal/core"
-	"repro/internal/parser"
+	"repro/internal/driver"
 )
 
 func main() {
-	extFlag := flag.String("ext", "matrix,transform,rc", "comma-separated extensions to compose")
+	extFlag := flag.String("ext", "matrix,transform,rc", "comma-separated extensions to compose (matrix, transform, rc, cilk, all, none)")
 	emit := flag.String("emit", "c", "output: c or ast")
 	par := flag.String("par", "pthread", "parallel codegen: pthread, omp or none")
 	optimize := flag.Bool("O", true, "enable high-level optimizations (fusion, slice elimination)")
@@ -46,57 +43,35 @@ func main() {
 		fatal("%v", err)
 	}
 
-	var exts parser.Options
-	for _, e := range strings.Split(*extFlag, ",") {
-		switch strings.TrimSpace(e) {
-		case "matrix":
-			exts.Matrix = true
-		case "transform":
-			exts.Transform = true
-		case "rc":
-			exts.Rc = true
-		case "":
-		default:
-			fatal("unknown extension %q (have: matrix, transform, rc)", e)
-		}
+	exts, err := driver.ParseExtensions(*extFlag)
+	if err != nil {
+		fatal("%v", err)
 	}
-	cg := cgen.Options{Par: cgen.ParMode(*par), Optimize: *optimize}
-	switch cg.Par {
-	case cgen.ParPthread, cgen.ParOMP, cgen.ParNone:
-	default:
-		fatal("unknown -par mode %q", *par)
+	parMode, err := driver.ParseParMode(*par)
+	if err != nil {
+		fatal("%v", err)
 	}
-	cfg := core.Config{Extensions: &exts, Codegen: &cg}
-
-	var text string
-	switch *emit {
-	case "ast":
-		res := core.Check(file, string(src), cfg)
-		report(res)
-		text = ast.Print(res.Program)
-	case "c":
-		res := core.Compile(file, string(src), cfg)
-		report(res)
-		text = res.C
-	default:
+	if *emit != "c" && *emit != "ast" {
 		fatal("unknown -emit kind %q", *emit)
 	}
 
-	if *out == "" {
-		fmt.Print(text)
-		return
-	}
-	if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
-		fatal("%v", err)
-	}
-}
-
-func report(res *core.Result) {
-	for _, d := range res.Diags.All() {
+	res := driver.New().Compile(driver.CompileRequest{
+		Name: file, Source: string(src), Exts: exts, Emit: *emit,
+		Codegen: cgen.Options{Par: parMode, Optimize: *optimize},
+	})
+	for _, d := range res.Diagnostics {
 		fmt.Fprintln(os.Stderr, d)
 	}
-	if res.Diags.HasErrors() || res.Program == nil {
+	if !res.OK {
 		os.Exit(1)
+	}
+
+	if *out == "" {
+		fmt.Print(res.Output)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(res.Output), 0o644); err != nil {
+		fatal("%v", err)
 	}
 }
 

@@ -1,27 +1,30 @@
 // cmrun parses, checks and executes an extended-CMINUS program with
 // the parallel interpreter. The -t flag is the paper's command-line
 // thread count (§III-C): worker threads are spawned once at startup
-// and released per parallel construct.
+// and released per parallel construct; N <= 0 selects one worker per
+// core (runtime.GOMAXPROCS).
 //
 // Usage:
 //
-//	cmrun [-t N] [-dir path] file.xc
+//	cmrun [-t N] [-dir path] [-timeout d] file.xc
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 
-	"repro/internal/core"
-	"repro/internal/interp"
+	"repro/internal/driver"
 )
 
 func main() {
-	threads := flag.Int("t", 1, "worker threads for parallel constructs")
+	threads := flag.Int("t", 1, "worker threads for parallel constructs (<= 0: one per core)")
 	dir := flag.String("dir", "", "directory for readMatrix/writeMatrix (default: the source file's)")
 	steps := flag.Int64("maxsteps", 0, "abort after N interpreter steps (0 = unlimited)")
+	timeout := flag.Duration("timeout", 0, "abort execution after this long (0 = no deadline)")
+	extFlag := flag.String("ext", "all", "comma-separated extensions to compose (matrix, transform, rc, cilk, all, none)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: cmrun [-t N] [-dir path] file.xc")
@@ -33,22 +36,34 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cmrun: %v\n", err)
 		os.Exit(2)
 	}
+	exts, err := driver.ParseExtensions(*extFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cmrun: %v\n", err)
+		os.Exit(2)
+	}
 	d := *dir
 	if d == "" {
 		d = filepath.Dir(file)
 	}
-	code, res, err := core.Run(file, string(src), core.Config{}, interp.Options{
-		Threads: *threads, Dir: d, MaxSteps: *steps,
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := driver.New().Run(ctx, driver.RunRequest{
+		Name: file, Source: string(src), Exts: exts,
+		Threads: *threads, MaxSteps: *steps, Dir: d,
 	})
-	for _, diag := range res.Diags.All() {
+	for _, diag := range res.Diagnostics {
 		fmt.Fprintln(os.Stderr, diag)
 	}
-	if err != nil && !res.Diags.HasErrors() {
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "cmrun: %v\n", err)
 		os.Exit(1)
 	}
-	if res.Diags.HasErrors() {
+	if !res.OK {
 		os.Exit(1)
 	}
-	os.Exit(code)
+	os.Exit(res.ExitCode)
 }

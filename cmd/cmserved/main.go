@@ -1,0 +1,77 @@
+// cmserved is the compile/run daemon: the extensible CMINUS translator
+// behind an HTTP JSON API, amortizing grammar composition, analysis and
+// parsing across requests through a shared content-addressed cache.
+//
+// Usage:
+//
+//	cmserved [-addr :8347] [-runs N] [-timeout 10s] [-max-timeout 60s]
+//
+// Endpoints (see internal/server):
+//
+//	POST /v1/compile   {"source": "...", "extensions": "all", "par": "pthread"}
+//	POST /v1/run       {"source": "...", "threads": 4, "timeout_ms": 2000}
+//	GET  /v1/analyses  §VI analysis report as JSON
+//	GET  /healthz      liveness
+//	GET  /metrics      counters, cache ratios, stage latency histograms
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/driver"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8347", "listen address")
+	runs := flag.Int("runs", 0, "max concurrent interpreter runs (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 10*time.Second, "default per-run execution deadline")
+	maxTimeout := flag.Duration("max-timeout", 60*time.Second, "cap on per-request timeout_ms")
+	warm := flag.Bool("warm", true, "pre-build the composed grammar table and §VI analyses at startup")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: cmserved [-addr :8347] [-runs N] [-timeout d] [-max-timeout d]")
+		os.Exit(2)
+	}
+
+	s := server.New(server.Config{
+		Driver:            driver.New(),
+		MaxConcurrentRuns: *runs,
+		DefaultTimeout:    *timeout,
+		MaxTimeout:        *maxTimeout,
+	})
+	if *warm {
+		// Pay the one-time grammar-composition and analysis cost before
+		// accepting traffic rather than on the first request.
+		t0 := time.Now()
+		driver.Analyses()
+		log.Printf("warmed composed grammar + §VI analyses in %s", time.Since(t0))
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("cmserved listening on %s", *addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatalf("cmserved: %v", err)
+	case sig := <-sigc:
+		log.Printf("cmserved: %v, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Fatalf("cmserved: shutdown: %v", err)
+		}
+	}
+}

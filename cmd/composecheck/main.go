@@ -13,137 +13,22 @@
 //
 // It then composes everything and verifies the guaranteed conclusion:
 // a conflict-free LALR(1) parser and a complete attribute grammar.
+//
+// The analyses themselves live in internal/driver (Analyses), shared
+// with the compile server's /v1/analyses endpoint; this command is the
+// table renderer.
 package main
 
 import (
-	"fmt"
 	"os"
 
-	"repro/internal/attr"
-	"repro/internal/grammar"
-	"repro/internal/parser"
-	"repro/internal/sem"
+	"repro/internal/driver"
 )
 
 func main() {
-	fail := 0
-	fmt.Println("== Modular determinism analysis (Copper, §VI-A) ==")
-
-	check := func(name string, r grammar.ComposeReport, expectPass bool) {
-		status := "PASS"
-		if !r.Passed {
-			status = "FAIL"
-		}
-		note := ""
-		if r.Passed != expectPass {
-			note = "  << UNEXPECTED"
-			fail++
-		}
-		fmt.Printf("  %-28s %s%s\n", name, status, note)
-		if len(r.Markers) > 0 {
-			fmt.Printf("      markers: %v\n", r.Markers)
-		}
-		for _, f := range r.Failures {
-			fmt.Printf("      %s\n", f)
-		}
-	}
-
-	check("matrix vs CMINUS",
-		grammar.IsComposable(parser.StartSymbol, parser.HostSpec(), parser.MatrixSpec()), true)
-	check("refcount vs CMINUS",
-		grammar.IsComposable(parser.StartSymbol, parser.HostSpec(), parser.RcSpec()), true)
-	check("transform vs CMINUS+matrix",
-		grammar.IsComposable(parser.StartSymbol, mergedHostMatrix(), parser.TransformSpec()), true)
-	check("cilk vs CMINUS",
-		grammar.IsComposable(parser.StartSymbol, parser.HostSpec(), parser.CilkSpec()), true)
-	check("tuple (standalone) vs CMINUS",
-		grammar.IsComposable(parser.StartSymbol, parser.HostSpecCore(), parser.TupleSpec()), false)
-	check("tuple with (| |) markers",
-		grammar.IsComposable(parser.StartSymbol, parser.HostSpecCore(), parser.TupleFixedSpec()), true)
-
-	fmt.Println("\n  (the standalone tuple extension fails on its host \"(\" initial")
-	fmt.Println("   terminal, exactly as §VI-A reports; it is therefore packaged")
-	fmt.Println("   with the host language in this translator)")
-
-	fmt.Println("\n== Composition theorem check ==")
-	tab, err := parser.BuildTable(parser.AllExtensions())
-	if err != nil {
-		fmt.Printf("  composed grammar FAILED: %v\n", err)
-		fail++
-	} else {
-		fmt.Printf("  host + matrix + transform + refcount + cilk: LALR(1), %d states, 0 conflicts\n",
-			tab.NumStates())
-	}
-
-	fmt.Println("\n== Modular well-definedness analysis (Silver, §VI-B) ==")
-	info := sem.NewInfo()
-	host := sem.HostAG(info, nil)
-	mr := attr.CheckWellDefined(host, sem.MatrixAG(info))
-	printMWDA("matrix semantics vs host", mr, &fail)
-	tr := attr.CheckWellDefined(mergedSemHost(), sem.TransformAG(info))
-	printMWDA("transform semantics vs host+matrix", tr, &fail)
-	cr := attr.CheckWellDefined(sem.HostAG(sem.NewInfo(), nil), sem.CilkAG(sem.NewInfo()))
-	printMWDA("cilk semantics vs host", cr, &fail)
-
-	g, err := sem.ComposeAG(sem.NewInfo())
-	if err != nil {
-		fmt.Printf("  semantic composition FAILED: %v\n", err)
-		fail++
-	} else if missing := g.CheckComplete(); len(missing) > 0 {
-		fmt.Printf("  composed attribute grammar incomplete: %d missing equations\n", len(missing))
-		fail++
-	} else {
-		fmt.Println("  composed attribute grammar: complete (every attribute has a defining equation)")
-	}
-
-	if fail > 0 {
-		fmt.Printf("\n%d unexpected result(s)\n", fail)
+	rep := driver.Analyses()
+	rep.Render(os.Stdout)
+	if rep.Unexpected > 0 {
 		os.Exit(1)
 	}
-	fmt.Println("\nall analyses match the paper's reported results")
-}
-
-func printMWDA(name string, r attr.MWDAReport, fail *int) {
-	status := "PASS"
-	if !r.Passed {
-		status = "FAIL"
-		*fail++
-	}
-	fmt.Printf("  %-38s %s\n", name, status)
-	for _, f := range r.Failures {
-		fmt.Printf("      %s\n", f)
-	}
-}
-
-// mergedHostMatrix treats CMINUS ∪ matrix as the host for analyzing
-// the transform extension, which extends the matrix extension.
-func mergedHostMatrix() *grammar.Spec {
-	h := parser.HostSpec()
-	m := parser.MatrixSpec()
-	for _, t := range m.Terminals {
-		t.Owner = grammar.HostOwner
-	}
-	for _, p := range m.Productions {
-		p.Owner = grammar.HostOwner
-	}
-	h.Terminals = append(h.Terminals, m.Terminals...)
-	h.Nonterminals = append(h.Nonterminals, m.Nonterminals...)
-	h.Productions = append(h.Productions, m.Productions...)
-	return h
-}
-
-func mergedSemHost() *attr.AGSpec {
-	info := sem.NewInfo()
-	h := sem.HostAG(info, nil)
-	m := sem.MatrixAG(info)
-	h.NTs = append(h.NTs, m.NTs...)
-	h.Attrs = append(h.Attrs, m.Attrs...)
-	h.Occurs = append(h.Occurs, m.Occurs...)
-	for i := range m.Prods {
-		m.Prods[i].Owner = ""
-	}
-	h.Prods = append(h.Prods, m.Prods...)
-	h.SynEqs = append(h.SynEqs, m.SynEqs...)
-	h.InhEqs = append(h.InhEqs, m.InhEqs...)
-	return h
 }

@@ -26,7 +26,7 @@ func buildCommands(t *testing.T) string {
 		if cmdBuildErr != nil {
 			return
 		}
-		for _, name := range []string{"cmc", "cmrun", "composecheck", "sshgen"} {
+		for _, name := range []string{"cmc", "cmrun", "composecheck", "sshgen", "cmserved"} {
 			out, err := exec.Command("go", "build", "-o",
 				filepath.Join(cmdBinDir, name), "./cmd/"+name).CombinedOutput()
 			if err != nil {
@@ -117,6 +117,42 @@ func TestCmdComposecheck(t *testing.T) {
 	} {
 		if !strings.Contains(s, want) {
 			t.Errorf("composecheck missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestCmdComposecheckGolden pins composecheck's §VI pass/fail table
+// byte for byte, so the CLI and the compile server's /v1/analyses
+// endpoint (both rendered from driver.Analyses) cannot drift apart.
+func TestCmdComposecheckGolden(t *testing.T) {
+	bin := buildCommands(t)
+	out, err := exec.Command(filepath.Join(bin, "composecheck")).CombinedOutput()
+	if err != nil {
+		t.Fatalf("composecheck: %v\n%s", err, out)
+	}
+	golden, err := os.ReadFile("testdata/composecheck_golden.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != string(golden) {
+		t.Fatalf("composecheck output drifted from testdata/composecheck_golden.txt\n--- got ---\n%s\n--- want ---\n%s",
+			out, golden)
+	}
+}
+
+// TestCmdCmrunValidatesThreadCount: -t 0 and negative counts must not
+// silently fall back to sequential execution — they select one worker
+// per core and the program still runs correctly.
+func TestCmdCmrunValidatesThreadCount(t *testing.T) {
+	bin := buildCommands(t)
+	for _, n := range []string{"0", "-4"} {
+		out, err := exec.Command(filepath.Join(bin, "cmrun"), "-t", n,
+			"testdata/cilk_fib.xc").CombinedOutput()
+		if err != nil {
+			t.Fatalf("cmrun -t %s: %v\n%s", n, err, out)
+		}
+		if strings.TrimSpace(string(out)) != "377" {
+			t.Fatalf("cmrun -t %s output = %q, want 377", n, out)
 		}
 	}
 }

@@ -1,0 +1,341 @@
+// Package driver is the staged compile/run pipeline behind every entry
+// point (cmc, cmrun, cmserved): parse with the composed extension
+// grammars → check with the composed attribute-grammar semantics →
+// {emit C / print AST, interpret}. It factors the glue formerly
+// duplicated across cmd/ mains into one place and adds what a
+// long-lived compile service needs on top of the one-shot internal/core
+// facade:
+//
+//   - a content-addressed artifact cache — SHA-256 of (source ⊕
+//     extension set ⊕ codegen flags) keys parsed+checked programs and
+//     emitted artifacts, so repeated requests skip the pipeline;
+//   - singleflight request coalescing — concurrent identical requests
+//     execute the pipeline exactly once and share the result;
+//   - per-stage latency histograms and cache hit/miss counters
+//     (see Metrics) for the service's /metrics endpoint;
+//   - memoized §VI analysis results (see Analyses) so the analyses are
+//     run once per process, not once per request.
+//
+// The composed grammar tables themselves are memoized per extension
+// set inside internal/parser; the driver's frontend cache sits above
+// that and memoizes whole parse+check results per source text.
+package driver
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/cgen"
+	"repro/internal/interp"
+	"repro/internal/matrix"
+	"repro/internal/parser"
+	"repro/internal/sem"
+	"repro/internal/source"
+)
+
+// Driver is a concurrency-safe compile/run pipeline with a
+// content-addressed cache. The zero value is not usable; call New.
+type Driver struct {
+	metrics Metrics
+
+	mu    sync.Mutex
+	front map[string]*call // frontend (parse+check) results by content key
+	emits map[string]*call // emitted artifacts by content key
+}
+
+// New returns an empty driver.
+func New() *Driver {
+	return &Driver{
+		front: map[string]*call{},
+		emits: map[string]*call{},
+	}
+}
+
+// Metrics exposes the driver's counters (live; use Snapshot for a
+// consistent view).
+func (d *Driver) Metrics() *Metrics { return &d.metrics }
+
+// call is one singleflight cache slot: the first requester executes and
+// closes done; later requesters block on done and share res.
+type call struct {
+	done chan struct{}
+	res  any
+}
+
+// StageTimings records where a request's time went, in nanoseconds.
+// Cached requests carry the stage times of the original execution.
+type StageTimings struct {
+	ParseNS int64 `json:"parse_ns"`
+	CheckNS int64 `json:"check_ns"`
+	EmitNS  int64 `json:"emit_ns,omitempty"`
+	RunNS   int64 `json:"run_ns,omitempty"`
+}
+
+// frontResult is a cached parse+check outcome. prog and info are
+// immutable after Check and are shared by concurrent consumers.
+type frontResult struct {
+	prog   *ast.Program
+	info   *sem.Info
+	diags  []string
+	ok     bool
+	stages StageTimings
+}
+
+// emitResult is a cached back-end artifact (C text or printed AST).
+type emitResult struct {
+	output string
+	diags  []string
+	ok     bool
+	stages StageTimings
+}
+
+// CompileRequest describes one translation.
+type CompileRequest struct {
+	// Name labels diagnostics (it participates in the cache key, since
+	// diagnostics embed it).
+	Name   string
+	Source string
+	Exts   parser.Options
+	// Emit selects the artifact: "c" (default) or "ast".
+	Emit    string
+	Codegen cgen.Options
+}
+
+// CompileResult is the outcome of a Compile.
+type CompileResult struct {
+	// Key is the content address of the artifact.
+	Key string
+	// Cached reports that the pipeline did not execute for this
+	// request: the artifact was already stored, or an identical
+	// in-flight request produced it.
+	Cached      bool
+	OK          bool
+	Output      string
+	Diagnostics []string
+	Stages      StageTimings
+}
+
+// RunRequest describes one interpreter execution.
+type RunRequest struct {
+	Name   string
+	Source string
+	Exts   parser.Options
+	// Threads is the worker-pool size; <= 0 selects
+	// runtime.GOMAXPROCS(0), never a silent sequential fallback.
+	Threads  int
+	MaxSteps int64
+	// Dir is the base directory for readMatrix/writeMatrix; empty with
+	// non-nil Files confines file I/O to the in-memory map.
+	Dir    string
+	Files  map[string]*matrix.Matrix
+	Stdout io.Writer
+}
+
+// RunResult is the outcome of a Run.
+type RunResult struct {
+	Key string
+	// Cached reports the parse+check half came from the frontend cache.
+	Cached      bool
+	OK          bool
+	Diagnostics []string
+	ExitCode    int
+	Stages      StageTimings
+}
+
+// hashKey content-addresses a request: a SHA-256 over length-prefixed
+// fields, so no field boundary ambiguity.
+func hashKey(parts ...string) string {
+	h := sha256.New()
+	var n [8]byte
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(n[:], uint64(len(p)))
+		h.Write(n[:])
+		h.Write([]byte(p))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func frontKey(name, src string, exts parser.Options) string {
+	return hashKey("front", name, src, FormatExtensions(exts))
+}
+
+func compileKey(req *CompileRequest) string {
+	return hashKey("compile", req.Name, req.Source, FormatExtensions(req.Exts),
+		req.Emit, string(req.Codegen.Par), fmt.Sprint(req.Codegen.Optimize))
+}
+
+// lookup finds or installs the singleflight slot for key in m. It
+// returns the slot and whether the caller must execute (owner). For
+// non-owners, hit reports the result was already complete at lookup
+// time (a pure cache hit) as opposed to joining an in-flight execution.
+func (d *Driver) lookup(m map[string]*call, key string) (c *call, owner, hit bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if c, ok := m[key]; ok {
+		select {
+		case <-c.done:
+			return c, false, true
+		default:
+			return c, false, false
+		}
+	}
+	c = &call{done: make(chan struct{})}
+	m[key] = c
+	return c, true, false
+}
+
+// frontend returns the parse+check result for (name, src, exts),
+// executing at most once per content key.
+func (d *Driver) frontend(name, src string, exts parser.Options) (*frontResult, bool) {
+	key := frontKey(name, src, exts)
+	c, owner, hit := d.lookup(d.front, key)
+	if !owner {
+		if hit {
+			d.metrics.FrontendHits.Add(1)
+		}
+		<-c.done
+		return c.res.(*frontResult), true
+	}
+	d.metrics.FrontendMisses.Add(1)
+	d.metrics.FrontendExecutions.Add(1)
+	res := &frontResult{}
+	var diags source.Diagnostics
+
+	t0 := time.Now()
+	res.prog = parser.ParseFile(name, src, exts, &diags)
+	parseD := time.Since(t0)
+	d.metrics.ParseLatency.Observe(parseD)
+	res.stages.ParseNS = int64(parseD)
+
+	if res.prog != nil {
+		t1 := time.Now()
+		res.info = sem.Check(res.prog, &diags)
+		checkD := time.Since(t1)
+		d.metrics.CheckLatency.Observe(checkD)
+		res.stages.CheckNS = int64(checkD)
+	}
+	for _, diag := range diags.All() {
+		res.diags = append(res.diags, diag.String())
+	}
+	res.ok = res.prog != nil && !diags.HasErrors()
+
+	c.res = res
+	close(c.done)
+	return res, false
+}
+
+// Compile translates req.Source, serving repeated identical requests
+// from the artifact cache and coalescing concurrent identical requests
+// into one pipeline execution.
+func (d *Driver) Compile(req CompileRequest) *CompileResult {
+	t0 := time.Now()
+	defer func() { d.metrics.CompileLatency.Observe(time.Since(t0)) }()
+	if req.Emit == "" {
+		req.Emit = "c"
+	}
+	key := compileKey(&req)
+	out := &CompileResult{Key: key}
+
+	c, owner, hit := d.lookup(d.emits, key)
+	if !owner {
+		if hit {
+			d.metrics.CompileHits.Add(1)
+		} else {
+			d.metrics.CompileCoalesced.Add(1)
+		}
+		<-c.done
+		res := c.res.(*emitResult)
+		out.Cached = true
+		out.OK, out.Output, out.Diagnostics, out.Stages = res.ok, res.output, res.diags, res.stages
+		return out
+	}
+	d.metrics.CompileMisses.Add(1)
+	d.metrics.CompileExecutions.Add(1)
+
+	res := &emitResult{}
+	fr, _ := d.frontend(req.Name, req.Source, req.Exts)
+	res.diags = fr.diags
+	res.stages = fr.stages
+	if fr.ok {
+		t1 := time.Now()
+		output, err := emit(fr, &req)
+		emitD := time.Since(t1)
+		d.metrics.EmitLatency.Observe(emitD)
+		res.stages.EmitNS = int64(emitD)
+		if err != nil {
+			res.diags = append(res.diags,
+				fmt.Sprintf("%s: error: code generation: %v", fr.prog.Span(), err))
+		} else {
+			res.output, res.ok = output, true
+		}
+	}
+	c.res = res
+	close(c.done)
+
+	out.OK, out.Output, out.Diagnostics, out.Stages = res.ok, res.output, res.diags, res.stages
+	return out
+}
+
+// emit produces the requested artifact from a checked program.
+func emit(fr *frontResult, req *CompileRequest) (string, error) {
+	switch req.Emit {
+	case "ast":
+		return ast.Print(fr.prog), nil
+	case "c":
+		return cgen.Generate(fr.prog, fr.info, req.Codegen)
+	default:
+		return "", fmt.Errorf("unknown emit kind %q (have: c, ast)", req.Emit)
+	}
+}
+
+// Run parses and checks req.Source through the frontend cache, then
+// executes it on the parallel interpreter. The returned error is nil
+// unless execution itself failed (including ctx cancellation); frontend
+// failures are reported through RunResult.OK and Diagnostics.
+func (d *Driver) Run(ctx context.Context, req RunRequest) (*RunResult, error) {
+	out := &RunResult{Key: frontKey(req.Name, req.Source, req.Exts)}
+	fr, cached := d.frontend(req.Name, req.Source, req.Exts)
+	out.Cached = cached
+	out.Diagnostics = fr.diags
+	out.Stages = fr.stages
+	if !fr.ok {
+		return out, nil
+	}
+	threads := req.Threads
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	d.metrics.RunsStarted.Add(1)
+	i := interp.New(fr.prog, fr.info, interp.Options{
+		Threads:  threads,
+		Stdout:   req.Stdout,
+		Dir:      req.Dir,
+		MaxSteps: req.MaxSteps,
+		Files:    req.Files,
+		Context:  ctx,
+	})
+	defer i.Close()
+	t0 := time.Now()
+	code, err := i.Run()
+	runD := time.Since(t0)
+	d.metrics.RunLatency.Observe(runD)
+	out.Stages.RunNS = int64(runD)
+	if err != nil {
+		if ctx != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			d.metrics.RunsCancelled.Add(1)
+		}
+		return out, err
+	}
+	out.OK = true
+	out.ExitCode = code
+	return out, nil
+}

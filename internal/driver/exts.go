@@ -1,0 +1,72 @@
+// Extension-set and flag parsing shared by every entry point (cmc,
+// cmrun, cmserved): one place turns the user-facing
+// "-ext matrix,transform,rc,cilk" syntax into parser.Options and back
+// into the canonical form used in cache keys.
+package driver
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cgen"
+	"repro/internal/parser"
+)
+
+// ParseExtensions parses a comma-separated extension list into
+// parser.Options. Recognized names are matrix, transform, rc and cilk;
+// "all" selects every extension and "none" (or the empty string)
+// selects only the host language.
+func ParseExtensions(s string) (parser.Options, error) {
+	var o parser.Options
+	for _, e := range strings.Split(s, ",") {
+		switch strings.TrimSpace(e) {
+		case "matrix":
+			o.Matrix = true
+		case "transform":
+			o.Transform = true
+		case "rc":
+			o.Rc = true
+		case "cilk":
+			o.Cilk = true
+		case "all":
+			o = parser.AllExtensions()
+		case "", "none":
+		default:
+			return o, fmt.Errorf("unknown extension %q (have: matrix, transform, rc, cilk, all, none)", e)
+		}
+	}
+	return o, nil
+}
+
+// FormatExtensions renders o in the canonical composition order, the
+// inverse of ParseExtensions. The result is stable and is what the
+// content-addressed cache keys on.
+func FormatExtensions(o parser.Options) string {
+	var parts []string
+	if o.Matrix {
+		parts = append(parts, "matrix")
+	}
+	if o.Transform {
+		parts = append(parts, "transform")
+	}
+	if o.Rc {
+		parts = append(parts, "rc")
+	}
+	if o.Cilk {
+		parts = append(parts, "cilk")
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseParMode validates a -par flag value.
+func ParseParMode(s string) (cgen.ParMode, error) {
+	switch m := cgen.ParMode(s); m {
+	case cgen.ParPthread, cgen.ParOMP, cgen.ParNone:
+		return m, nil
+	default:
+		return "", fmt.Errorf("unknown -par mode %q (have: pthread, omp, none)", s)
+	}
+}

@@ -1,0 +1,150 @@
+// Observability primitives for the compile service: lock-free counters
+// and fixed-bucket latency histograms built on sync/atomic only (the
+// module is dependency-free by design). Snapshots are plain structs
+// that marshal directly to the /metrics JSON.
+package driver
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// histBoundsUS are the upper bounds (inclusive, in microseconds) of the
+// latency histogram buckets; a final implicit +Inf bucket catches the
+// rest. The range spans a warm cache hit (~µs) to a cold full
+// compile (~ms) to a long interpreter run (~s).
+var histBoundsUS = [...]int64{
+	50, 100, 250, 500,
+	1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+	1_000_000, 5_000_000, 30_000_000,
+}
+
+// Histogram is a fixed-bucket latency histogram safe for concurrent
+// observation.
+type Histogram struct {
+	buckets [len(histBoundsUS) + 1]atomic.Int64
+	count   atomic.Int64
+	sumNS   atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	us := d.Microseconds()
+	i := 0
+	for i < len(histBoundsUS) && us > histBoundsUS[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(int64(d))
+}
+
+// HistogramSnapshot is a point-in-time JSON-friendly view.
+type HistogramSnapshot struct {
+	Count   int64            `json:"count"`
+	MeanUS  float64          `json:"mean_us"`
+	Buckets []BucketSnapshot `json:"buckets,omitempty"`
+}
+
+// BucketSnapshot is one non-empty histogram bucket; LeUS is the bucket's
+// inclusive upper bound in microseconds (0 marks the +Inf bucket).
+type BucketSnapshot struct {
+	LeUS  int64 `json:"le_us,omitempty"`
+	Count int64 `json:"count"`
+}
+
+// Snapshot captures the histogram's current state. Empty buckets are
+// elided to keep /metrics output small.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load()}
+	if s.Count > 0 {
+		s.MeanUS = float64(h.sumNS.Load()) / float64(s.Count) / 1e3
+	}
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		b := BucketSnapshot{Count: n}
+		if i < len(histBoundsUS) {
+			b.LeUS = histBoundsUS[i]
+		}
+		s.Buckets = append(s.Buckets, b)
+	}
+	return s
+}
+
+// Metrics aggregates the driver's counters: cache behavior plus
+// per-stage latency. All fields are safe for concurrent use.
+type Metrics struct {
+	// Cache outcome counters. A miss executes the pipeline; a hit
+	// returns a previously stored artifact; a coalesced request joined
+	// an identical in-flight execution (singleflight) and shared its
+	// result without executing.
+	CompileHits      atomic.Int64
+	CompileMisses    atomic.Int64
+	CompileCoalesced atomic.Int64
+	FrontendHits     atomic.Int64
+	FrontendMisses   atomic.Int64
+
+	// Pipeline executions actually performed (== misses; kept separate
+	// so tests can assert "compiled exactly once" directly).
+	CompileExecutions  atomic.Int64
+	FrontendExecutions atomic.Int64
+
+	RunsStarted   atomic.Int64
+	RunsCancelled atomic.Int64
+
+	// Per-stage latency histograms.
+	ParseLatency   Histogram
+	CheckLatency   Histogram
+	EmitLatency    Histogram
+	RunLatency     Histogram
+	CompileLatency Histogram // whole Compile call, hits included
+}
+
+// MetricsSnapshot is the JSON shape served on /metrics.
+type MetricsSnapshot struct {
+	CompileHits        int64 `json:"compile_cache_hits"`
+	CompileMisses      int64 `json:"compile_cache_misses"`
+	CompileCoalesced   int64 `json:"compile_coalesced"`
+	FrontendHits       int64 `json:"frontend_cache_hits"`
+	FrontendMisses     int64 `json:"frontend_cache_misses"`
+	CompileExecutions  int64 `json:"compile_executions"`
+	FrontendExecutions int64 `json:"frontend_executions"`
+	RunsStarted        int64 `json:"runs_started"`
+	RunsCancelled      int64 `json:"runs_cancelled"`
+
+	CompileHitRatio float64 `json:"compile_hit_ratio"`
+
+	ParseLatency   HistogramSnapshot `json:"parse_latency"`
+	CheckLatency   HistogramSnapshot `json:"check_latency"`
+	EmitLatency    HistogramSnapshot `json:"emit_latency"`
+	RunLatency     HistogramSnapshot `json:"run_latency"`
+	CompileLatency HistogramSnapshot `json:"compile_latency"`
+}
+
+// Snapshot captures all counters at one instant (best-effort
+// consistency; counters advance independently).
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	s := MetricsSnapshot{
+		CompileHits:        m.CompileHits.Load(),
+		CompileMisses:      m.CompileMisses.Load(),
+		CompileCoalesced:   m.CompileCoalesced.Load(),
+		FrontendHits:       m.FrontendHits.Load(),
+		FrontendMisses:     m.FrontendMisses.Load(),
+		CompileExecutions:  m.CompileExecutions.Load(),
+		FrontendExecutions: m.FrontendExecutions.Load(),
+		RunsStarted:        m.RunsStarted.Load(),
+		RunsCancelled:      m.RunsCancelled.Load(),
+		ParseLatency:       m.ParseLatency.Snapshot(),
+		CheckLatency:       m.CheckLatency.Snapshot(),
+		EmitLatency:        m.EmitLatency.Snapshot(),
+		RunLatency:         m.RunLatency.Snapshot(),
+		CompileLatency:     m.CompileLatency.Snapshot(),
+	}
+	if total := s.CompileHits + s.CompileCoalesced + s.CompileMisses; total > 0 {
+		s.CompileHitRatio = float64(s.CompileHits+s.CompileCoalesced) / float64(total)
+	}
+	return s
+}

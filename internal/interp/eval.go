@@ -631,6 +631,9 @@ func (c *ctx) evalWithLoop(w *ast.WithLoop) (any, error) {
 	}
 	body := func(op ast.Expr) matrix.BodyFunc {
 		return func(idx []int) (any, error) {
+			if err := c.checkCancel(op); err != nil {
+				return nil, err
+			}
 			f := newFrame(c.frame)
 			for k, id := range w.Ids {
 				f.vars[id] = &binding{v: int64(idx[k]), ty: types.IntT}

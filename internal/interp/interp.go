@@ -12,6 +12,7 @@
 package interp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -44,6 +45,11 @@ type Options struct {
 	// before the filesystem. writeMatrix writes back into it when
 	// non-nil and Dir is empty.
 	Files map[string]*matrix.Matrix
+	// Context, when non-nil, cancels execution: the eval loop checks it
+	// at every statement and with-loop element and aborts with the
+	// context's error (long-lived servers use this for per-request
+	// deadlines).
+	Context context.Context
 }
 
 // Interp executes one program.
@@ -60,6 +66,8 @@ type Interp struct {
 	globalFrame *frame
 	steps       int64
 	stepMu      sync.Mutex
+	ctx         context.Context
+	done        <-chan struct{}
 }
 
 // New builds an interpreter for a checked program.
@@ -75,6 +83,10 @@ func New(prog *ast.Program, info *sem.Info, opts Options) *Interp {
 	}
 	if opts.Threads > 1 {
 		i.pool = par.NewPool(opts.Threads)
+	}
+	if opts.Context != nil {
+		i.ctx = opts.Context
+		i.done = opts.Context.Done()
 	}
 	return i
 }
@@ -244,7 +256,25 @@ func (c *ctx) popFrame(f *frame) {
 	}
 }
 
+// checkCancel aborts execution once the interpreter's context is
+// cancelled. The channel poll is cheap enough to run per statement and
+// per with-loop element.
+func (c *ctx) checkCancel(n ast.Node) error {
+	if c.i.done == nil {
+		return nil
+	}
+	select {
+	case <-c.i.done:
+		return wrap(n, c.i.ctx.Err())
+	default:
+		return nil
+	}
+}
+
 func (c *ctx) step(n ast.Node) error {
+	if err := c.checkCancel(n); err != nil {
+		return err
+	}
 	max := c.i.opts.MaxSteps
 	if max == 0 {
 		return nil

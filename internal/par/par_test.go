@@ -2,6 +2,7 @@ package par
 
 import (
 	"math/rand"
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -93,6 +94,12 @@ func TestWorkersCount(t *testing.T) {
 	defer q.Shutdown()
 	if q.Workers() < 1 {
 		t.Error("default pool must have at least one worker")
+	}
+	// Negative counts must not construct an empty (deadlocking) pool.
+	r := NewPool(-4)
+	defer r.Shutdown()
+	if r.Workers() != runtime.GOMAXPROCS(0) {
+		t.Errorf("NewPool(-4).Workers() = %d, want GOMAXPROCS", r.Workers())
 	}
 }
 

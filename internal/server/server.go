@@ -1,0 +1,382 @@
+// Package server turns the driver pipeline into
+// compilation-as-a-service: an HTTP JSON API serving concurrent
+// compile and run requests over one shared content-addressed cache.
+//
+// Endpoints:
+//
+//	POST /v1/compile   translate extended-C to parallel C (or AST)
+//	POST /v1/run       execute a program on the parallel interpreter
+//	GET  /v1/analyses  the §VI modular analysis report (memoized)
+//	GET  /healthz      liveness probe
+//	GET  /metrics      request counters, cache ratios, stage latencies
+//
+// Interpreter executions are bounded by a semaphore sized off the
+// internal/par pool default (GOMAXPROCS) and run under a per-request
+// deadline threaded into the interpreter's eval loop via
+// context.Context, so a runaway program times out without taking the
+// server down. Run requests touch no server filesystem: readMatrix and
+// writeMatrix are confined to an in-memory, per-request file map.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cgen"
+	"repro/internal/driver"
+	"repro/internal/matrix"
+)
+
+// Config parameterizes a Server. Zero values select the defaults.
+type Config struct {
+	// Driver is the shared pipeline + cache (required; New fills in a
+	// fresh one if nil).
+	Driver *driver.Driver
+	// MaxConcurrentRuns bounds simultaneous interpreter executions;
+	// defaults to runtime.GOMAXPROCS(0), the internal/par pool's own
+	// default worker count.
+	MaxConcurrentRuns int
+	// DefaultTimeout applies to run requests that specify none;
+	// MaxTimeout clamps what a request may ask for.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxSourceBytes bounds request bodies (default 1 MiB).
+	MaxSourceBytes int64
+}
+
+// Server handles the HTTP API over a shared driver.
+type Server struct {
+	cfg    Config
+	d      *driver.Driver
+	runSem chan struct{}
+
+	compileReqs  atomic.Int64
+	runReqs      atomic.Int64
+	analysesReqs atomic.Int64
+	clientErrors atomic.Int64
+	runTimeouts  atomic.Int64
+	inflightRuns atomic.Int64
+	startedAt    time.Time
+}
+
+// New builds a server; see Config for defaults.
+func New(cfg Config) *Server {
+	if cfg.Driver == nil {
+		cfg.Driver = driver.New()
+	}
+	if cfg.MaxConcurrentRuns <= 0 {
+		cfg.MaxConcurrentRuns = runtime.GOMAXPROCS(0)
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 10 * time.Second
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 60 * time.Second
+	}
+	if cfg.MaxSourceBytes <= 0 {
+		cfg.MaxSourceBytes = 1 << 20
+	}
+	return &Server{
+		cfg:       cfg,
+		d:         cfg.Driver,
+		runSem:    make(chan struct{}, cfg.MaxConcurrentRuns),
+		startedAt: time.Now(),
+	}
+}
+
+// Handler returns the route mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/compile", s.handleCompile)
+	mux.HandleFunc("/v1/run", s.handleRun)
+	mux.HandleFunc("/v1/analyses", s.handleAnalyses)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// --- request/response shapes ---
+
+type compileRequest struct {
+	// Name labels diagnostics (default "request.xc").
+	Name   string `json:"name,omitempty"`
+	Source string `json:"source"`
+	// Extensions is the -ext syntax: "matrix,transform,rc,cilk", "all",
+	// "none" (default "all").
+	Extensions string `json:"extensions,omitempty"`
+	// Emit is "c" (default) or "ast".
+	Emit string `json:"emit,omitempty"`
+	// Par is "pthread" (default), "omp" or "none".
+	Par string `json:"par,omitempty"`
+	// Optimize enables the §III-A.4 optimizations (default true).
+	Optimize *bool `json:"optimize,omitempty"`
+}
+
+type compileResponse struct {
+	Key         string              `json:"key"`
+	Cached      bool                `json:"cached"`
+	Output      string              `json:"output"`
+	Diagnostics []string            `json:"diagnostics,omitempty"`
+	Stages      driver.StageTimings `json:"stages"`
+}
+
+type runRequest struct {
+	Name       string `json:"name,omitempty"`
+	Source     string `json:"source"`
+	Extensions string `json:"extensions,omitempty"`
+	// Threads sizes the worker pool; <= 0 selects GOMAXPROCS.
+	Threads int `json:"threads,omitempty"`
+	// TimeoutMS is the execution deadline (default/clamped by server
+	// config).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// MaxSteps bounds interpreter steps (0 = unlimited).
+	MaxSteps int64 `json:"max_steps,omitempty"`
+}
+
+type runResponse struct {
+	Key         string              `json:"key"`
+	Cached      bool                `json:"cached"`
+	ExitCode    int                 `json:"exit_code"`
+	Stdout      string              `json:"stdout"`
+	Diagnostics []string            `json:"diagnostics,omitempty"`
+	Stages      driver.StageTimings `json:"stages"`
+	DurationMS  float64             `json:"duration_ms"`
+}
+
+type errorResponse struct {
+	Error       string   `json:"error"`
+	Diagnostics []string `json:"diagnostics,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+func (s *Server) clientError(w http.ResponseWriter, code int, resp errorResponse) {
+	s.clientErrors.Add(1)
+	writeJSON(w, code, resp)
+}
+
+// decode parses a JSON body into v, enforcing the size limit.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxSourceBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		s.clientError(w, http.StatusBadRequest, errorResponse{Error: "bad request: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method != method {
+		w.Header().Set("Allow", method)
+		writeJSON(w, http.StatusMethodNotAllowed,
+			errorResponse{Error: fmt.Sprintf("method %s not allowed", r.Method)})
+		return false
+	}
+	return true
+}
+
+// --- handlers ---
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	s.compileReqs.Add(1)
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req compileRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Source == "" {
+		s.clientError(w, http.StatusBadRequest, errorResponse{Error: `missing "source"`})
+		return
+	}
+	name := req.Name
+	if name == "" {
+		name = "request.xc"
+	}
+	if req.Extensions == "" {
+		req.Extensions = "all"
+	}
+	exts, err := driver.ParseExtensions(req.Extensions)
+	if err != nil {
+		s.clientError(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	if req.Par == "" {
+		req.Par = "pthread"
+	}
+	par, err := driver.ParseParMode(req.Par)
+	if err != nil {
+		s.clientError(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	if req.Emit != "" && req.Emit != "c" && req.Emit != "ast" {
+		s.clientError(w, http.StatusBadRequest,
+			errorResponse{Error: fmt.Sprintf("unknown emit kind %q (have: c, ast)", req.Emit)})
+		return
+	}
+	optimize := req.Optimize == nil || *req.Optimize
+
+	res := s.d.Compile(driver.CompileRequest{
+		Name: name, Source: req.Source, Exts: exts, Emit: req.Emit,
+		Codegen: cgen.Options{Par: par, Optimize: optimize},
+	})
+	if !res.OK {
+		// Source the pipeline rejected: the parser's error-recovery
+		// diagnostics (and any semantic errors) ride in the body.
+		s.clientError(w, http.StatusUnprocessableEntity, errorResponse{
+			Error: "compilation failed", Diagnostics: res.Diagnostics,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, compileResponse{
+		Key: res.Key, Cached: res.Cached, Output: res.Output,
+		Diagnostics: res.Diagnostics, Stages: res.Stages,
+	})
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	s.runReqs.Add(1)
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req runRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Source == "" {
+		s.clientError(w, http.StatusBadRequest, errorResponse{Error: `missing "source"`})
+		return
+	}
+	name := req.Name
+	if name == "" {
+		name = "request.xc"
+	}
+	if req.Extensions == "" {
+		req.Extensions = "all"
+	}
+	exts, err := driver.ParseExtensions(req.Extensions)
+	if err != nil {
+		s.clientError(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+
+	// Bound concurrent interpreter executions; waiters give up when the
+	// client goes away.
+	select {
+	case s.runSem <- struct{}{}:
+		defer func() { <-s.runSem }()
+	case <-r.Context().Done():
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server busy"})
+		return
+	}
+	s.inflightRuns.Add(1)
+	defer s.inflightRuns.Add(-1)
+
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	var stdout bytes.Buffer
+	t0 := time.Now()
+	res, err := s.d.Run(ctx, driver.RunRequest{
+		Name: name, Source: req.Source, Exts: exts,
+		Threads: req.Threads, MaxSteps: req.MaxSteps,
+		// No Dir + non-nil Files: file I/O stays in this request-local
+		// in-memory map, never the server's filesystem.
+		Files:  map[string]*matrix.Matrix{},
+		Stdout: &stdout,
+	})
+	dur := time.Since(t0)
+	if err != nil {
+		if ctx.Err() != nil {
+			s.runTimeouts.Add(1)
+			writeJSON(w, http.StatusGatewayTimeout, errorResponse{
+				Error: fmt.Sprintf("execution timed out after %s: %v", timeout, err),
+			})
+			return
+		}
+		s.clientError(w, http.StatusUnprocessableEntity, errorResponse{
+			Error: fmt.Sprintf("execution failed: %v", err), Diagnostics: res.Diagnostics,
+		})
+		return
+	}
+	if !res.OK {
+		s.clientError(w, http.StatusUnprocessableEntity, errorResponse{
+			Error: "compilation failed", Diagnostics: res.Diagnostics,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, runResponse{
+		Key: res.Key, Cached: res.Cached, ExitCode: res.ExitCode,
+		Stdout: stdout.String(), Diagnostics: res.Diagnostics,
+		Stages: res.Stages, DurationMS: float64(dur) / float64(time.Millisecond),
+	})
+}
+
+func (s *Server) handleAnalyses(w http.ResponseWriter, r *http.Request) {
+	s.analysesReqs.Add(1)
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	writeJSON(w, http.StatusOK, driver.Analyses())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// metricsSnapshot is the /metrics JSON document.
+type metricsSnapshot struct {
+	UptimeSeconds   float64 `json:"uptime_seconds"`
+	CompileRequests int64   `json:"compile_requests"`
+	RunRequests     int64   `json:"run_requests"`
+	AnalysisReqs    int64   `json:"analyses_requests"`
+	ClientErrors    int64   `json:"client_errors"`
+	RunTimeouts     int64   `json:"run_timeouts"`
+	InflightRuns    int64   `json:"inflight_runs"`
+	MaxRuns         int     `json:"max_concurrent_runs"`
+
+	Driver driver.MetricsSnapshot `json:"driver"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	writeJSON(w, http.StatusOK, metricsSnapshot{
+		UptimeSeconds:   time.Since(s.startedAt).Seconds(),
+		CompileRequests: s.compileReqs.Load(),
+		RunRequests:     s.runReqs.Load(),
+		AnalysisReqs:    s.analysesReqs.Load(),
+		ClientErrors:    s.clientErrors.Load(),
+		RunTimeouts:     s.runTimeouts.Load(),
+		InflightRuns:    s.inflightRuns.Load(),
+		MaxRuns:         s.cfg.MaxConcurrentRuns,
+		Driver:          s.d.Metrics().Snapshot(),
+	})
+}
