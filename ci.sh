@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# ci.sh — the repo's check gate: formatting, vet, build, full tests,
-# and a one-shot benchmark smoke pass (E1 plus the compile-service
-# cold/warm pair). Run locally before pushing; the GitHub Actions
-# workflow runs exactly this script.
+# ci.sh — the repo's check gate: formatting, vet, build, full tests, a
+# race-detector pass over the crash-proofing layers (pool, matrix
+# runtime, interpreter, server), and a one-shot benchmark smoke pass
+# (E1 plus the compile-service cold/warm pair). Run locally before
+# pushing; the GitHub Actions workflow runs this script.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -22,6 +23,9 @@ go build ./...
 
 echo "== go test =="
 go test ./...
+
+echo "== go test -race (crash-proofing layers) =="
+go test -race ./internal/par ./internal/matrix ./internal/interp ./internal/server
 
 echo "== bench smoke =="
 go test -run='^$' -bench='BenchmarkE1_' -benchtime=1x .

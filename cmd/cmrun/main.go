@@ -7,22 +7,30 @@
 // Usage:
 //
 //	cmrun [-t N] [-dir path] [-timeout d] file.xc
+//
+// Exit codes: the program's own exit code on success; 1 for other
+// execution failures (e.g. a busted -timeout deadline); 2 for usage or
+// compile errors; 3 for a runtime trap (shape, rc, panic); 4 when a
+// resource budget was exceeded (-maxsteps, -maxcells, call depth).
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 
 	"repro/internal/driver"
+	"repro/internal/interp"
 )
 
 func main() {
 	threads := flag.Int("t", 1, "worker threads for parallel constructs (<= 0: one per core)")
 	dir := flag.String("dir", "", "directory for readMatrix/writeMatrix (default: the source file's)")
 	steps := flag.Int64("maxsteps", 0, "abort after N interpreter steps (0 = unlimited)")
+	cells := flag.Int64("maxcells", 0, "abort after allocating N matrix cells (0 = unlimited)")
 	timeout := flag.Duration("timeout", 0, "abort execution after this long (0 = no deadline)")
 	extFlag := flag.String("ext", "all", "comma-separated extensions to compose (matrix, transform, rc, cilk, all, none)")
 	flag.Parse()
@@ -53,17 +61,26 @@ func main() {
 	}
 	res, err := driver.New().Run(ctx, driver.RunRequest{
 		Name: file, Source: string(src), Exts: exts,
-		Threads: *threads, MaxSteps: *steps, Dir: d,
+		Threads: *threads, MaxSteps: *steps, MaxCells: *cells, Dir: d,
 	})
 	for _, diag := range res.Diagnostics {
 		fmt.Fprintln(os.Stderr, diag)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cmrun: %v\n", err)
+		var rte *interp.RuntimeError
+		if errors.As(err, &rte) && rte.Trap != interp.TrapNone {
+			if rte.Trap.IsResource() {
+				os.Exit(4)
+			}
+			os.Exit(3)
+		}
 		os.Exit(1)
 	}
 	if !res.OK {
-		os.Exit(1)
+		// Diagnostics were printed above; distinguish "your program does
+		// not compile" from "your program failed at runtime".
+		os.Exit(2)
 	}
 	os.Exit(res.ExitCode)
 }

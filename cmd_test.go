@@ -157,6 +157,77 @@ func TestCmdCmrunValidatesThreadCount(t *testing.T) {
 	}
 }
 
+// TestCmdCmrunTrapExitCodes pins the failure contract of the CLI:
+// compile errors exit 2, runtime traps exit 3, busted resource budgets
+// exit 4, and trap-coded failures print the code and source span.
+func TestCmdCmrunTrapExitCodes(t *testing.T) {
+	bin := buildCommands(t)
+	dir := t.TempDir()
+	writeProg := func(name, src string) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	shapeTrap := writeProg("shape.xc", `
+int main() {
+	int n = 0 - 3;
+	Matrix float <1> m;
+	m = with ([0] <= [i] < [n]) genarray([n], 1.0);
+	return 0;
+}`)
+	spin := writeProg("spin.xc", `
+int main() {
+	int i = 0;
+	while (i >= 0) { i = i + 1; }
+	return 0;
+}`)
+	alloc := writeProg("alloc.xc", `
+int main() {
+	Matrix float <2> m;
+	m = with ([0, 0] <= [i, j] < [100, 100]) genarray([100, 100], 1.0);
+	return 0;
+}`)
+	bad := writeProg("bad.xc", `int main() { return zzz; }`)
+
+	cases := []struct {
+		name string
+		args []string
+		exit int
+		want string
+	}{
+		{"shape trap", []string{shapeTrap}, 3, "trap:shape"},
+		{"step budget", []string{"-maxsteps", "10000", spin}, 4, "trap:step"},
+		{"cell budget", []string{"-maxcells", "1000", alloc}, 4, "trap:oom"},
+		{"compile error", []string{bad}, 2, "undeclared"},
+		{"deadline", []string{"-timeout", "150ms", spin}, 1, "deadline"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			out, err := exec.Command(filepath.Join(bin, "cmrun"), c.args...).CombinedOutput()
+			if err == nil {
+				t.Fatalf("cmrun succeeded, want exit %d\n%s", c.exit, out)
+			}
+			ee, ok := err.(*exec.ExitError)
+			if !ok {
+				t.Fatalf("cmrun: %v", err)
+			}
+			if got := ee.ExitCode(); got != c.exit {
+				t.Errorf("exit = %d, want %d\n%s", got, c.exit, out)
+			}
+			if !strings.Contains(string(out), c.want) {
+				t.Errorf("output missing %q:\n%s", c.want, out)
+			}
+			// Trap-coded failures name the failing construct's position.
+			if strings.HasPrefix(c.want, "trap:") && !strings.Contains(string(out), ".xc:") {
+				t.Errorf("output carries no source span:\n%s", out)
+			}
+		})
+	}
+}
+
 func TestCmdSshgenPlusCmrunPipeline(t *testing.T) {
 	bin := buildCommands(t)
 	dir := t.TempDir()

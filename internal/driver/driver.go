@@ -133,6 +133,9 @@ type RunRequest struct {
 	// runtime.GOMAXPROCS(0), never a silent sequential fallback.
 	Threads  int
 	MaxSteps int64
+	// MaxCells bounds the cells the program may allocate (0 =
+	// unlimited); exceeding it fails with the "oom" trap.
+	MaxCells int64
 	// Dir is the base directory for readMatrix/writeMatrix; empty with
 	// non-nil Files confines file I/O to the in-memory map.
 	Dir    string
@@ -320,6 +323,7 @@ func (d *Driver) Run(ctx context.Context, req RunRequest) (*RunResult, error) {
 		Stdout:   req.Stdout,
 		Dir:      req.Dir,
 		MaxSteps: req.MaxSteps,
+		MaxCells: req.MaxCells,
 		Files:    req.Files,
 		Context:  ctx,
 	})
@@ -332,6 +336,10 @@ func (d *Driver) Run(ctx context.Context, req RunRequest) (*RunResult, error) {
 	if err != nil {
 		if ctx != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 			d.metrics.RunsCancelled.Add(1)
+		}
+		var rte *interp.RuntimeError
+		if errors.As(err, &rte) && rte.Trap != interp.TrapNone {
+			d.metrics.RunsTrapped.Add(1)
 		}
 		return out, err
 	}

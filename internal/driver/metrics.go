@@ -94,6 +94,9 @@ type Metrics struct {
 
 	RunsStarted   atomic.Int64
 	RunsCancelled atomic.Int64
+	// RunsTrapped counts executions that ended in a trap-coded
+	// RuntimeError (shape/rc/oom/step/depth/panic).
+	RunsTrapped atomic.Int64
 
 	// Per-stage latency histograms.
 	ParseLatency   Histogram
@@ -114,6 +117,7 @@ type MetricsSnapshot struct {
 	FrontendExecutions int64 `json:"frontend_executions"`
 	RunsStarted        int64 `json:"runs_started"`
 	RunsCancelled      int64 `json:"runs_cancelled"`
+	RunsTrapped        int64 `json:"runs_trapped"`
 
 	CompileHitRatio float64 `json:"compile_hit_ratio"`
 
@@ -137,6 +141,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		FrontendExecutions: m.FrontendExecutions.Load(),
 		RunsStarted:        m.RunsStarted.Load(),
 		RunsCancelled:      m.RunsCancelled.Load(),
+		RunsTrapped:        m.RunsTrapped.Load(),
 		ParseLatency:       m.ParseLatency.Snapshot(),
 		CheckLatency:       m.CheckLatency.Snapshot(),
 		EmitLatency:        m.EmitLatency.Snapshot(),

@@ -95,6 +95,9 @@ func (c *ctx) readMatrix(e *ast.CallExpr, name string) (*matrix.Matrix, error) {
 	defer c.i.fileMu.Unlock()
 	if c.i.opts.Files != nil {
 		if m, ok := c.i.opts.Files[name]; ok {
+			if err := c.charge(e, int64(m.Size())); err != nil {
+				return nil, err
+			}
 			return m.Copy(), nil
 		}
 		if c.i.opts.Dir == "" {

@@ -56,6 +56,15 @@ func (c *ctx) execSpawn(s *ast.SpawnStmt) error {
 	fut.gctx = gctx
 	go func() {
 		defer close(fut.done)
+		// A panic in spawned work must not kill the process — this
+		// goroutine is outside both the pool's recovery and the
+		// interpreter's top-level recover. Convert it to a trap the
+		// joining sync propagates like any other spawn failure.
+		defer func() {
+			if r := recover(); r != nil {
+				fut.err = recoveredError(s, r)
+			}
+		}()
 		fut.val, fut.err = gctx.callFunction(sig.Decl, args, s)
 	}()
 	c.futures = append(c.futures, fut)

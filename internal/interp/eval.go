@@ -20,7 +20,7 @@ const (
 // callFunction runs fn with already-evaluated arguments.
 func (c *ctx) callFunction(fn *ast.FuncDecl, args []any, site ast.Node) (any, error) {
 	if c.depth > 512 {
-		return nil, rerr(site, "call stack exceeded 512 frames (infinite recursion in %q?)", fn.Name)
+		return nil, trapErr(site, TrapDepth, "call stack exceeded 512 frames (infinite recursion in %q?)", fn.Name)
 	}
 	f := newFrame(c.i.globalFrame)
 	cc := c.child(f, c.pool)
@@ -447,6 +447,11 @@ func (c *ctx) evalExpr(e ast.Expr) (any, error) {
 		if err != nil {
 			return nil, err
 		}
+		if hi >= lo {
+			if err := c.charge(e, hi-lo+1); err != nil {
+				return nil, err
+			}
+		}
 		return matrix.Range(lo, hi), nil
 
 	case *ast.TupleExpr:
@@ -482,7 +487,8 @@ func (c *ctx) evalExpr(e ast.Expr) (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		return matrix.New(elem, dims...), nil
+		m, err := matrix.NewBudgeted(c.i.budget, elem, dims...)
+		return m, wrap(e, err)
 	}
 	return nil, rerr(e, "unknown expression %T", e)
 }
@@ -662,7 +668,7 @@ func (c *ctx) evalWithLoop(w *ast.WithLoop) (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		out, err := matrix.GenArray(elem, lower, upper, shape, body(op.Body), c.pool)
+		out, err := matrix.GenArrayExec(elem, lower, upper, shape, body(op.Body), c.exec())
 		return out, wrap(w, err)
 	case *ast.FoldOp:
 		base, err := c.evalExpr(op.Init)
@@ -680,7 +686,7 @@ func (c *ctx) evalWithLoop(w *ast.WithLoop) (any, error) {
 				base = float64(iv)
 			}
 		}
-		out, err := matrix.Fold(kind, base, lower, upper, body(op.Body), c.pool)
+		out, err := matrix.FoldExec(kind, base, lower, upper, body(op.Body), c.exec())
 		return out, wrap(w, err)
 	}
 	return nil, rerr(w, "unknown with-loop operation %T", w.Op)
@@ -732,10 +738,10 @@ func (c *ctx) evalMatrixMap(e *ast.MatrixMap) (any, error) {
 		return out, nil
 	}
 	if e.General {
-		out, err := matrix.MatrixMapG(m, dims, outElem, mapF, c.pool)
+		out, err := matrix.MatrixMapGExec(m, dims, outElem, mapF, c.exec())
 		return out, wrap(e, err)
 	}
-	out, err := matrix.MatrixMap(m, dims, outElem, mapF, c.pool)
+	out, err := matrix.MatrixMapExec(m, dims, outElem, mapF, c.exec())
 	return out, wrap(e, err)
 }
 

@@ -13,10 +13,12 @@ package interp
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/ast"
 	"repro/internal/matrix"
@@ -41,6 +43,11 @@ type Options struct {
 	Heap *rc.Heap
 	// MaxSteps bounds execution (0 = no bound) to catch runaway loops.
 	MaxSteps int64
+	// MaxCells bounds the total matrix cells the program may allocate
+	// (0 = no bound); oversized or runaway allocations fail with the
+	// "oom" trap instead of OOM-killing the process. Servers clamp
+	// this per request.
+	MaxCells int64
 	// Files provides in-memory matrices for readMatrix, checked
 	// before the filesystem. writeMatrix writes back into it when
 	// non-nil and Dir is empty.
@@ -60,14 +67,15 @@ type Interp struct {
 
 	pool        *par.Pool
 	heap        *rc.Heap
+	budget      *matrix.Budget
 	stdout      io.Writer
 	outMu       sync.Mutex
 	fileMu      sync.Mutex
 	globalFrame *frame
-	steps       int64
-	stepMu      sync.Mutex
+	steps       atomic.Int64
 	ctx         context.Context
 	done        <-chan struct{}
+	closeOnce   sync.Once
 }
 
 // New builds an interpreter for a checked program.
@@ -84,6 +92,7 @@ func New(prog *ast.Program, info *sem.Info, opts Options) *Interp {
 	if opts.Threads > 1 {
 		i.pool = par.NewPool(opts.Threads)
 	}
+	i.budget = matrix.NewBudget(opts.MaxCells)
 	if opts.Context != nil {
 		i.ctx = opts.Context
 		i.done = opts.Context.Done()
@@ -91,30 +100,53 @@ func New(prog *ast.Program, info *sem.Info, opts Options) *Interp {
 	return i
 }
 
-// Close shuts down the worker pool.
+// Close shuts down the worker pool. It is idempotent and defer-safe:
+// calling it after a trap, panic or mid-run error releases the workers
+// exactly once (panic recovery in the pool guarantees no worker is
+// left spinning in an unfinished construct).
 func (i *Interp) Close() {
-	if i.pool != nil {
-		i.pool.Shutdown()
-	}
+	i.closeOnce.Do(func() {
+		if i.pool != nil {
+			i.pool.Shutdown()
+		}
+	})
 }
 
 // Heap exposes the RC heap for leak assertions in tests.
 func (i *Interp) Heap() *rc.Heap { return i.heap }
 
-// RuntimeError is an execution failure with source position.
+// RuntimeError is an execution failure with source position and an
+// optional trap classification (see TrapCode).
 type RuntimeError struct {
 	Node ast.Node
+	Trap TrapCode
 	Err  error
+	// Stack is the goroutine stack at the panic site for TrapPanic
+	// errors; nil otherwise.
+	Stack []byte
 }
 
 func (e *RuntimeError) Error() string {
-	if e.Node != nil && e.Node.Span().Start.IsValid() {
-		return fmt.Sprintf("%s: runtime error: %v", e.Node.Span(), e.Err)
+	kind := "runtime error"
+	if e.Trap != TrapNone {
+		kind = fmt.Sprintf("runtime error [trap:%s]", e.Trap)
 	}
-	return fmt.Sprintf("runtime error: %v", e.Err)
+	if e.Node != nil && e.Node.Span().Start.IsValid() {
+		return fmt.Sprintf("%s: %s: %v", e.Node.Span(), kind, e.Err)
+	}
+	return fmt.Sprintf("%s: %v", kind, e.Err)
 }
 
 func (e *RuntimeError) Unwrap() error { return e.Err }
+
+// SpanString renders the source span, or "" when unknown; servers put
+// it in structured trap responses.
+func (e *RuntimeError) SpanString() string {
+	if e.Node != nil && e.Node.Span().Start.IsValid() {
+		return e.Node.Span().String()
+	}
+	return ""
+}
 
 func rerr(n ast.Node, format string, args ...any) error {
 	return &RuntimeError{Node: n, Err: fmt.Errorf(format, args...)}
@@ -127,7 +159,14 @@ func wrap(n ast.Node, err error) error {
 	if _, ok := err.(*RuntimeError); ok {
 		return err
 	}
-	return &RuntimeError{Node: n, Err: err}
+	re := &RuntimeError{Node: n, Trap: classifyErr(err), Err: err}
+	// A pool worker that panicked already captured the stack at the
+	// panic site; surface it on the trap.
+	var pe *par.PanicError
+	if errors.As(err, &pe) {
+		re.Stack = pe.Stack
+	}
+	return re
 }
 
 // --- frames and reference counting ---
@@ -279,18 +318,49 @@ func (c *ctx) step(n ast.Node) error {
 	if max == 0 {
 		return nil
 	}
-	c.i.stepMu.Lock()
-	c.i.steps++
-	s := c.i.steps
-	c.i.stepMu.Unlock()
-	if s > max {
-		return rerr(n, "execution exceeded %d steps", max)
+	if s := c.i.steps.Add(1); s > max {
+		return trapErr(n, TrapStep, "execution exceeded %d steps", max)
 	}
 	return nil
 }
 
-// Run executes main() and returns its exit code.
-func (i *Interp) Run() (int, error) {
+// exec is the matrix-runtime execution environment for this context:
+// the pool (nil in nested constructs), the interpreter's allocation
+// budget and cancellation context.
+func (c *ctx) exec() matrix.Exec {
+	return matrix.Exec{Pool: c.pool, Budget: c.i.budget, Ctx: c.i.ctx}
+}
+
+// charge debits cells from the allocation budget before an allocation
+// the matrix package does not make itself (ranges, file reads).
+func (c *ctx) charge(n ast.Node, cells int64) error {
+	if c.i.budget == nil {
+		return nil
+	}
+	if cells < 0 || cells > int64(^uint(0)>>1) {
+		return trapErr(n, TrapShape, "allocation of %d cells is impossible", cells)
+	}
+	if err := c.i.budget.Charge(int(cells)); err != nil {
+		return wrap(n, err)
+	}
+	return nil
+}
+
+// Run executes main() and returns its exit code. Run never panics: a
+// panic escaping evaluation — a matrix kernel shape violation, an rc
+// double free, or a fault-injected crash — is recovered into a
+// *RuntimeError with a trap code, so a daemon embedding the
+// interpreter survives any program it is handed.
+func (i *Interp) Run() (code int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			code, err = 0, recoveredError(i.prog, r)
+		}
+	}()
+	return i.run()
+}
+
+func (i *Interp) run() (int, error) {
 	mainSig, ok := i.info.Funcs["main"]
 	if !ok {
 		return 0, fmt.Errorf("interp: program has no main function")

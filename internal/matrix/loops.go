@@ -4,14 +4,45 @@
 // pool runs sequentially, which the interpreter uses for nested
 // parallel constructs (matching the generated C, which parallelizes
 // the outermost construct only).
+//
+// Every construct takes an Exec describing its execution environment:
+// pool, allocation budget and cancellation context. The first body
+// error, recovered worker panic, or deadline expiry aborts the
+// remaining iteration space cooperatively (per-row abort-flag and
+// context polls), so a poisoned row cannot keep the pool grinding
+// through millions of doomed iterations.
 package matrix
 
 import (
+	"context"
 	"fmt"
-	"sync"
 
 	"repro/internal/par"
 )
+
+// Exec is the execution environment threaded through the parallel
+// constructs: Pool distributes the outermost dimension (nil =
+// sequential), Budget caps allocations (nil = unlimited), and Ctx is
+// polled between rows so a deadline is observed mid-construct (nil =
+// never cancelled). The zero Exec is sequential and unbounded.
+type Exec struct {
+	Pool   *par.Pool
+	Budget *Budget
+	Ctx    context.Context
+}
+
+// cancelled polls the context without blocking.
+func (x Exec) cancelled() error {
+	if x.Ctx == nil {
+		return nil
+	}
+	select {
+	case <-x.Ctx.Done():
+		return x.Ctx.Err()
+	default:
+		return nil
+	}
+}
 
 // BodyFunc computes a with-loop body value at one generator index.
 // The idx slice must not be retained.
@@ -21,14 +52,23 @@ type BodyFunc func(idx []int) (any, error)
 //
 //	with ([lower] <= [ids] < [upper]) genarray([shape], body)
 //
-// producing a matrix of the given element type and shape whose cells
-// inside the generator box hold body(idx) and 0 elsewhere. As §III-A.4
-// requires, the shape must be a superset of the generator box — a
-// runtime check.
+// on a bare pool with no budget or deadline; see GenArrayExec.
 func GenArray(elem Elem, lower, upper, shape []int, body BodyFunc, pool *par.Pool) (*Matrix, error) {
+	return GenArrayExec(elem, lower, upper, shape, body, Exec{Pool: pool})
+}
+
+// GenArrayExec produces a matrix of the given element type and shape
+// whose cells inside the generator box hold body(idx) and 0 elsewhere.
+// As §III-A.4 requires, the shape must be a superset of the generator
+// box — a runtime check. The output allocation is charged against
+// x.Budget before any storage is made.
+func GenArrayExec(elem Elem, lower, upper, shape []int, body BodyFunc, x Exec) (*Matrix, error) {
 	if len(lower) != len(shape) || len(upper) != len(shape) {
 		return nil, fmt.Errorf("matrix: genarray shape rank %d does not match generator rank %d",
 			len(shape), len(lower))
+	}
+	if _, err := checkedSize(shape); err != nil {
+		return nil, err
 	}
 	for d := range shape {
 		if lower[d] < 0 || upper[d] > shape[d] {
@@ -37,7 +77,10 @@ func GenArray(elem Elem, lower, upper, shape []int, body BodyFunc, pool *par.Poo
 				shape, lower, upper, d)
 		}
 	}
-	out := New(elem, shape...)
+	out, err := NewBudgeted(x.Budget, elem, shape...)
+	if err != nil {
+		return nil, err
+	}
 	if out.Size() == 0 {
 		return out, nil
 	}
@@ -66,27 +109,19 @@ func GenArray(elem Elem, lower, upper, shape []int, body BodyFunc, pool *par.Poo
 		})
 		return ierr
 	}
-	if pool == nil || n0 < 2 {
+	if x.Pool == nil || n0 < 2 {
 		for i0 := lower[0]; i0 < upper[0]; i0++ {
+			if err := x.cancelled(); err != nil {
+				return nil, err
+			}
 			if err := runRow(i0); err != nil {
 				return nil, err
 			}
 		}
 		return out, nil
 	}
-	var mu sync.Mutex
-	var firstErr error
-	pool.ParallelFor(lower[0], upper[0], func(i0 int) {
-		if err := runRow(i0); err != nil {
-			mu.Lock()
-			if firstErr == nil {
-				firstErr = err
-			}
-			mu.Unlock()
-		}
-	})
-	if firstErr != nil {
-		return nil, firstErr
+	if err := x.Pool.ParallelForCtx(x.Ctx, lower[0], upper[0], runRow); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -139,11 +174,18 @@ func foldCombine(kind FoldKind, a, b any) (any, error) {
 //
 //	with ([lower] <= [ids] < [upper]) fold(op, base, body)
 //
-// reducing body over the generator box with the associative operator,
-// starting from base. When a pool is supplied the outermost dimension
-// is folded in per-worker partials combined after the stop barrier —
-// valid because the fold operators are associative and commutative.
+// on a bare pool with no budget or deadline; see FoldExec.
 func Fold(kind FoldKind, base any, lower, upper []int, body BodyFunc, pool *par.Pool) (any, error) {
+	return FoldExec(kind, base, lower, upper, body, Exec{Pool: pool})
+}
+
+// FoldExec reduces body over the generator box with the associative
+// operator, starting from base. When a pool is supplied the outermost
+// dimension is folded in per-worker partials combined after the stop
+// barrier — valid because the fold operators are associative and
+// commutative. The first row error aborts the other workers' remaining
+// rows through the pool's abort flag.
+func FoldExec(kind FoldKind, base any, lower, upper []int, body BodyFunc, x Exec) (any, error) {
 	if len(lower) != len(upper) {
 		return nil, fmt.Errorf("matrix: fold generator rank mismatch")
 	}
@@ -171,10 +213,13 @@ func Fold(kind FoldKind, base any, lower, upper []int, body BodyFunc, pool *par.
 		return acc, ierr
 	}
 	n0 := upper[0] - lower[0]
-	if pool == nil || n0 < 2 {
+	if x.Pool == nil || n0 < 2 {
 		acc := base
 		var err error
 		for i0 := lower[0]; i0 < upper[0]; i0++ {
+			if err := x.cancelled(); err != nil {
+				return nil, err
+			}
 			acc, err = foldRow(i0, acc)
 			if err != nil {
 				return nil, err
@@ -188,9 +233,9 @@ func Fold(kind FoldKind, base any, lower, upper []int, body BodyFunc, pool *par.
 	if err != nil {
 		return nil, err
 	}
+	pool := x.Pool
 	partials := make([]any, pool.Workers())
-	errs := make([]error, pool.Workers())
-	pool.Run(func(worker, workers int) {
+	err = pool.RunErr(func(worker, workers int) error {
 		chunk := (n0 + workers - 1) / workers
 		start := lower[0] + worker*chunk
 		end := start + chunk
@@ -199,19 +244,23 @@ func Fold(kind FoldKind, base any, lower, upper []int, body BodyFunc, pool *par.
 		}
 		acc := ident
 		for i0 := start; i0 < end; i0++ {
+			if pool.Aborted() {
+				return nil
+			}
+			if err := x.cancelled(); err != nil {
+				return err
+			}
 			var err error
 			acc, err = foldRow(i0, acc)
 			if err != nil {
-				errs[worker] = err
-				return
+				return err
 			}
 		}
 		partials[worker] = acc
+		return nil
 	})
-	for _, e := range errs {
-		if e != nil {
-			return nil, e
-		}
+	if err != nil {
+		return nil, err
 	}
 	acc := base
 	for _, pv := range partials {
@@ -258,13 +307,19 @@ func foldIdentity(kind FoldKind, base any) (any, error) {
 // MapFunc applies a user function to one sub-matrix in matrixMap.
 type MapFunc func(sub *Matrix) (*Matrix, error)
 
-// MatrixMap implements matrixMap(f, m, dims) (§III-A.5): f is applied
-// to the sub-matrix spanned by dims at every combination of the
-// remaining dimensions, which are iterated — in parallel on the pool —
-// and the results are reassembled into a matrix of m's shape ("the
-// result is always the same size and rank as the matrix getting
-// mapped over"). outElem is the element type of f's results.
+// MatrixMap implements matrixMap(f, m, dims) on a bare pool with no
+// budget or deadline; see MatrixMapExec.
 func MatrixMap(m *Matrix, dims []int, outElem Elem, f MapFunc, pool *par.Pool) (*Matrix, error) {
+	return MatrixMapExec(m, dims, outElem, f, Exec{Pool: pool})
+}
+
+// MatrixMapExec implements matrixMap(f, m, dims) (§III-A.5): f is
+// applied to the sub-matrix spanned by dims at every combination of
+// the remaining dimensions, which are iterated — in parallel on the
+// pool — and the results are reassembled into a matrix of m's shape
+// ("the result is always the same size and rank as the matrix getting
+// mapped over"). outElem is the element type of f's results.
+func MatrixMapExec(m *Matrix, dims []int, outElem Elem, f MapFunc, x Exec) (*Matrix, error) {
 	rank := m.Rank()
 	isMapped := make([]bool, rank)
 	for _, d := range dims {
@@ -285,7 +340,10 @@ func MatrixMap(m *Matrix, dims []int, outElem Elem, f MapFunc, pool *par.Pool) (
 	if len(iterDims) == 0 || len(dims) == 0 {
 		return nil, fmt.Errorf("matrix: matrixMap must keep between 1 and rank-1 dimensions")
 	}
-	out := New(outElem, m.shape...)
+	out, err := NewBudgeted(x.Budget, outElem, m.shape...)
+	if err != nil {
+		return nil, err
+	}
 	// Enumerate the iteration space linearly so the pool can split it.
 	iterSize := 1
 	for _, d := range iterDims {
@@ -330,38 +388,35 @@ func MatrixMap(m *Matrix, dims []int, outElem Elem, f MapFunc, pool *par.Pool) (
 		}
 		return out.SetIndex(res, specs...)
 	}
-	if pool == nil || iterSize < 2 {
+	if x.Pool == nil || iterSize < 2 {
 		for it := 0; it < iterSize; it++ {
+			if err := x.cancelled(); err != nil {
+				return nil, err
+			}
 			if err := runOne(it); err != nil {
 				return nil, err
 			}
 		}
 		return out, nil
 	}
-	var mu sync.Mutex
-	var firstErr error
-	pool.ParallelFor(0, iterSize, func(it int) {
-		if err := runOne(it); err != nil {
-			mu.Lock()
-			if firstErr == nil {
-				firstErr = err
-			}
-			mu.Unlock()
-		}
-	})
-	if firstErr != nil {
-		return nil, firstErr
+	if err := x.Pool.ParallelForCtx(x.Ctx, 0, iterSize, runOne); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
-// MatrixMapG is the generalized matrixMap the paper describes as in
-// development ("a generalization of this extension that removes this
-// restriction is being developed", §III-A.5): the mapped function may
-// return sub-matrices of a different size than it was given. The
+// MatrixMapG is MatrixMapGExec on a bare pool; see MatrixMapGExec.
+func MatrixMapG(m *Matrix, dims []int, outElem Elem, f MapFunc, pool *par.Pool) (*Matrix, error) {
+	return MatrixMapGExec(m, dims, outElem, f, Exec{Pool: pool})
+}
+
+// MatrixMapGExec is the generalized matrixMap the paper describes as
+// in development ("a generalization of this extension that removes
+// this restriction is being developed", §III-A.5): the mapped function
+// may return sub-matrices of a different size than it was given. The
 // output's mapped-dimension sizes are discovered from the first
 // application; every application must agree (checked at runtime).
-func MatrixMapG(m *Matrix, dims []int, outElem Elem, f MapFunc, pool *par.Pool) (*Matrix, error) {
+func MatrixMapGExec(m *Matrix, dims []int, outElem Elem, f MapFunc, x Exec) (*Matrix, error) {
 	rank := m.Rank()
 	isMapped := make([]bool, rank)
 	for _, d := range dims {
@@ -417,7 +472,7 @@ func MatrixMapG(m *Matrix, dims []int, outElem Elem, f MapFunc, pool *par.Pool) 
 		return res, nil
 	}
 	if iterSize == 0 {
-		return New(outElem, m.shape...), nil
+		return NewBudgeted(x.Budget, outElem, m.shape...)
 	}
 	// Discover the output's mapped-dimension sizes from application 0.
 	first, err := apply(0)
@@ -428,7 +483,10 @@ func MatrixMapG(m *Matrix, dims []int, outElem Elem, f MapFunc, pool *par.Pool) 
 	for k, d := range dims {
 		outShape[d] = first.shape[k]
 	}
-	out := New(outElem, outShape...)
+	out, err := NewBudgeted(x.Budget, outElem, outShape...)
+	if err != nil {
+		return nil, err
+	}
 	store := func(it int, res *Matrix) error {
 		for k, d := range dims {
 			if res.shape[k] != out.shape[d] {
@@ -450,27 +508,19 @@ func MatrixMapG(m *Matrix, dims []int, outElem Elem, f MapFunc, pool *par.Pool) 
 		}
 		return store(it, res)
 	}
-	if pool == nil || iterSize < 3 {
+	if x.Pool == nil || iterSize < 3 {
 		for it := 1; it < iterSize; it++ {
+			if err := x.cancelled(); err != nil {
+				return nil, err
+			}
 			if err := runOne(it); err != nil {
 				return nil, err
 			}
 		}
 		return out, nil
 	}
-	var mu sync.Mutex
-	var firstErr error
-	pool.ParallelFor(1, iterSize, func(it int) {
-		if err := runOne(it); err != nil {
-			mu.Lock()
-			if firstErr == nil {
-				firstErr = err
-			}
-			mu.Unlock()
-		}
-	})
-	if firstErr != nil {
-		return nil, firstErr
+	if err := x.Pool.ParallelForCtx(x.Ctx, 1, iterSize, runOne); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

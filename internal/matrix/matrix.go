@@ -58,14 +58,59 @@ type Matrix struct {
 	Hdr *rc.Header
 }
 
-// New allocates a zeroed matrix.
+// New allocates a zeroed matrix. It panics on an impossible shape
+// (negative dimension, size overflow); execution layers that must not
+// crash use NewBudgeted and get an error instead.
 func New(elem Elem, shape ...int) *Matrix {
+	m, err := NewBudgeted(nil, elem, shape...)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// checkedSize validates a shape and returns its element count,
+// rejecting negative dimensions and products whose byte size cannot
+// exist in the address space (which would otherwise alias a huge
+// request onto a small make, or panic inside make itself).
+func checkedSize(shape []int) (int, error) {
 	n := 1
 	for _, d := range shape {
 		if d < 0 {
-			panic(fmt.Sprintf("matrix: negative dimension %d", d))
+			return 0, &ShapeError{msg: fmt.Sprintf("matrix: negative dimension %d", d)}
+		}
+		if d > 0 && n > maxCells/d {
+			return 0, &ShapeError{msg: fmt.Sprintf("matrix: shape %v overflows the address space", shape)}
 		}
 		n *= d
+	}
+	return n, nil
+}
+
+const (
+	maxInt = int(^uint(0) >> 1)
+	// maxCells bounds a single matrix's element count so that its byte
+	// size (widest element: 8 bytes) still fits in int; beyond this,
+	// make would panic "len out of range" instead of returning an error.
+	maxCells = maxInt / 8
+)
+
+// NewBudgeted allocates a zeroed matrix after validating the shape and
+// charging the cell count against b (nil = unlimited). The charge
+// happens before the storage is made, so an oversized request fails as
+// a *BudgetError rather than an OOM kill.
+func NewBudgeted(b *Budget, elem Elem, shape ...int) (*Matrix, error) {
+	n, err := checkedSize(shape)
+	if err != nil {
+		return nil, err
+	}
+	if hook := TestHookAllocFail; hook != nil {
+		if err := hook(n); err != nil {
+			return nil, err
+		}
+	}
+	if err := b.Charge(n); err != nil {
+		return nil, err
 	}
 	m := &Matrix{elem: elem, shape: append([]int(nil), shape...)}
 	m.strides = stridesFor(m.shape)
@@ -77,7 +122,7 @@ func New(elem Elem, shape ...int) *Matrix {
 	case Bool:
 		m.b = make([]bool, n)
 	}
-	return m
+	return m, nil
 }
 
 // NewTracked is New plus reference-count tracking on heap.
@@ -101,7 +146,7 @@ func stridesFor(shape []int) []int {
 func FromFloats(data []float64, shape ...int) *Matrix {
 	m := New(Float, shape...)
 	if len(data) != m.Size() {
-		panic(fmt.Sprintf("matrix: %d values for shape %v", len(data), shape))
+		panic(&ShapeError{msg: fmt.Sprintf("matrix: %d values for shape %v", len(data), shape)})
 	}
 	copy(m.f, data)
 	return m
@@ -111,7 +156,7 @@ func FromFloats(data []float64, shape ...int) *Matrix {
 func FromInts(data []int64, shape ...int) *Matrix {
 	m := New(Int, shape...)
 	if len(data) != m.Size() {
-		panic(fmt.Sprintf("matrix: %d values for shape %v", len(data), shape))
+		panic(&ShapeError{msg: fmt.Sprintf("matrix: %d values for shape %v", len(data), shape)})
 	}
 	copy(m.i, data)
 	return m
@@ -121,7 +166,7 @@ func FromInts(data []int64, shape ...int) *Matrix {
 func FromBools(data []bool, shape ...int) *Matrix {
 	m := New(Bool, shape...)
 	if len(data) != m.Size() {
-		panic(fmt.Sprintf("matrix: %d values for shape %v", len(data), shape))
+		panic(&ShapeError{msg: fmt.Sprintf("matrix: %d values for shape %v", len(data), shape)})
 	}
 	copy(m.b, data)
 	return m

@@ -18,6 +18,15 @@ import (
 	"sync/atomic"
 )
 
+// Violation is the panic value raised when the reference-counting
+// discipline is broken (double free, use after free, negative count).
+// It is a typed error so execution layers that recover it can classify
+// the failure (the interpreter maps it to the "rc" trap) instead of
+// string-matching panic text.
+type Violation struct{ Msg string }
+
+func (v *Violation) Error() string { return "rc: " + v.Msg }
+
 // Header is the per-allocation reference count record — the "extra 4
 // bytes attached to every piece of memory" of §III-B.
 type Header struct {
@@ -58,7 +67,7 @@ func (hd *Header) IncRef() {
 		return
 	}
 	if hd.freed.Load() {
-		panic("rc: IncRef on freed allocation (use after free)")
+		panic(&Violation{Msg: "IncRef on freed allocation (use after free)"})
 	}
 	atomic.AddInt32(&hd.count, 1)
 }
@@ -70,11 +79,11 @@ func (hd *Header) DecRef() bool {
 		return false
 	}
 	if hd.freed.Load() {
-		panic("rc: DecRef on freed allocation (double free)")
+		panic(&Violation{Msg: "DecRef on freed allocation (double free)"})
 	}
 	n := atomic.AddInt32(&hd.count, -1)
 	if n < 0 {
-		panic("rc: reference count went negative")
+		panic(&Violation{Msg: "reference count went negative"})
 	}
 	if n == 0 {
 		hd.freed.Store(true)

@@ -1,0 +1,229 @@
+// The crash-only suite: every crash class — a panic injected into a
+// pool worker, an allocation over the cell budget, an rc double free, a
+// deadline busted inside a parallel with-loop — is thrown at a live
+// server, which must answer each with a structured trap/error response
+// while /healthz stays 200 and no goroutines leak.
+package server_test
+
+import (
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/par"
+	"repro/internal/rc"
+	"repro/internal/server"
+)
+
+// parallelSrc runs a with-loop big enough to be released on the pool.
+const parallelSrc = `
+int main() {
+	int n = 64;
+	Matrix float <1> m;
+	m = with ([0] <= [i] < [n]) genarray([n], (float)i);
+	return 0;
+}
+`
+
+// bigParallelSrc is a large parallel with-loop: interpreted, it takes
+// far longer than the tight deadlines the tests set, so cancellation
+// must be observed mid-construct.
+const bigParallelSrc = `
+int main() {
+	int n = 2000;
+	Matrix float <2> m;
+	m = with ([0, 0] <= [i, j] < [n, n]) genarray([n, n], (float)i * 2.0 + j);
+	return 0;
+}
+`
+
+// mustHealthz asserts the liveness probe still answers 200.
+func mustHealthz(t *testing.T, url string) {
+	t.Helper()
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d after a crash-class request", resp.StatusCode)
+	}
+}
+
+func TestCrashWorkerPanicIsTrapped(t *testing.T) {
+	ts, _ := newTestServer(t, server.Config{})
+	par.TestHookInjectPanic = func(worker int) {
+		if worker == 1 {
+			panic("injected worker crash")
+		}
+	}
+	defer func() { par.TestHookInjectPanic = nil }()
+
+	code, body := postJSON(t, ts.URL+"/v1/run",
+		map[string]any{"source": parallelSrc, "threads": 4})
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d body %v, want 422", code, body)
+	}
+	if body["trap"] != "panic" {
+		t.Fatalf("trap = %v, want panic (body %v)", body["trap"], body)
+	}
+	if span, _ := body["span"].(string); span == "" {
+		t.Errorf("trap response carries no source span: %v", body)
+	}
+	mustHealthz(t, ts.URL)
+
+	// The same pool-backed path works once the fault is gone.
+	par.TestHookInjectPanic = nil
+	code, body = postJSON(t, ts.URL+"/v1/run",
+		map[string]any{"source": parallelSrc, "threads": 4})
+	if code != http.StatusOK {
+		t.Fatalf("run after injected panic: %d %v", code, body)
+	}
+}
+
+func TestCrashOversizedAllocationIsTrapped(t *testing.T) {
+	ts, _ := newTestServer(t, server.Config{MaxCells: 1000})
+	code, body := postJSON(t, ts.URL+"/v1/run", map[string]any{"source": `
+int main() {
+	int n = 100;
+	Matrix float <2> m;
+	m = with ([0, 0] <= [i, j] < [n, n]) genarray([n, n], 1.0);
+	return 0;
+}`})
+	if code != http.StatusUnprocessableEntity || body["trap"] != "oom" {
+		t.Fatalf("oversized genarray: %d %v, want 422 trap oom", code, body)
+	}
+	if !strings.Contains(body["error"].(string), "budget") {
+		t.Errorf("error = %v, want the budget in it", body["error"])
+	}
+	mustHealthz(t, ts.URL)
+
+	// A request cannot raise its own cap above the server's: asking for
+	// 2^40 cells is clamped back to the configured 1000.
+	code, body = postJSON(t, ts.URL+"/v1/run", map[string]any{"source": `
+int main() {
+	int n = 100;
+	Matrix float <2> m;
+	m = with ([0, 0] <= [i, j] < [n, n]) genarray([n, n], 1.0);
+	return 0;
+}`, "max_cells": int64(1) << 40})
+	if code != http.StatusUnprocessableEntity || body["trap"] != "oom" {
+		t.Fatalf("max_cells clamp: %d %v, want 422 trap oom", code, body)
+	}
+	// But a request may lower the cap below the server's.
+	ts2, _ := newTestServer(t, server.Config{})
+	code, body = postJSON(t, ts2.URL+"/v1/run",
+		map[string]any{"source": parallelSrc, "max_cells": 10})
+	if code != http.StatusUnprocessableEntity || body["trap"] != "oom" {
+		t.Fatalf("per-request budget: %d %v, want 422 trap oom", code, body)
+	}
+}
+
+func TestCrashRCDoubleFreeIsTrapped(t *testing.T) {
+	ts, _ := newTestServer(t, server.Config{})
+	// The hook commits a real double free inside a pool worker; the
+	// typed rc panic must come back as the rc trap.
+	par.TestHookInjectPanic = func(worker int) {
+		if worker == 0 {
+			h := rc.NewHeap().Alloc(8)
+			h.DecRef()
+			h.DecRef()
+		}
+	}
+	defer func() { par.TestHookInjectPanic = nil }()
+
+	code, body := postJSON(t, ts.URL+"/v1/run",
+		map[string]any{"source": parallelSrc, "threads": 4})
+	if code != http.StatusUnprocessableEntity || body["trap"] != "rc" {
+		t.Fatalf("double free: %d %v, want 422 trap rc", code, body)
+	}
+	if !strings.Contains(body["error"].(string), "double free") {
+		t.Errorf("error = %v, want the violation in it", body["error"])
+	}
+	mustHealthz(t, ts.URL)
+}
+
+func TestCrashDeadlineInsideParallelConstruct(t *testing.T) {
+	ts, d := newTestServer(t, server.Config{})
+	start := time.Now()
+	code, body := postJSON(t, ts.URL+"/v1/run",
+		map[string]any{"source": bigParallelSrc, "threads": 4, "timeout_ms": 30})
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d %v, want 504", code, body)
+	}
+	// The deadline is polled between rows of the with-loop, so the
+	// response arrives promptly instead of after the full 4M-cell loop.
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("mid-construct cancellation took %s", elapsed)
+	}
+	mustHealthz(t, ts.URL)
+	if m := d.Metrics().Snapshot(); m.RunsCancelled != 1 {
+		t.Fatalf("RunsCancelled = %d", m.RunsCancelled)
+	}
+	var ms struct {
+		RunTimeouts int64 `json:"run_timeouts"`
+	}
+	if code := getJSON(t, ts.URL+"/metrics", &ms); code != http.StatusOK || ms.RunTimeouts != 1 {
+		t.Fatalf("run_timeouts = %d (status %d), want 1", ms.RunTimeouts, code)
+	}
+}
+
+func TestCrashTrapsCountedOnMetrics(t *testing.T) {
+	ts, _ := newTestServer(t, server.Config{MaxCells: 100})
+	oversized := map[string]any{"source": `
+int main() {
+	Matrix float <2> m;
+	m = with ([0, 0] <= [i, j] < [50, 50]) genarray([50, 50], 1.0);
+	return 0;
+}`}
+	for k := 0; k < 3; k++ {
+		if code, body := postJSON(t, ts.URL+"/v1/run", oversized); code != http.StatusUnprocessableEntity {
+			t.Fatalf("request %d: %d %v", k, code, body)
+		}
+	}
+	var m struct {
+		RunTraps        int64            `json:"run_traps"`
+		Traps           map[string]int64 `json:"traps"`
+		PanicsRecovered int64            `json:"panics_recovered"`
+	}
+	if code := getJSON(t, ts.URL+"/metrics", &m); code != http.StatusOK {
+		t.Fatalf("/metrics: %d", code)
+	}
+	if m.RunTraps != 3 || m.Traps["oom"] != 3 {
+		t.Fatalf("trap counters: %+v", m)
+	}
+	if m.PanicsRecovered != 0 {
+		t.Errorf("panics_recovered = %d with no handler panics", m.PanicsRecovered)
+	}
+	mustHealthz(t, ts.URL)
+}
+
+// A storm of crash-class requests must not leak goroutines: every
+// interpreter (and its worker pool) is torn down when its request ends.
+func TestCrashRequestsDoNotLeakGoroutines(t *testing.T) {
+	ts, _ := newTestServer(t, server.Config{MaxCells: 1000})
+	base := runtime.NumGoroutine()
+	for k := 0; k < 10; k++ {
+		postJSON(t, ts.URL+"/v1/run", map[string]any{"source": `
+int main() {
+	int n = 100;
+	Matrix float <2> m;
+	m = with ([0, 0] <= [i, j] < [n, n]) genarray([n, n], 1.0);
+	return 0;
+}`, "threads": 8})
+		postJSON(t, ts.URL+"/v1/run",
+			map[string]any{"source": bigParallelSrc, "threads": 8, "timeout_ms": 20})
+	}
+	// Pool workers exit cooperatively after Close; idle HTTP conns also
+	// settle. Allow slack for both.
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base+6 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines: %d at start, %d after the crash storm", base, runtime.NumGoroutine())
+}

@@ -22,14 +22,17 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/cgen"
 	"repro/internal/driver"
+	"repro/internal/interp"
 	"repro/internal/matrix"
 )
 
@@ -48,6 +51,11 @@ type Config struct {
 	MaxTimeout     time.Duration
 	// MaxSourceBytes bounds request bodies (default 1 MiB).
 	MaxSourceBytes int64
+	// MaxCells caps the matrix cells one run may allocate; requests
+	// asking for more (or for nothing) are clamped to it. Defaults to
+	// 1<<26 cells (512 MiB of float64), so one adversarial genarray
+	// cannot OOM the daemon.
+	MaxCells int64
 }
 
 // Server handles the HTTP API over a shared driver.
@@ -62,7 +70,12 @@ type Server struct {
 	clientErrors atomic.Int64
 	runTimeouts  atomic.Int64
 	inflightRuns atomic.Int64
+	runTraps     atomic.Int64
+	panicsCaught atomic.Int64
 	startedAt    time.Time
+
+	trapMu sync.Mutex
+	traps  map[string]int64 // per-TrapCode counts
 }
 
 // New builds a server; see Config for defaults.
@@ -82,15 +95,19 @@ func New(cfg Config) *Server {
 	if cfg.MaxSourceBytes <= 0 {
 		cfg.MaxSourceBytes = 1 << 20
 	}
+	if cfg.MaxCells <= 0 {
+		cfg.MaxCells = 1 << 26
+	}
 	return &Server{
 		cfg:       cfg,
 		d:         cfg.Driver,
 		runSem:    make(chan struct{}, cfg.MaxConcurrentRuns),
 		startedAt: time.Now(),
+		traps:     map[string]int64{},
 	}
 }
 
-// Handler returns the route mux.
+// Handler returns the route mux wrapped in the recover middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/compile", s.handleCompile)
@@ -98,7 +115,48 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/analyses", s.handleAnalyses)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
-	return mux
+	return s.withRecover(mux)
+}
+
+// withRecover is the last-resort backstop: the interpreter's trap
+// layer should convert every program failure into an error, but if a
+// panic ever escapes a handler anyway it is counted and answered with
+// a 500 instead of killing the daemon's connection goroutine
+// unhandled.
+func (s *Server) withRecover(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.panicsCaught.Add(1)
+				// Best effort — if the handler already wrote a status
+				// this only appends to the body.
+				writeJSON(w, http.StatusInternalServerError,
+					errorResponse{Error: fmt.Sprintf("internal error: %v", rec)})
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// countTrap records a trap-coded run failure for /metrics.
+func (s *Server) countTrap(code interp.TrapCode) {
+	s.runTraps.Add(1)
+	s.trapMu.Lock()
+	s.traps[string(code)]++
+	s.trapMu.Unlock()
+}
+
+func (s *Server) trapSnapshot() map[string]int64 {
+	s.trapMu.Lock()
+	defer s.trapMu.Unlock()
+	if len(s.traps) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(s.traps))
+	for k, v := range s.traps {
+		out[k] = v
+	}
+	return out
 }
 
 // --- request/response shapes ---
@@ -137,6 +195,9 @@ type runRequest struct {
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	// MaxSteps bounds interpreter steps (0 = unlimited).
 	MaxSteps int64 `json:"max_steps,omitempty"`
+	// MaxCells bounds matrix cells the run may allocate; 0 or a value
+	// above the server's cap selects the cap.
+	MaxCells int64 `json:"max_cells,omitempty"`
 }
 
 type runResponse struct {
@@ -152,6 +213,11 @@ type runResponse struct {
 type errorResponse struct {
 	Error       string   `json:"error"`
 	Diagnostics []string `json:"diagnostics,omitempty"`
+	// Trap is the stable trap code ("shape", "rc", "oom", "step",
+	// "depth", "panic") when execution hit the crash-proofing layer;
+	// Span is the source position of the failing construct.
+	Trap string `json:"trap,omitempty"`
+	Span string `json:"span,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -281,6 +347,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if timeout > s.cfg.MaxTimeout {
 		timeout = s.cfg.MaxTimeout
 	}
+	maxCells := req.MaxCells
+	if maxCells <= 0 || maxCells > s.cfg.MaxCells {
+		maxCells = s.cfg.MaxCells
+	}
 
 	// Bound concurrent interpreter executions; waiters give up when the
 	// client goes away.
@@ -301,7 +371,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
 	res, err := s.d.Run(ctx, driver.RunRequest{
 		Name: name, Source: req.Source, Exts: exts,
-		Threads: req.Threads, MaxSteps: req.MaxSteps,
+		Threads: req.Threads, MaxSteps: req.MaxSteps, MaxCells: maxCells,
 		// No Dir + non-nil Files: file I/O stays in this request-local
 		// in-memory map, never the server's filesystem.
 		Files:  map[string]*matrix.Matrix{},
@@ -313,6 +383,20 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			s.runTimeouts.Add(1)
 			writeJSON(w, http.StatusGatewayTimeout, errorResponse{
 				Error: fmt.Sprintf("execution timed out after %s: %v", timeout, err),
+			})
+			return
+		}
+		// Trap-coded failures get a structured response: the stable
+		// code plus the failing construct's source span, so clients
+		// can dispatch without parsing the message.
+		var rte *interp.RuntimeError
+		if errors.As(err, &rte) && rte.Trap != interp.TrapNone {
+			s.countTrap(rte.Trap)
+			s.clientError(w, http.StatusUnprocessableEntity, errorResponse{
+				Error:       fmt.Sprintf("execution trapped: %v", err),
+				Diagnostics: res.Diagnostics,
+				Trap:        string(rte.Trap),
+				Span:        rte.SpanString(),
 			})
 			return
 		}
@@ -361,6 +445,12 @@ type metricsSnapshot struct {
 	InflightRuns    int64   `json:"inflight_runs"`
 	MaxRuns         int     `json:"max_concurrent_runs"`
 
+	// Crash-proofing counters: trap-coded run failures (total and by
+	// code) and handler panics absorbed by the recover middleware.
+	RunTraps        int64            `json:"run_traps"`
+	Traps           map[string]int64 `json:"traps,omitempty"`
+	PanicsRecovered int64            `json:"panics_recovered"`
+
 	Driver driver.MetricsSnapshot `json:"driver"`
 }
 
@@ -377,6 +467,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		RunTimeouts:     s.runTimeouts.Load(),
 		InflightRuns:    s.inflightRuns.Load(),
 		MaxRuns:         s.cfg.MaxConcurrentRuns,
+		RunTraps:        s.runTraps.Load(),
+		Traps:           s.trapSnapshot(),
+		PanicsRecovered: s.panicsCaught.Load(),
 		Driver:          s.d.Metrics().Snapshot(),
 	})
 }
