@@ -24,8 +24,15 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (crash-proofing layers) =="
-go test -race ./internal/par ./internal/matrix ./internal/interp ./internal/server
+echo "== go test -race (crash-proofing + overload layers) =="
+go test -race ./internal/par ./internal/matrix ./internal/interp ./internal/server ./internal/driver
+
+echo "== chaos suite (flood / drain / disk-cache recovery) =="
+go test -race -run 'TestChaos|TestCrash' ./internal/server
+
+echo "== fuzz smoke (frontend never panics) =="
+go test -run='^$' -fuzz='^FuzzLex$' -fuzztime=10s ./internal/parser
+go test -run='^$' -fuzz='^FuzzParse$' -fuzztime=10s ./internal/parser
 
 echo "== bench smoke =="
 go test -run='^$' -bench='BenchmarkE1_' -benchtime=1x .

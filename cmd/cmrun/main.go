@@ -11,7 +11,11 @@
 // Exit codes: the program's own exit code on success; 1 for other
 // execution failures (e.g. a busted -timeout deadline); 2 for usage or
 // compile errors; 3 for a runtime trap (shape, rc, panic); 4 when a
-// resource budget was exceeded (-maxsteps, -maxcells, call depth).
+// resource budget was exceeded (-maxsteps, -maxcells, call depth); 5
+// when a compile server sheds the request under load
+// (server.ErrOverloaded — reserved for the client mode that talks to
+// cmserved; retry with backoff instead of hammering a shedding
+// server).
 package main
 
 import (
@@ -24,6 +28,7 @@ import (
 
 	"repro/internal/driver"
 	"repro/internal/interp"
+	"repro/internal/server"
 )
 
 func main() {
@@ -68,6 +73,13 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cmrun: %v\n", err)
+		if errors.Is(err, server.ErrOverloaded) {
+			// A shedding compile server: distinct exit code so scripts
+			// can retry with backoff rather than treat it as a program
+			// failure. Local runs never hit this; it is the mapping for
+			// the future remote-execution client mode.
+			os.Exit(5)
+		}
 		var rte *interp.RuntimeError
 		if errors.As(err, &rte) && rte.Trap != interp.TrapNone {
 			if rte.Trap.IsResource() {

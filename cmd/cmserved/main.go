@@ -4,7 +4,15 @@
 //
 // Usage:
 //
-//	cmserved [-addr :8347] [-runs N] [-timeout 10s] [-max-timeout 60s]
+//	cmserved [-addr :8347] [-runs N] [-queue N] [-queue-wait d]
+//	         [-timeout 10s] [-max-timeout 60s] [-cachedir path]
+//	         [-cache-entries N] [-cache-bytes N]
+//
+// Overload behaviour: beyond -runs concurrent executions, up to -queue
+// requests wait (each at most min(-queue-wait, its own timeout)); the
+// rest are shed with 429 + Retry-After. -cachedir enables the durable
+// artifact tier: a restarted daemon serves previously compiled
+// programs from disk instead of recompiling them.
 //
 // Endpoints (see internal/server):
 //
@@ -33,18 +41,29 @@ import (
 func main() {
 	addr := flag.String("addr", ":8347", "listen address")
 	runs := flag.Int("runs", 0, "max concurrent interpreter runs (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "max run requests queued for a slot before shedding (0 = 4x -runs)")
+	queueWait := flag.Duration("queue-wait", 0, "max time a run may wait for admission (0 = -timeout)")
 	timeout := flag.Duration("timeout", 10*time.Second, "default per-run execution deadline")
 	maxTimeout := flag.Duration("max-timeout", 60*time.Second, "cap on per-request timeout_ms")
+	cacheDir := flag.String("cachedir", "", "directory for the durable artifact cache (empty = memory only)")
+	cacheEntries := flag.Int("cache-entries", 0, "in-memory cache cap, entries per cache (0 = default)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "in-memory cache cap, approximate bytes per cache (0 = default)")
 	warm := flag.Bool("warm", true, "pre-build the composed grammar table and §VI analyses at startup")
 	flag.Parse()
 	if flag.NArg() != 0 {
-		fmt.Fprintln(os.Stderr, "usage: cmserved [-addr :8347] [-runs N] [-timeout d] [-max-timeout d]")
+		fmt.Fprintln(os.Stderr, "usage: cmserved [-addr :8347] [-runs N] [-queue N] [-timeout d] [-max-timeout d] [-cachedir path]")
 		os.Exit(2)
 	}
 
 	s := server.New(server.Config{
-		Driver:            driver.New(),
+		Driver: driver.NewWith(driver.Config{
+			MaxCacheEntries: *cacheEntries,
+			MaxCacheBytes:   *cacheBytes,
+			CacheDir:        *cacheDir,
+		}),
 		MaxConcurrentRuns: *runs,
+		RunQueueSize:      *queue,
+		MaxQueueWait:      *queueWait,
 		DefaultTimeout:    *timeout,
 		MaxTimeout:        *maxTimeout,
 	})
@@ -70,6 +89,11 @@ func main() {
 		log.Printf("cmserved: %v, shutting down", sig)
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
+		// Drain first: queued runs are shed with structured 429s and
+		// in-flight runs finish, then the listener closes.
+		if err := s.Drain(ctx); err != nil {
+			log.Printf("cmserved: drain: %v", err)
+		}
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			log.Fatalf("cmserved: shutdown: %v", err)
 		}

@@ -1,0 +1,127 @@
+// Bounded in-memory cache for the driver: an LRU over singleflight
+// slots with caps on both entry count and approximate bytes. The
+// original driver kept plain maps that grew without bound — every
+// distinct source text ever compiled (including failed compiles) was
+// retained for the life of the process. Under sustained traffic from
+// many users that is an OOM with extra steps; the LRU makes the
+// memory ceiling a configuration knob instead.
+//
+// Concurrency contract: an in-flight slot (whose pipeline execution
+// has not completed) is pinned — it is never evicted, so waiters
+// blocked on call.done always observe the result. Only completed
+// entries participate in eviction.
+package driver
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// cacheEntry is one LRU node: a singleflight slot plus its accounting.
+type cacheEntry struct {
+	key   string
+	c     *call
+	bytes int64
+	done  bool // completed entries are evictable; in-flight ones are pinned
+}
+
+// lruCache bounds a singleflight map by entry count and approximate
+// bytes. The zero value is not usable; call newLRUCache.
+type lruCache struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+	ll         *list.List // front = most recently used
+	index      map[string]*list.Element
+	bytes      int64
+	completed  int           // done entries; in-flight slots are not counted
+	evictions  *atomic.Int64 // shared eviction counter (driver metrics)
+}
+
+func newLRUCache(maxEntries int, maxBytes int64, evictions *atomic.Int64) *lruCache {
+	return &lruCache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		index:      map[string]*list.Element{},
+		evictions:  evictions,
+	}
+}
+
+// lookup finds or installs the singleflight slot for key. It returns
+// the slot and whether the caller must execute the pipeline (owner).
+// For non-owners, hit reports the result was already complete at
+// lookup time (a pure cache hit) as opposed to joining an in-flight
+// execution. A hit promotes the entry to most-recently-used.
+func (l *lruCache) lookup(key string) (c *call, owner, hit bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if el, ok := l.index[key]; ok {
+		e := el.Value.(*cacheEntry)
+		l.ll.MoveToFront(el)
+		return e.c, false, e.done
+	}
+	c = &call{done: make(chan struct{})}
+	el := l.ll.PushFront(&cacheEntry{key: key, c: c})
+	l.index[key] = el
+	return c, true, false
+}
+
+// complete marks the owner's execution finished: the entry becomes
+// evictable, is charged bytes, and the cache is trimmed back under its
+// caps. If retain is false the entry is dropped immediately (the
+// result is still delivered to any waiters already holding the call).
+func (l *lruCache) complete(key string, bytes int64, retain bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	el, ok := l.index[key]
+	if !ok {
+		return
+	}
+	if !retain {
+		l.removeLocked(el)
+		return
+	}
+	e := el.Value.(*cacheEntry)
+	e.done = true
+	e.bytes = bytes
+	l.bytes += bytes
+	l.completed++
+	l.trimLocked()
+}
+
+// trimLocked evicts completed entries, least recently used first,
+// until both caps hold. In-flight entries are skipped: they hold no
+// accounted bytes and must stay reachable for their waiters.
+func (l *lruCache) trimLocked() {
+	over := func() bool {
+		return l.completed > l.maxEntries || l.bytes > l.maxBytes
+	}
+	el := l.ll.Back()
+	for el != nil && over() {
+		prev := el.Prev()
+		if e := el.Value.(*cacheEntry); e.done {
+			l.removeLocked(el)
+			l.evictions.Add(1)
+		}
+		el = prev
+	}
+}
+
+func (l *lruCache) removeLocked(el *list.Element) {
+	e := el.Value.(*cacheEntry)
+	if e.done {
+		l.bytes -= e.bytes
+		l.completed--
+	}
+	l.ll.Remove(el)
+	delete(l.index, e.key)
+}
+
+// stats reports the completed-entry count and accounted bytes.
+func (l *lruCache) stats() (entries int, bytes int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.completed, l.bytes
+}

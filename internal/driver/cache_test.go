@@ -1,0 +1,139 @@
+// White-box tests of the bounded LRU singleflight cache: both caps
+// enforced, least-recently-used evicted first, in-flight slots pinned,
+// and eviction counters accurate.
+package driver
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// fill inserts n completed entries key0..key{n-1} of size bytes each.
+func fill(t *testing.T, l *lruCache, n int, bytes int64) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("key%d", i)
+		c, owner, _ := l.lookup(key)
+		if !owner {
+			t.Fatalf("%s already present", key)
+		}
+		c.res = i
+		close(c.done)
+		l.complete(key, bytes, true)
+	}
+}
+
+// present reports whether key is cached (without installing a slot the
+// way lookup would).
+func present(l *lruCache, key string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, ok := l.index[key]
+	return ok
+}
+
+func TestLRUEntryCapEvictsOldestFirst(t *testing.T) {
+	var ev atomic.Int64
+	l := newLRUCache(3, 1<<20, &ev)
+	fill(t, l, 3, 10)
+
+	// Touch key0 so key1 becomes the LRU victim.
+	if _, owner, hit := l.lookup("key0"); owner || !hit {
+		t.Fatal("key0 should be a completed hit")
+	}
+	c, owner, _ := l.lookup("key3")
+	if !owner {
+		t.Fatal("key3 should be new")
+	}
+	close(c.done)
+	l.complete("key3", 10, true)
+
+	if ev.Load() != 1 {
+		t.Fatalf("evictions = %d, want 1", ev.Load())
+	}
+	if present(l, "key1") {
+		t.Fatal("key1 (LRU) survived past the entry cap")
+	}
+	for _, k := range []string{"key0", "key2", "key3"} {
+		if !present(l, k) {
+			t.Fatalf("%s evicted out of LRU order", k)
+		}
+	}
+	if n, b := l.stats(); n != 3 || b != 30 {
+		t.Fatalf("stats = (%d, %d), want (3, 30)", n, b)
+	}
+}
+
+func TestLRUByteCapEvicts(t *testing.T) {
+	var ev atomic.Int64
+	l := newLRUCache(1000, 100, &ev)
+	fill(t, l, 5, 30) // 150 bytes demanded, 100 allowed
+	if _, b := l.stats(); b > 100 {
+		t.Fatalf("bytes = %d over the 100-byte cap", b)
+	}
+	if ev.Load() != 2 {
+		t.Fatalf("evictions = %d, want 2", ev.Load())
+	}
+	if present(l, "key0") || present(l, "key1") {
+		t.Fatal("oldest entries survived the byte cap")
+	}
+}
+
+func TestLRUInFlightSlotIsPinned(t *testing.T) {
+	var ev atomic.Int64
+	l := newLRUCache(2, 1<<20, &ev)
+	inflight, owner, _ := l.lookup("inflight")
+	if !owner {
+		t.Fatal("fresh key not owned")
+	}
+	// Storm past the cap while the slot is still executing.
+	fill(t, l, 10, 1)
+	if !present(l, "inflight") {
+		t.Fatal("in-flight slot was evicted")
+	}
+	// A waiter arriving now still joins the same execution.
+	c2, owner2, hit2 := l.lookup("inflight")
+	if owner2 || hit2 || c2 != inflight {
+		t.Fatalf("waiter got owner=%v hit=%v same=%v", owner2, hit2, c2 == inflight)
+	}
+	close(inflight.done)
+	l.complete("inflight", 1, true)
+	if n, _ := l.stats(); n > 2 {
+		t.Fatalf("completed entries = %d over cap 2", n)
+	}
+}
+
+func TestLRUCompleteWithoutRetainDrops(t *testing.T) {
+	var ev atomic.Int64
+	l := newLRUCache(10, 1<<20, &ev)
+	c, _, _ := l.lookup("drop")
+	close(c.done)
+	l.complete("drop", 5, false)
+	if present(l, "drop") {
+		t.Fatal("non-retained entry still cached")
+	}
+	if n, b := l.stats(); n != 0 || b != 0 {
+		t.Fatalf("stats = (%d, %d) after drop", n, b)
+	}
+	if ev.Load() != 0 {
+		t.Fatal("a deliberate drop is not an eviction")
+	}
+}
+
+func TestLRUOversizedEntryIsNotRetained(t *testing.T) {
+	var ev atomic.Int64
+	l := newLRUCache(10, 100, &ev)
+	fill(t, l, 2, 10)
+	c, _, _ := l.lookup("huge")
+	close(c.done)
+	l.complete("huge", 1000, true)
+	// An artifact alone bigger than the cap cannot stay; trimming also
+	// takes the older entries below it in LRU order.
+	if present(l, "huge") {
+		t.Fatal("entry larger than the byte cap was retained")
+	}
+	if _, b := l.stats(); b > 100 {
+		t.Fatalf("bytes = %d over cap", b)
+	}
+}

@@ -1,0 +1,150 @@
+// Crash-safe on-disk artifact tier. Compiled artifacts are strings
+// (emitted C or printed AST), so they survive a process restart —
+// unlike frontend results, which hold live AST pointers and stay
+// memory-only. A daemon restarted with the same cache directory comes
+// back warm: repeated compiles are served from disk instead of
+// re-running the pipeline.
+//
+// Format: one file per artifact under <dir>/objects/<key[:2]>/<key>,
+// where key is the request's SHA-256 content address. The file is a
+// 64-byte hex SHA-256 of the payload, a newline, then the payload
+// (the JSON-encoded artifact). Writes go to a temp file in the same
+// directory followed by os.Rename, so a concurrent reader sees either
+// the old object or the complete new one, never a torn write. Reads
+// re-hash the payload and compare against the embedded digest; a
+// mismatch (torn write that still renamed somehow, bit-flip, manual
+// tampering) quarantines the file — renamed to <key>.corrupt, counted,
+// and treated as a miss — so a bad object can never poison a compile.
+package driver
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// diskArtifact is the persisted form of an emitResult. Only successful
+// compiles are persisted: diagnostics of failed compiles are cheap to
+// recompute and negative-caching across restarts risks pinning stale
+// rejections if the toolchain changes.
+type diskArtifact struct {
+	Output string   `json:"output"`
+	Diags  []string `json:"diags,omitempty"`
+}
+
+// diskCache is the optional second tier under the in-memory LRU.
+type diskCache struct {
+	dir string
+	m   *Metrics
+}
+
+// newDiskCache prepares dir (creating it if needed) and returns the
+// tier, or an error if the directory cannot be used.
+func newDiskCache(dir string, m *Metrics) (*diskCache, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
+		return nil, fmt.Errorf("driver: cache dir: %w", err)
+	}
+	return &diskCache{dir: dir, m: m}, nil
+}
+
+func (dc *diskCache) objectPath(key string) string {
+	// Two-level fan-out keeps any one directory small under millions of
+	// artifacts.
+	return filepath.Join(dc.dir, "objects", key[:2], key)
+}
+
+// get loads the artifact stored under key. It returns (nil, false) on
+// any miss: absent file, unreadable file, or a payload whose digest
+// does not match (which is quarantined and counted as corrupt).
+func (dc *diskCache) get(key string) (*diskArtifact, bool) {
+	path := dc.objectPath(key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		dc.m.DiskMisses.Add(1)
+		return nil, false
+	}
+	payload, ok := verifyObject(raw)
+	if !ok {
+		dc.quarantine(path)
+		dc.m.DiskCorrupt.Add(1)
+		dc.m.DiskMisses.Add(1)
+		return nil, false
+	}
+	var art diskArtifact
+	if err := json.Unmarshal(payload, &art); err != nil {
+		// Digest matched but the payload does not decode: written by an
+		// incompatible version. Quarantine it the same way.
+		dc.quarantine(path)
+		dc.m.DiskCorrupt.Add(1)
+		dc.m.DiskMisses.Add(1)
+		return nil, false
+	}
+	dc.m.DiskHits.Add(1)
+	return &art, true
+}
+
+// put persists an artifact under key: temp file in the destination
+// directory, then an atomic rename. Errors are recorded but not
+// returned — the disk tier is an accelerator, never a correctness
+// dependency, so a full disk degrades to memory-only caching.
+func (dc *diskCache) put(key string, art *diskArtifact) {
+	payload, err := json.Marshal(art)
+	if err != nil {
+		dc.m.DiskWriteErrors.Add(1)
+		return
+	}
+	sum := sha256.Sum256(payload)
+	path := dc.objectPath(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		dc.m.DiskWriteErrors.Add(1)
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "tmp-*")
+	if err != nil {
+		dc.m.DiskWriteErrors.Add(1)
+		return
+	}
+	_, werr := fmt.Fprintf(tmp, "%s\n", hex.EncodeToString(sum[:]))
+	if werr == nil {
+		_, werr = tmp.Write(payload)
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), path)
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		dc.m.DiskWriteErrors.Add(1)
+		return
+	}
+	dc.m.DiskWrites.Add(1)
+}
+
+// quarantine moves a bad object aside so it is inspectable but never
+// served; the slot becomes writable again for the recompiled artifact.
+func (dc *diskCache) quarantine(path string) {
+	if err := os.Rename(path, path+".corrupt"); err != nil {
+		// Rename failed (e.g. read-only fs): delete as a fallback; if
+		// that fails too the digest check still protects every read.
+		os.Remove(path)
+	}
+}
+
+// verifyObject splits a stored object into digest line + payload and
+// checks the digest. It returns the payload and whether it verified.
+func verifyObject(raw []byte) ([]byte, bool) {
+	nl := bytes.IndexByte(raw, '\n')
+	if nl != hex.EncodedLen(sha256.Size) {
+		return nil, false
+	}
+	want := string(raw[:nl])
+	payload := raw[nl+1:]
+	sum := sha256.Sum256(payload)
+	return payload, hex.EncodeToString(sum[:]) == want
+}

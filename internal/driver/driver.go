@@ -8,7 +8,12 @@
 //
 //   - a content-addressed artifact cache — SHA-256 of (source ⊕
 //     extension set ⊕ codegen flags) keys parsed+checked programs and
-//     emitted artifacts, so repeated requests skip the pipeline;
+//     emitted artifacts, so repeated requests skip the pipeline; both
+//     caches are LRU-bounded (entries and approximate bytes, see
+//     Config) so the daemon's memory ceiling is a knob, not traffic;
+//   - an optional crash-safe on-disk artifact tier (Config.CacheDir):
+//     compile artifacts persist across restarts, written atomically
+//     and digest-verified on read (see diskcache.go);
 //   - singleflight request coalescing — concurrent identical requests
 //     execute the pipeline exactly once and share the result;
 //   - per-stage latency histograms and cache hit/miss counters
@@ -30,7 +35,6 @@ import (
 	"fmt"
 	"io"
 	"runtime"
-	"sync"
 	"time"
 
 	"repro/internal/ast"
@@ -42,27 +46,77 @@ import (
 	"repro/internal/source"
 )
 
-// Driver is a concurrency-safe compile/run pipeline with a
-// content-addressed cache. The zero value is not usable; call New.
+// Config bounds a Driver's caches. Zero values select the defaults;
+// the caches are always bounded (there is deliberately no "unlimited"
+// setting — an unbounded cache under sustained unique traffic is an
+// OOM scheduled for later).
+type Config struct {
+	// MaxCacheEntries caps completed entries per cache (frontend and
+	// compile each); default 4096.
+	MaxCacheEntries int
+	// MaxCacheBytes caps the approximate bytes retained per cache;
+	// default 256 MiB. Frontend entries are charged the source length
+	// (a proxy for AST size); compile entries the artifact + diagnostic
+	// lengths.
+	MaxCacheBytes int64
+	// CacheDir enables the on-disk artifact tier (see diskcache.go):
+	// successful compile artifacts are persisted content-addressed and
+	// survive restarts. Empty disables the tier. If the directory is
+	// unusable the driver runs memory-only (recorded in
+	// DiskWriteErrors).
+	CacheDir string
+}
+
+// Driver is a concurrency-safe compile/run pipeline with a bounded
+// content-addressed cache and an optional on-disk artifact tier. The
+// zero value is not usable; call New or NewWith.
 type Driver struct {
 	metrics Metrics
 
-	mu    sync.Mutex
-	front map[string]*call // frontend (parse+check) results by content key
-	emits map[string]*call // emitted artifacts by content key
+	front *lruCache // frontend (parse+check) results by content key
+	emits *lruCache // emitted artifacts by content key
+	disk  *diskCache
 }
 
-// New returns an empty driver.
-func New() *Driver {
-	return &Driver{
-		front: map[string]*call{},
-		emits: map[string]*call{},
+// New returns a driver with the default cache bounds and no disk tier.
+func New() *Driver { return NewWith(Config{}) }
+
+// NewWith returns a driver configured by cfg; see Config for defaults.
+func NewWith(cfg Config) *Driver {
+	if cfg.MaxCacheEntries <= 0 {
+		cfg.MaxCacheEntries = 4096
 	}
+	if cfg.MaxCacheBytes <= 0 {
+		cfg.MaxCacheBytes = 256 << 20
+	}
+	d := &Driver{}
+	d.front = newLRUCache(cfg.MaxCacheEntries, cfg.MaxCacheBytes, &d.metrics.FrontendEvictions)
+	d.emits = newLRUCache(cfg.MaxCacheEntries, cfg.MaxCacheBytes, &d.metrics.CompileEvictions)
+	if cfg.CacheDir != "" {
+		disk, err := newDiskCache(cfg.CacheDir, &d.metrics)
+		if err != nil {
+			d.metrics.DiskWriteErrors.Add(1)
+		} else {
+			d.disk = disk
+		}
+	}
+	return d
 }
 
 // Metrics exposes the driver's counters (live; use Snapshot for a
 // consistent view).
 func (d *Driver) Metrics() *Metrics { return &d.metrics }
+
+// MetricsSnapshot captures the counters plus the cache gauges
+// (entries, bytes) that only the driver itself can read.
+func (d *Driver) MetricsSnapshot() MetricsSnapshot {
+	s := d.metrics.Snapshot()
+	fe, fb := d.front.stats()
+	ee, eb := d.emits.stats()
+	s.CacheEntries = int64(fe + ee)
+	s.CacheBytes = fb + eb
+	return s
+}
 
 // call is one singleflight cache slot: the first requester executes and
 // closes done; later requesters block on done and share res.
@@ -176,31 +230,21 @@ func compileKey(req *CompileRequest) string {
 		req.Emit, string(req.Codegen.Par), fmt.Sprint(req.Codegen.Optimize))
 }
 
-// lookup finds or installs the singleflight slot for key in m. It
-// returns the slot and whether the caller must execute (owner). For
-// non-owners, hit reports the result was already complete at lookup
-// time (a pure cache hit) as opposed to joining an in-flight execution.
-func (d *Driver) lookup(m map[string]*call, key string) (c *call, owner, hit bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if c, ok := m[key]; ok {
-		select {
-		case <-c.done:
-			return c, false, true
-		default:
-			return c, false, false
-		}
+// diagBytes is the retained-size contribution of a diagnostic list.
+func diagBytes(diags []string) int64 {
+	var n int64
+	for _, d := range diags {
+		n += int64(len(d))
 	}
-	c = &call{done: make(chan struct{})}
-	m[key] = c
-	return c, true, false
+	return n
 }
 
 // frontend returns the parse+check result for (name, src, exts),
-// executing at most once per content key.
+// executing at most once per content key. Entries are charged the
+// source length as an approximation of the retained AST size.
 func (d *Driver) frontend(name, src string, exts parser.Options) (*frontResult, bool) {
 	key := frontKey(name, src, exts)
-	c, owner, hit := d.lookup(d.front, key)
+	c, owner, hit := d.front.lookup(key)
 	if !owner {
 		if hit {
 			d.metrics.FrontendHits.Add(1)
@@ -233,6 +277,7 @@ func (d *Driver) frontend(name, src string, exts parser.Options) (*frontResult, 
 
 	c.res = res
 	close(c.done)
+	d.front.complete(key, int64(len(src))+diagBytes(res.diags), true)
 	return res, false
 }
 
@@ -248,7 +293,7 @@ func (d *Driver) Compile(req CompileRequest) *CompileResult {
 	key := compileKey(&req)
 	out := &CompileResult{Key: key}
 
-	c, owner, hit := d.lookup(d.emits, key)
+	c, owner, hit := d.emits.lookup(key)
 	if !owner {
 		if hit {
 			d.metrics.CompileHits.Add(1)
@@ -262,6 +307,21 @@ func (d *Driver) Compile(req CompileRequest) *CompileResult {
 		return out
 	}
 	d.metrics.CompileMisses.Add(1)
+
+	// Second tier: a prior process may have left the artifact on disk.
+	// A verified disk object skips the whole pipeline; the result is
+	// promoted into the in-memory LRU like any other completed entry.
+	if d.disk != nil {
+		if art, ok := d.disk.get(key); ok {
+			res := &emitResult{output: art.Output, diags: art.Diags, ok: true}
+			c.res = res
+			close(c.done)
+			d.emits.complete(key, int64(len(res.output))+diagBytes(res.diags), true)
+			out.Cached = true
+			out.OK, out.Output, out.Diagnostics = res.ok, res.output, res.diags
+			return out
+		}
+	}
 	d.metrics.CompileExecutions.Add(1)
 
 	res := &emitResult{}
@@ -283,6 +343,10 @@ func (d *Driver) Compile(req CompileRequest) *CompileResult {
 	}
 	c.res = res
 	close(c.done)
+	d.emits.complete(key, int64(len(res.output))+diagBytes(res.diags), true)
+	if d.disk != nil && res.ok {
+		d.disk.put(key, &diskArtifact{Output: res.output, Diags: res.diags})
+	}
 
 	out.OK, out.Output, out.Diagnostics, out.Stages = res.ok, res.output, res.diags, res.stages
 	return out

@@ -87,10 +87,24 @@ type Metrics struct {
 	FrontendHits     atomic.Int64
 	FrontendMisses   atomic.Int64
 
-	// Pipeline executions actually performed (== misses; kept separate
-	// so tests can assert "compiled exactly once" directly).
+	// Pipeline executions actually performed (kept separate so tests
+	// can assert "compiled exactly once" directly; a disk-tier hit is a
+	// memory miss that still skips execution).
 	CompileExecutions  atomic.Int64
 	FrontendExecutions atomic.Int64
+
+	// LRU evictions per cache (the caches are bounded; see Config).
+	FrontendEvictions atomic.Int64
+	CompileEvictions  atomic.Int64
+
+	// Disk-tier outcomes. A corrupt read (digest mismatch) quarantines
+	// the object and also counts as a miss; write errors degrade the
+	// driver to memory-only caching, never fail a compile.
+	DiskHits        atomic.Int64
+	DiskMisses      atomic.Int64
+	DiskCorrupt     atomic.Int64
+	DiskWrites      atomic.Int64
+	DiskWriteErrors atomic.Int64
 
 	RunsStarted   atomic.Int64
 	RunsCancelled atomic.Int64
@@ -119,6 +133,20 @@ type MetricsSnapshot struct {
 	RunsCancelled      int64 `json:"runs_cancelled"`
 	RunsTrapped        int64 `json:"runs_trapped"`
 
+	// In-memory cache gauges (filled by Driver.MetricsSnapshot, which
+	// can see the caches; zero through Metrics.Snapshot alone) and the
+	// eviction counter summed over both caches.
+	CacheEntries   int64 `json:"cache_entries"`
+	CacheBytes     int64 `json:"cache_bytes"`
+	CacheEvictions int64 `json:"cache_evictions"`
+
+	// Disk artifact tier (all zero when the tier is disabled).
+	DiskHits        int64 `json:"disk_cache_hits"`
+	DiskMisses      int64 `json:"disk_cache_misses"`
+	DiskCorrupt     int64 `json:"disk_cache_corrupt"`
+	DiskWrites      int64 `json:"disk_cache_writes"`
+	DiskWriteErrors int64 `json:"disk_cache_write_errors"`
+
 	CompileHitRatio float64 `json:"compile_hit_ratio"`
 
 	ParseLatency   HistogramSnapshot `json:"parse_latency"`
@@ -142,6 +170,12 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		RunsStarted:        m.RunsStarted.Load(),
 		RunsCancelled:      m.RunsCancelled.Load(),
 		RunsTrapped:        m.RunsTrapped.Load(),
+		CacheEvictions:     m.FrontendEvictions.Load() + m.CompileEvictions.Load(),
+		DiskHits:           m.DiskHits.Load(),
+		DiskMisses:         m.DiskMisses.Load(),
+		DiskCorrupt:        m.DiskCorrupt.Load(),
+		DiskWrites:         m.DiskWrites.Load(),
+		DiskWriteErrors:    m.DiskWriteErrors.Load(),
 		ParseLatency:       m.ParseLatency.Snapshot(),
 		CheckLatency:       m.CheckLatency.Snapshot(),
 		EmitLatency:        m.EmitLatency.Snapshot(),

@@ -1,0 +1,177 @@
+// Admission control for interpreter runs. The original server bounded
+// *execution* with a bare semaphore but not *waiting*: every request
+// beyond the semaphore pinned a goroutine in a channel send with no
+// backpressure signal, so a flood queued without limit until the
+// process died. This file replaces that with a bounded, deadline-aware
+// run queue:
+//
+//   - up to MaxConcurrentRuns requests execute;
+//   - up to RunQueueSize more wait for a slot, each for at most
+//     min(its own execution deadline, MaxQueueWait);
+//   - everything else is shed immediately with 429, a Retry-After
+//     header, and retry_after_ms in the body, so clients get a
+//     structured backpressure signal instead of a hung connection.
+//
+// Draining (graceful shutdown) sheds the queue and admits nothing new
+// while in-flight runs finish. A sliding window over recent sheds
+// feeds /healthz's "degraded" flag: still 200 — the daemon is serving
+// — but load balancers and operators can see it is refusing work.
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrOverloaded is the sentinel for a shed request: the run queue was
+// full, the queue wait exceeded the request's deadline, or the server
+// was draining. HTTP maps it to 429; clients (and cmrun's future
+// client mode, exit code 5) can match it with errors.Is.
+var ErrOverloaded = errors.New("server overloaded")
+
+// shedWindowSeconds is the sliding window over which sheds mark the
+// server degraded on /healthz.
+const shedWindowSeconds = 10
+
+// admitter is the bounded run queue.
+type admitter struct {
+	slots    chan struct{} // capacity = MaxConcurrentRuns
+	queueCap int64
+	maxWait  time.Duration
+
+	queued   atomic.Int64
+	shed     atomic.Int64
+	draining chan struct{}
+	drainOne sync.Once
+
+	// Per-second shed buckets for the degraded flag: bucket[i] counts
+	// sheds in the second stamped secs[i], a ring keyed by unix time.
+	shedMu sync.Mutex
+	secs   [shedWindowSeconds]int64
+	counts [shedWindowSeconds]int64
+}
+
+func newAdmitter(slots int, queueCap int, maxWait time.Duration) *admitter {
+	return &admitter{
+		slots:    make(chan struct{}, slots),
+		queueCap: int64(queueCap),
+		maxWait:  maxWait,
+		draining: make(chan struct{}),
+	}
+}
+
+// admitResult explains a non-admission.
+type admitResult int
+
+const (
+	admitted admitResult = iota
+	shedQueueFull
+	shedDeadline // could not be admitted before the request's deadline
+	shedDraining
+	clientGone // caller disconnected while queued; not counted as a shed
+)
+
+// admit tries to acquire a run slot before the request becomes
+// pointless. timeout is the request's execution budget: a request that
+// cannot start before min(timeout, maxWait) elapses is shed rather
+// than left to win a slot it can no longer use. release must be called
+// exactly once iff the result is admitted.
+func (a *admitter) admit(ctx context.Context, timeout time.Duration) (release func(), res admitResult) {
+	select {
+	case <-a.draining:
+		a.recordShed()
+		return nil, shedDraining
+	default:
+	}
+	// Fast path: a free slot admits without queueing.
+	select {
+	case a.slots <- struct{}{}:
+		return a.releaseFunc(), admitted
+	default:
+	}
+	if a.queued.Add(1) > a.queueCap {
+		a.queued.Add(-1)
+		a.recordShed()
+		return nil, shedQueueFull
+	}
+	defer a.queued.Add(-1)
+
+	wait := a.maxWait
+	if timeout < wait {
+		wait = timeout
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		return a.releaseFunc(), admitted
+	case <-timer.C:
+		a.recordShed()
+		return nil, shedDeadline
+	case <-a.draining:
+		a.recordShed()
+		return nil, shedDraining
+	case <-ctx.Done():
+		return nil, clientGone
+	}
+}
+
+func (a *admitter) releaseFunc() func() {
+	var once sync.Once
+	return func() { once.Do(func() { <-a.slots }) }
+}
+
+// drain flips the admitter into shutdown mode: queued waiters are shed
+// now, future requests are shed on arrival, in-flight runs keep their
+// slots. Idempotent.
+func (a *admitter) drain() {
+	a.drainOne.Do(func() { close(a.draining) })
+}
+
+func (a *admitter) recordShed() {
+	a.shed.Add(1)
+	now := time.Now().Unix()
+	i := now % shedWindowSeconds
+	a.shedMu.Lock()
+	if a.secs[i] != now {
+		a.secs[i] = now
+		a.counts[i] = 0
+	}
+	a.counts[i]++
+	a.shedMu.Unlock()
+}
+
+// recentSheds counts sheds within the sliding window.
+func (a *admitter) recentSheds() int64 {
+	cutoff := time.Now().Unix() - shedWindowSeconds
+	var n int64
+	a.shedMu.Lock()
+	for i, sec := range a.secs {
+		if sec > cutoff {
+			n += a.counts[i]
+		}
+	}
+	a.shedMu.Unlock()
+	return n
+}
+
+// retryAfter suggests how long a shed client should back off: the
+// queue's current depth times the observed mean run latency (how long
+// it should take for that much work to clear), clamped to a sane
+// range. meanRunMS may be zero when no run has completed yet.
+func (a *admitter) retryAfter(meanRunMS float64) time.Duration {
+	if meanRunMS <= 0 {
+		meanRunMS = 100
+	}
+	est := time.Duration((float64(a.queued.Load())+1)*meanRunMS) * time.Millisecond
+	if est < 50*time.Millisecond {
+		est = 50 * time.Millisecond
+	}
+	if est > 10*time.Second {
+		est = 10 * time.Second
+	}
+	return est
+}

@@ -1,0 +1,166 @@
+// White-box tests of the bounded run queue: slot/queue accounting,
+// deadline sheds, drain semantics, the degraded-health window, and the
+// retry estimate.
+package server
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestAdmitFastPathAndQueueFull(t *testing.T) {
+	a := newAdmitter(1, 2, time.Second)
+	release, res := a.admit(context.Background(), time.Second)
+	if res != admitted {
+		t.Fatalf("first admit = %v", res)
+	}
+
+	// Two waiters fill the queue.
+	type got struct {
+		release func()
+		res     admitResult
+	}
+	waiters := make(chan got, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			r, v := a.admit(context.Background(), time.Second)
+			waiters <- got{r, v}
+		}()
+	}
+	// Wait for both to be queued before overflowing.
+	deadline := time.Now().Add(2 * time.Second)
+	for a.queued.Load() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queued = %d, want 2", a.queued.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, res := a.admit(context.Background(), time.Second); res != shedQueueFull {
+		t.Fatalf("overflow admit = %v, want shedQueueFull", res)
+	}
+	if a.shed.Load() != 1 || a.recentSheds() != 1 {
+		t.Fatalf("shed counters = %d / %d", a.shed.Load(), a.recentSheds())
+	}
+
+	// Releasing the slot admits the queued waiters in turn.
+	release()
+	w1 := <-waiters
+	if w1.res != admitted {
+		t.Fatalf("queued waiter = %v", w1.res)
+	}
+	w1.release()
+	w2 := <-waiters
+	if w2.res != admitted {
+		t.Fatalf("second queued waiter = %v", w2.res)
+	}
+	w2.release()
+	if a.queued.Load() != 0 {
+		t.Fatalf("queued = %d after drain of waiters", a.queued.Load())
+	}
+}
+
+func TestAdmitShedsAtRequestDeadline(t *testing.T) {
+	a := newAdmitter(1, 4, time.Minute)
+	release, _ := a.admit(context.Background(), time.Second)
+	defer release()
+	start := time.Now()
+	// The wait budget is min(maxWait, the request's own timeout): a run
+	// that cannot start before its deadline is pointless to queue.
+	_, res := a.admit(context.Background(), 50*time.Millisecond)
+	if res != shedDeadline {
+		t.Fatalf("res = %v, want shedDeadline", res)
+	}
+	if el := time.Since(start); el < 40*time.Millisecond || el > 2*time.Second {
+		t.Fatalf("deadline shed after %s", el)
+	}
+	if a.queued.Load() != 0 {
+		t.Fatalf("queued = %d after deadline shed", a.queued.Load())
+	}
+}
+
+func TestAdmitClientGoneIsNotAShed(t *testing.T) {
+	a := newAdmitter(1, 4, time.Minute)
+	release, _ := a.admit(context.Background(), time.Second)
+	defer release()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan admitResult, 1)
+	go func() {
+		_, res := a.admit(ctx, time.Minute)
+		done <- res
+	}()
+	for a.queued.Load() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if res := <-done; res != clientGone {
+		t.Fatalf("res = %v, want clientGone", res)
+	}
+	if a.shed.Load() != 0 {
+		t.Fatal("a disconnected client must not count as a shed")
+	}
+}
+
+func TestDrainShedsQueuedAndRefusesNew(t *testing.T) {
+	a := newAdmitter(1, 4, time.Minute)
+	release, _ := a.admit(context.Background(), time.Second)
+	done := make(chan admitResult, 1)
+	go func() {
+		_, res := a.admit(context.Background(), time.Minute)
+		done <- res
+	}()
+	for a.queued.Load() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	a.drain()
+	a.drain() // idempotent
+	if res := <-done; res != shedDraining {
+		t.Fatalf("queued waiter on drain = %v, want shedDraining", res)
+	}
+	if _, res := a.admit(context.Background(), time.Second); res != shedDraining {
+		t.Fatalf("post-drain admit = %v, want shedDraining", res)
+	}
+	// The in-flight slot is untouched; releasing it is still safe.
+	release()
+}
+
+func TestRetryAfterScalesAndClamps(t *testing.T) {
+	a := newAdmitter(1, 100, time.Minute)
+	if got := a.retryAfter(0); got != 100*time.Millisecond {
+		t.Fatalf("empty-queue default = %s", got)
+	}
+	a.queued.Store(10)
+	if got := a.retryAfter(200); got != 2200*time.Millisecond {
+		t.Fatalf("10 queued × 200ms = %s, want 2.2s", got)
+	}
+	a.queued.Store(1_000_000)
+	if got := a.retryAfter(200); got != 10*time.Second {
+		t.Fatalf("upper clamp = %s", got)
+	}
+	a.queued.Store(0)
+	if got := a.retryAfter(0.001); got != 50*time.Millisecond {
+		t.Fatalf("lower clamp = %s", got)
+	}
+}
+
+func TestRecentShedsWindowExpires(t *testing.T) {
+	a := newAdmitter(1, 1, time.Minute)
+	a.recordShed()
+	if a.recentSheds() != 1 {
+		t.Fatalf("recentSheds = %d", a.recentSheds())
+	}
+	// Age the bucket artificially past the window instead of sleeping.
+	a.shedMu.Lock()
+	for i := range a.secs {
+		if a.secs[i] != 0 {
+			a.secs[i] -= shedWindowSeconds + 1
+		}
+	}
+	a.shedMu.Unlock()
+	if a.recentSheds() != 0 {
+		t.Fatalf("recentSheds = %d after window expiry", a.recentSheds())
+	}
+	if a.shed.Load() != 1 {
+		t.Fatal("cumulative shed counter must not expire")
+	}
+}

@@ -6,6 +6,7 @@
 package server_test
 
 import (
+	"context"
 	"net/http"
 	"runtime"
 	"strings"
@@ -198,6 +199,80 @@ int main() {
 		t.Errorf("panics_recovered = %d with no handler panics", m.PanicsRecovered)
 	}
 	mustHealthz(t, ts.URL)
+}
+
+// Graceful shutdown: Drain lets the in-flight run finish, sheds every
+// queued run with a structured 429, refuses new arrivals, and leaves
+// no goroutines behind — the daemon's SIGTERM path in miniature.
+func TestCrashShutdownDrainsInflightShedsQueued(t *testing.T) {
+	release := barrierHook(t)
+	ts, srv, _ := newChaosServer(t, server.Config{
+		MaxConcurrentRuns: 1, RunQueueSize: 4,
+		DefaultTimeout: 30 * time.Second, MaxQueueWait: 30 * time.Second,
+	})
+	base := runtime.NumGoroutine()
+
+	// One admitted run pinned at the barrier, two runs queued behind it.
+	inflight := make(chan int, 1)
+	go func() {
+		code, _ := rawPost(ts.URL+"/v1/run", map[string]any{"source": parallelSrc, "threads": 2})
+		inflight <- code
+	}()
+	waitMetrics(t, ts.URL, func(m queueMetrics) bool { return m.InflightRuns == 1 }, "slot held")
+	queued := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			code, _ := rawPost(ts.URL+"/v1/run", map[string]any{"source": trivialSrc})
+			queued <- code
+		}()
+	}
+	waitMetrics(t, ts.URL, func(m queueMetrics) bool { return m.RunQueueDepth == 2 }, "queue filled")
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drained <- srv.Drain(ctx)
+	}()
+
+	// The queued runs are shed immediately — Drain does not wait for
+	// them — and a fresh arrival is refused the same way.
+	for i := 0; i < 2; i++ {
+		select {
+		case code := <-queued:
+			if code != http.StatusTooManyRequests {
+				t.Fatalf("queued run on drain: %d, want 429", code)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("queued runs not shed by Drain")
+		}
+	}
+	if code, err := rawPost(ts.URL+"/v1/run", map[string]any{"source": trivialSrc}); err != nil || code != http.StatusTooManyRequests {
+		t.Fatalf("post-drain arrival: %d %v, want 429", code, err)
+	}
+	// Non-run endpoints still serve during the drain window.
+	mustHealthz(t, ts.URL)
+
+	// The in-flight run completes normally and Drain returns.
+	release()
+	if code := <-inflight; code != http.StatusOK {
+		t.Fatalf("in-flight run finished %d during drain, want 200", code)
+	}
+	if err := <-drained; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+
+	// Idle keep-alive conns from the flood settle once closed; pool
+	// workers exit cooperatively after each run.
+	http.DefaultClient.CloseIdleConnections()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base+6 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines: %d at start, %d after drain", base, runtime.NumGoroutine())
 }
 
 // A storm of crash-class requests must not leak goroutines: every

@@ -10,12 +10,15 @@
 //	GET  /healthz      liveness probe
 //	GET  /metrics      request counters, cache ratios, stage latencies
 //
-// Interpreter executions are bounded by a semaphore sized off the
-// internal/par pool default (GOMAXPROCS) and run under a per-request
-// deadline threaded into the interpreter's eval loop via
-// context.Context, so a runaway program times out without taking the
-// server down. Run requests touch no server filesystem: readMatrix and
-// writeMatrix are confined to an in-memory, per-request file map.
+// Interpreter executions go through admission control (admission.go):
+// MaxConcurrentRuns execute, a bounded deadline-aware queue waits, and
+// everything beyond that is shed with 429 + Retry-After instead of
+// pinning a goroutine — aggregate overload degrades service, never
+// availability. Admitted runs execute under a per-request deadline
+// threaded into the interpreter's eval loop via context.Context, so a
+// runaway program times out without taking the server down. Run
+// requests touch no server filesystem: readMatrix and writeMatrix are
+// confined to an in-memory, per-request file map.
 package server
 
 import (
@@ -56,13 +59,28 @@ type Config struct {
 	// 1<<26 cells (512 MiB of float64), so one adversarial genarray
 	// cannot OOM the daemon.
 	MaxCells int64
+	// RunQueueSize bounds how many run requests may wait for a slot
+	// beyond the MaxConcurrentRuns executing; arrivals past it are shed
+	// with 429. Defaults to 4×MaxConcurrentRuns.
+	RunQueueSize int
+	// MaxQueueWait caps how long a request may wait for admission
+	// (each request actually waits min(MaxQueueWait, its own execution
+	// timeout) — a run that cannot start before its deadline is shed,
+	// not left to occupy the queue). Defaults to DefaultTimeout.
+	MaxQueueWait time.Duration
 }
+
+// TestHookRunBarrier, when non-nil, is called by handleRun while its
+// admission slot is held, before execution. Chaos tests use it to pin
+// runs at a barrier so queue occupancy is exact and observable; nil in
+// production.
+var TestHookRunBarrier func()
 
 // Server handles the HTTP API over a shared driver.
 type Server struct {
-	cfg    Config
-	d      *driver.Driver
-	runSem chan struct{}
+	cfg   Config
+	d     *driver.Driver
+	admit *admitter
 
 	compileReqs  atomic.Int64
 	runReqs      atomic.Int64
@@ -98,13 +116,39 @@ func New(cfg Config) *Server {
 	if cfg.MaxCells <= 0 {
 		cfg.MaxCells = 1 << 26
 	}
+	if cfg.RunQueueSize <= 0 {
+		cfg.RunQueueSize = 4 * cfg.MaxConcurrentRuns
+	}
+	if cfg.MaxQueueWait <= 0 {
+		cfg.MaxQueueWait = cfg.DefaultTimeout
+	}
 	return &Server{
 		cfg:       cfg,
 		d:         cfg.Driver,
-		runSem:    make(chan struct{}, cfg.MaxConcurrentRuns),
+		admit:     newAdmitter(cfg.MaxConcurrentRuns, cfg.RunQueueSize, cfg.MaxQueueWait),
 		startedAt: time.Now(),
 		traps:     map[string]int64{},
 	}
+}
+
+// Drain puts the server into graceful-shutdown mode: in-flight runs
+// finish, queued runs are shed immediately with 429, and new run
+// requests are shed on arrival. It returns when no runs remain in
+// flight or ctx expires, whichever is first. Call before closing the
+// HTTP listener so clients get structured sheds instead of connection
+// resets.
+func (s *Server) Drain(ctx context.Context) error {
+	s.admit.drain()
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for s.inflightRuns.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+	return nil
 }
 
 // Handler returns the route mux wrapped in the recover middleware.
@@ -218,6 +262,10 @@ type errorResponse struct {
 	// Span is the source position of the failing construct.
 	Trap string `json:"trap,omitempty"`
 	Span string `json:"span,omitempty"`
+	// RetryAfterMS accompanies a 429 shed: the server's estimate of
+	// when capacity will free up (also sent as a Retry-After header,
+	// in whole seconds).
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -231,6 +279,25 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 func (s *Server) clientError(w http.ResponseWriter, code int, resp errorResponse) {
 	s.clientErrors.Add(1)
 	writeJSON(w, code, resp)
+}
+
+// shedResponse answers a load-shed run request: 429, a Retry-After
+// header, and retry_after_ms in the body. The retry estimate scales
+// with queue depth × observed mean run latency.
+func (s *Server) shedResponse(w http.ResponseWriter, res admitResult) {
+	retry := s.admit.retryAfter(s.d.Metrics().RunLatency.Snapshot().MeanUS / 1e3)
+	reason := "run queue full"
+	switch res {
+	case shedDeadline:
+		reason = "not admitted before the request deadline"
+	case shedDraining:
+		reason = "server draining for shutdown"
+	}
+	w.Header().Set("Retry-After", fmt.Sprint(int64((retry+time.Second-1)/time.Second)))
+	writeJSON(w, http.StatusTooManyRequests, errorResponse{
+		Error:        fmt.Sprintf("%v: %s", ErrOverloaded, reason),
+		RetryAfterMS: int64(retry / time.Millisecond),
+	})
 }
 
 // decode parses a JSON body into v, enforcing the size limit.
@@ -352,17 +419,27 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		maxCells = s.cfg.MaxCells
 	}
 
-	// Bound concurrent interpreter executions; waiters give up when the
-	// client goes away.
-	select {
-	case s.runSem <- struct{}{}:
-		defer func() { <-s.runSem }()
-	case <-r.Context().Done():
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server busy"})
+	// Admission control: acquire an execution slot through the bounded,
+	// deadline-aware run queue, or shed now with a structured
+	// backpressure signal (see admission.go).
+	release, admit := s.admit.admit(r.Context(), timeout)
+	switch admit {
+	case admitted:
+		defer release()
+	case clientGone:
+		// The caller disconnected while queued; nothing useful can be
+		// written, and it is not a shed — the server did not refuse work.
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "client went away while queued"})
+		return
+	default:
+		s.shedResponse(w, admit)
 		return
 	}
 	s.inflightRuns.Add(1)
 	defer s.inflightRuns.Add(-1)
+	if hook := TestHookRunBarrier; hook != nil {
+		hook()
+	}
 
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
@@ -426,12 +503,33 @@ func (s *Server) handleAnalyses(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, driver.Analyses())
 }
 
+// healthzResponse is the liveness document. Status is "ok" or
+// "degraded": degraded means the daemon is alive and serving (still
+// 200) but has shed runs within the last shedWindowSeconds — a signal
+// for load balancers to prefer other replicas and for operators to
+// look at queue sizing.
+type healthzResponse struct {
+	Status       string `json:"status"`
+	QueueDepth   int64  `json:"run_queue_depth"`
+	RecentSheds  int64  `json:"recent_sheds"`
+	InflightRuns int64  `json:"inflight_runs"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	recent := s.admit.recentSheds()
+	status := "ok"
+	if recent > 0 {
+		status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, healthzResponse{
+		Status:       status,
+		QueueDepth:   s.admit.queued.Load(),
+		RecentSheds:  recent,
+		InflightRuns: s.inflightRuns.Load(),
+	})
 }
 
 // metricsSnapshot is the /metrics JSON document.
@@ -444,6 +542,12 @@ type metricsSnapshot struct {
 	RunTimeouts     int64   `json:"run_timeouts"`
 	InflightRuns    int64   `json:"inflight_runs"`
 	MaxRuns         int     `json:"max_concurrent_runs"`
+
+	// Admission control: current waiters, the queue's capacity, and
+	// requests refused with 429 (cumulative).
+	RunQueueDepth int64 `json:"run_queue_depth"`
+	RunQueueMax   int   `json:"run_queue_max"`
+	RunsShed      int64 `json:"runs_shed"`
 
 	// Crash-proofing counters: trap-coded run failures (total and by
 	// code) and handler panics absorbed by the recover middleware.
@@ -467,9 +571,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		RunTimeouts:     s.runTimeouts.Load(),
 		InflightRuns:    s.inflightRuns.Load(),
 		MaxRuns:         s.cfg.MaxConcurrentRuns,
+		RunQueueDepth:   s.admit.queued.Load(),
+		RunQueueMax:     s.cfg.RunQueueSize,
+		RunsShed:        s.admit.shed.Load(),
 		RunTraps:        s.runTraps.Load(),
 		Traps:           s.trapSnapshot(),
 		PanicsRecovered: s.panicsCaught.Load(),
-		Driver:          s.d.Metrics().Snapshot(),
+		Driver:          s.d.MetricsSnapshot(),
 	})
 }
