@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# ci.sh — the repo's check gate: formatting, vet, build, full tests, a
-# race-detector pass over the crash-proofing layers (pool, matrix
-# runtime, interpreter, server), and a one-shot benchmark smoke pass
-# (E1 plus the compile-service cold/warm pair). Run locally before
-# pushing; the GitHub Actions workflow runs this script.
+# ci.sh — the repo's check gate: formatting, go vet, staticcheck (when
+# installed), build, full tests, a race-detector pass over the
+# crash-proofing layers (pool, matrix runtime, interpreter, server), a
+# fuzz smoke over the frontend and the cmvet analyzer, the vet findings
+# manifest, and a one-shot benchmark smoke pass (E1 plus the
+# compile-service cold/warm pair). Run locally before pushing; the
+# GitHub Actions workflow runs this script.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -18,6 +20,13 @@ fi
 echo "== go vet =="
 go vet ./...
 
+echo "== staticcheck =="
+if command -v staticcheck >/dev/null 2>&1; then
+    staticcheck ./...
+else
+    echo "staticcheck not installed; skipping (non-fatal)"
+fi
+
 echo "== go build =="
 go build ./...
 
@@ -30,9 +39,13 @@ go test -race ./internal/par ./internal/matrix ./internal/interp ./internal/serv
 echo "== chaos suite (flood / drain / disk-cache recovery) =="
 go test -race -run 'TestChaos|TestCrash' ./internal/server
 
-echo "== fuzz smoke (frontend never panics) =="
+echo "== fuzz smoke (frontend + analyzer never panic) =="
 go test -run='^$' -fuzz='^FuzzLex$' -fuzztime=10s ./internal/parser
 go test -run='^$' -fuzz='^FuzzParse$' -fuzztime=10s ./internal/parser
+go test -run='^$' -fuzz='^FuzzVet$' -fuzztime=10s ./internal/vet
+
+echo "== vet manifest (examples + testdata findings pinned) =="
+go test -run='^TestVetManifest$' .
 
 echo "== bench smoke =="
 go test -run='^$' -bench='BenchmarkE1_' -benchtime=1x .

@@ -14,6 +14,9 @@
 //	-par pthread|omp|none      parallel code generation mode
 //	-O                         §III-A.4 high-level optimizations (default on)
 //	-o file                    output path (default stdout)
+//	-vet                       run the cmvet static analyses before emitting;
+//	                           error findings reject the program (see cmd/cmvet
+//	                           for the standalone tool and JSON output)
 package main
 
 import (
@@ -31,6 +34,7 @@ func main() {
 	par := flag.String("par", "pthread", "parallel codegen: pthread, omp or none")
 	optimize := flag.Bool("O", true, "enable high-level optimizations (fusion, slice elimination)")
 	out := flag.String("o", "", "output file (default stdout)")
+	vetFlag := flag.Bool("vet", false, "run the cmvet static analyses; error findings reject the program")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: cmc [flags] file.xc")
@@ -55,7 +59,23 @@ func main() {
 		fatal("unknown -emit kind %q", *emit)
 	}
 
-	res := driver.New().Compile(driver.CompileRequest{
+	d := driver.New()
+	if *vetFlag {
+		vr := d.Vet(driver.VetRequest{Name: file, Source: string(src), Exts: exts})
+		for _, f := range vr.Findings {
+			fmt.Fprintln(os.Stderr, f.String())
+		}
+		if !vr.OK {
+			// Frontend diagnostics print below via the compile path when
+			// the frontend failed; error findings alone stop here.
+			for _, diag := range vr.Diagnostics {
+				fmt.Fprintln(os.Stderr, diag)
+			}
+			os.Exit(1)
+		}
+	}
+
+	res := d.Compile(driver.CompileRequest{
 		Name: file, Source: string(src), Exts: exts, Emit: *emit,
 		Codegen: cgen.Options{Par: parMode, Optimize: *optimize},
 	})

@@ -1,0 +1,72 @@
+// cmvet is the standalone static analyzer for extended CMINUS
+// programs: it parses and checks each file with the composed
+// extension grammars, then runs the internal/vet analyses — shape
+// inference, RC misuse detection and liveness lints — and reports
+// structured findings.
+//
+// Usage:
+//
+//	cmvet [flags] file.xc [file2.xc ...]
+//
+//	-ext matrix,transform,rc,cilk   extensions to compose (also: all, none)
+//	-json                      emit one JSON report per file instead of text
+//
+// Exit status: 0 when every file is clean (warnings allowed), 1 when
+// any file has error-severity findings or fails to parse/check, 2 on
+// usage or I/O errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/driver"
+	"repro/internal/vet"
+)
+
+func main() {
+	extFlag := flag.String("ext", "all", "comma-separated extensions to compose (matrix, transform, rc, cilk, all, none)")
+	jsonOut := flag.Bool("json", false, "emit JSON reports instead of text diagnostics")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: cmvet [flags] file.xc [file2.xc ...]")
+		flag.Usage()
+		os.Exit(2)
+	}
+	exts, err := driver.ParseExtensions(*extFlag)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	d := driver.New()
+	failed := false
+	for _, file := range flag.Args() {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			fatal("%v", err)
+		}
+		res := d.Vet(driver.VetRequest{Name: file, Source: string(src), Exts: exts})
+		report := vet.NewFileReport(file, res.OK, res.Diagnostics, res.Findings)
+		if *jsonOut {
+			out, err := report.RenderJSON()
+			if err != nil {
+				fatal("%v", err)
+			}
+			fmt.Print(out)
+		} else {
+			fmt.Print(report.RenderText())
+		}
+		if !res.OK {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cmvet: "+format+"\n", args...)
+	os.Exit(2)
+}

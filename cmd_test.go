@@ -4,6 +4,7 @@
 package repro_test
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -26,7 +27,7 @@ func buildCommands(t *testing.T) string {
 		if cmdBuildErr != nil {
 			return
 		}
-		for _, name := range []string{"cmc", "cmrun", "composecheck", "sshgen", "cmserved"} {
+		for _, name := range []string{"cmc", "cmrun", "cmvet", "composecheck", "sshgen", "cmserved"} {
 			out, err := exec.Command("go", "build", "-o",
 				filepath.Join(cmdBinDir, name), "./cmd/"+name).CombinedOutput()
 			if err != nil {
@@ -225,6 +226,76 @@ int main() {
 				t.Errorf("output carries no source span:\n%s", out)
 			}
 		})
+	}
+}
+
+// TestCmdCmvet pins the analyzer CLI contract: clean programs exit 0,
+// error findings exit 1 with the span-addressed finding on stdout, and
+// -json emits the machine-readable report the editors consume. The
+// same bad program still compiles with plain cmc (the mismatch is a
+// runtime trap without -vet) and is rejected by cmc -vet.
+func TestCmdCmvet(t *testing.T) {
+	bin := buildCommands(t)
+	dir := t.TempDir()
+	mm := filepath.Join(dir, "mm.xc")
+	if err := os.WriteFile(mm, []byte(`
+int main() {
+	Matrix float <2> a = init(Matrix float <2>, 3, 4);
+	Matrix float <2> b = init(Matrix float <2>, 5, 6);
+	Matrix float <2> c = a * b;
+	print(c);
+	return 0;
+}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Clean program: silent, exit 0.
+	out, err := exec.Command(filepath.Join(bin, "cmvet"), "testdata/indexing.xc").CombinedOutput()
+	if err != nil || len(out) != 0 {
+		t.Fatalf("cmvet on clean program: err=%v out=%q", err, out)
+	}
+
+	// Error finding: exit 1, span-addressed text diagnostic.
+	out, err = exec.Command(filepath.Join(bin, "cmvet"), mm).CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("cmvet on mismatch: err=%v, want exit 1\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "error[shape-mismatch]") ||
+		!strings.Contains(string(out), "mm.xc:5:23") {
+		t.Fatalf("cmvet output = %q", out)
+	}
+
+	// -json: one structured report.
+	out, err = exec.Command(filepath.Join(bin, "cmvet"), "-json", mm).Output()
+	if err == nil {
+		t.Fatal("cmvet -json on mismatch should exit 1")
+	}
+	var report struct {
+		OK       bool `json:"ok"`
+		Errors   int  `json:"errors"`
+		Findings []struct {
+			Code string `json:"code"`
+		} `json:"findings"`
+	}
+	if jerr := json.Unmarshal(out, &report); jerr != nil {
+		t.Fatalf("cmvet -json output is not JSON: %v\n%s", jerr, out)
+	}
+	if report.OK || report.Errors != 1 || len(report.Findings) != 1 ||
+		report.Findings[0].Code != "shape-mismatch" {
+		t.Fatalf("cmvet -json report: %+v", report)
+	}
+
+	// Plain cmc still translates the program; cmc -vet rejects it.
+	if out, err := exec.Command(filepath.Join(bin, "cmc"), "-par", "none", mm).CombinedOutput(); err != nil {
+		t.Fatalf("plain cmc rejected the program: %v\n%s", err, out)
+	}
+	out, err = exec.Command(filepath.Join(bin, "cmc"), "-vet", "-par", "none", mm).CombinedOutput()
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+		t.Fatalf("cmc -vet: err=%v, want exit 1\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "shape-mismatch") {
+		t.Fatalf("cmc -vet output = %q", out)
 	}
 }
 

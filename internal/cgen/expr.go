@@ -255,6 +255,13 @@ func (f *fnEmitter) call(e *ast.CallExpr) (string, error) {
 		}
 		f.b.line("cm_cell_set(%s, (double)(%s));", p, v)
 		return "", nil
+	case "rcrelease":
+		p, err := f.expr(e.Args[0])
+		if err != nil {
+			return "", err
+		}
+		f.b.line("cm_cell_release(%s);", p)
+		return "", nil
 	}
 
 	sig, ok := f.g.info.Funcs[e.Fun]

@@ -137,24 +137,34 @@ static cm_mat *cm_matrixmapg(cm_mat *in, int ndims, const int *dims, int outElem
 }
 
 /* reference-counting extension cells (§III-B surface syntax) */
-typedef struct { int rc; double v; } cm_cell;
+typedef struct { int rc; int released; double v; } cm_cell;
 static cm_cell *cm_cell_new(double v) {
     cm_cell *c = (cm_cell *)malloc(sizeof(cm_cell));
-    c->rc = 1; c->v = v;
+    c->rc = 1; c->released = 0; c->v = v;
     return c;
 }
 static void cm_cell_incref(cm_cell *c) {
     if (c) __atomic_add_fetch(&c->rc, 1, __ATOMIC_SEQ_CST);
 }
 static void cm_cell_decref(cm_cell *c) {
+    /* cells survive an explicit rcrelease until the last automatic
+       reference drops, so stale aliases fail loudly instead of
+       reading freed memory */
     if (c && __atomic_sub_fetch(&c->rc, 1, __ATOMIC_SEQ_CST) == 0) free(c);
 }
 static double cm_cell_get(cm_cell *c) {
     if (!c) cm_die("rcget of null refcounted pointer");
+    if (c->released) cm_die("rc: rcget of a released refcounted pointer");
     return c->v;
 }
 static void cm_cell_set(cm_cell *c, double v) {
     if (!c) cm_die("rcset of null refcounted pointer");
+    if (c->released) cm_die("rc: rcset of a released refcounted pointer");
     c->v = v;
+}
+static void cm_cell_release(cm_cell *c) {
+    if (!c) cm_die("rcrelease of null refcounted pointer");
+    if (c->released) cm_die("rc: double release of a refcounted pointer");
+    c->released = 1;
 }
 `

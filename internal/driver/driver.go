@@ -75,6 +75,7 @@ type Driver struct {
 
 	front *lruCache // frontend (parse+check) results by content key
 	emits *lruCache // emitted artifacts by content key
+	vets  *lruCache // vet findings by content key
 	disk  *diskCache
 }
 
@@ -92,6 +93,7 @@ func NewWith(cfg Config) *Driver {
 	d := &Driver{}
 	d.front = newLRUCache(cfg.MaxCacheEntries, cfg.MaxCacheBytes, &d.metrics.FrontendEvictions)
 	d.emits = newLRUCache(cfg.MaxCacheEntries, cfg.MaxCacheBytes, &d.metrics.CompileEvictions)
+	d.vets = newLRUCache(cfg.MaxCacheEntries, cfg.MaxCacheBytes, &d.metrics.VetEvictions)
 	if cfg.CacheDir != "" {
 		disk, err := newDiskCache(cfg.CacheDir, &d.metrics)
 		if err != nil {
@@ -113,8 +115,9 @@ func (d *Driver) MetricsSnapshot() MetricsSnapshot {
 	s := d.metrics.Snapshot()
 	fe, fb := d.front.stats()
 	ee, eb := d.emits.stats()
-	s.CacheEntries = int64(fe + ee)
-	s.CacheBytes = fb + eb
+	ve, vb := d.vets.stats()
+	s.CacheEntries = int64(fe + ee + ve)
+	s.CacheBytes = fb + eb + vb
 	return s
 }
 
@@ -130,6 +133,7 @@ type call struct {
 type StageTimings struct {
 	ParseNS int64 `json:"parse_ns"`
 	CheckNS int64 `json:"check_ns"`
+	VetNS   int64 `json:"vet_ns,omitempty"`
 	EmitNS  int64 `json:"emit_ns,omitempty"`
 	RunNS   int64 `json:"run_ns,omitempty"`
 }

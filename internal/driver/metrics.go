@@ -112,12 +112,23 @@ type Metrics struct {
 	// RuntimeError (shape/rc/oom/step/depth/panic).
 	RunsTrapped atomic.Int64
 
+	// Vet stage counters: requests, cache outcomes, evictions and the
+	// total findings produced by actual analysis executions.
+	VetRuns      atomic.Int64
+	VetHits      atomic.Int64
+	VetMisses    atomic.Int64
+	VetCoalesced atomic.Int64
+	VetEvictions atomic.Int64
+	VetFindings  atomic.Int64
+
 	// Per-stage latency histograms.
-	ParseLatency   Histogram
-	CheckLatency   Histogram
-	EmitLatency    Histogram
-	RunLatency     Histogram
-	CompileLatency Histogram // whole Compile call, hits included
+	ParseLatency       Histogram
+	CheckLatency       Histogram
+	EmitLatency        Histogram
+	RunLatency         Histogram
+	CompileLatency     Histogram // whole Compile call, hits included
+	VetLatency         Histogram // whole Vet call, hits included
+	VetAnalysisLatency Histogram // the analysis pass alone (misses only)
 }
 
 // MetricsSnapshot is the JSON shape served on /metrics.
@@ -132,6 +143,12 @@ type MetricsSnapshot struct {
 	RunsStarted        int64 `json:"runs_started"`
 	RunsCancelled      int64 `json:"runs_cancelled"`
 	RunsTrapped        int64 `json:"runs_trapped"`
+
+	VetRuns      int64 `json:"vet_runs"`
+	VetHits      int64 `json:"vet_cache_hits"`
+	VetMisses    int64 `json:"vet_cache_misses"`
+	VetCoalesced int64 `json:"vet_coalesced"`
+	VetFindings  int64 `json:"vet_findings_total"`
 
 	// In-memory cache gauges (filled by Driver.MetricsSnapshot, which
 	// can see the caches; zero through Metrics.Snapshot alone) and the
@@ -154,6 +171,8 @@ type MetricsSnapshot struct {
 	EmitLatency    HistogramSnapshot `json:"emit_latency"`
 	RunLatency     HistogramSnapshot `json:"run_latency"`
 	CompileLatency HistogramSnapshot `json:"compile_latency"`
+	VetLatency     HistogramSnapshot `json:"vet_latency"`
+	VetAnalysis    HistogramSnapshot `json:"vet_analysis_latency"`
 }
 
 // Snapshot captures all counters at one instant (best-effort
@@ -170,7 +189,12 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		RunsStarted:        m.RunsStarted.Load(),
 		RunsCancelled:      m.RunsCancelled.Load(),
 		RunsTrapped:        m.RunsTrapped.Load(),
-		CacheEvictions:     m.FrontendEvictions.Load() + m.CompileEvictions.Load(),
+		VetRuns:            m.VetRuns.Load(),
+		VetHits:            m.VetHits.Load(),
+		VetMisses:          m.VetMisses.Load(),
+		VetCoalesced:       m.VetCoalesced.Load(),
+		VetFindings:        m.VetFindings.Load(),
+		CacheEvictions:     m.FrontendEvictions.Load() + m.CompileEvictions.Load() + m.VetEvictions.Load(),
 		DiskHits:           m.DiskHits.Load(),
 		DiskMisses:         m.DiskMisses.Load(),
 		DiskCorrupt:        m.DiskCorrupt.Load(),
@@ -181,6 +205,8 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		EmitLatency:        m.EmitLatency.Snapshot(),
 		RunLatency:         m.RunLatency.Snapshot(),
 		CompileLatency:     m.CompileLatency.Snapshot(),
+		VetLatency:         m.VetLatency.Snapshot(),
+		VetAnalysis:        m.VetAnalysisLatency.Snapshot(),
 	}
 	if total := s.CompileHits + s.CompileCoalesced + s.CompileMisses; total > 0 {
 		s.CompileHitRatio = float64(s.CompileHits+s.CompileCoalesced) / float64(total)

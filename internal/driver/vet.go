@@ -1,0 +1,112 @@
+// The vet stage: cmvet static analysis as a cached pipeline stage
+// between check and emit. Results are content-addressed like compile
+// artifacts — repeated requests for identical (name, source,
+// extension set) return the memoized findings without re-analyzing —
+// and concurrent identical requests coalesce through the same
+// singleflight cache as the other stages.
+package driver
+
+import (
+	"time"
+
+	"repro/internal/parser"
+	"repro/internal/source"
+	"repro/internal/vet"
+)
+
+// VetRequest describes one static-analysis request.
+type VetRequest struct {
+	Name   string
+	Source string
+	Exts   parser.Options
+}
+
+// VetResult is the outcome of a Vet. OK is false when the frontend
+// rejected the program (Diagnostics holds its errors) or when vet
+// produced error-severity findings.
+type VetResult struct {
+	// Key is the content address of the vet result.
+	Key string
+	// Cached reports the findings came from the vet cache (or an
+	// identical in-flight analysis).
+	Cached      bool
+	OK          bool
+	Diagnostics []string
+	Findings    []source.Diagnostic
+	// Errors counts error-severity findings.
+	Errors int
+	Stages StageTimings
+}
+
+// vetEntry is a cached vet outcome. Findings are immutable after
+// Check and are shared by concurrent consumers.
+type vetEntry struct {
+	ok       bool
+	diags    []string
+	findings []source.Diagnostic
+	errors   int
+	stages   StageTimings
+}
+
+func vetKey(req *VetRequest) string {
+	return hashKey("vet", req.Name, req.Source, FormatExtensions(req.Exts))
+}
+
+// findingBytes is the retained-size contribution of a findings list.
+func findingBytes(findings []source.Diagnostic) int64 {
+	var n int64
+	for _, f := range findings {
+		n += int64(len(f.Message) + len(f.Code) + 64)
+	}
+	return n
+}
+
+// Vet parses and checks req.Source through the frontend cache, then
+// runs the cmvet analyses over the checked AST, serving repeated
+// identical requests from the vet cache.
+func (d *Driver) Vet(req VetRequest) *VetResult {
+	t0 := time.Now()
+	d.metrics.VetRuns.Add(1)
+	defer func() { d.metrics.VetLatency.Observe(time.Since(t0)) }()
+	key := vetKey(&req)
+	out := &VetResult{Key: key}
+
+	c, owner, hit := d.vets.lookup(key)
+	if !owner {
+		if hit {
+			d.metrics.VetHits.Add(1)
+		} else {
+			d.metrics.VetCoalesced.Add(1)
+		}
+		<-c.done
+		res := c.res.(*vetEntry)
+		out.Cached = true
+		out.OK, out.Diagnostics, out.Findings = res.ok, res.diags, res.findings
+		out.Errors, out.Stages = res.errors, res.stages
+		return out
+	}
+	d.metrics.VetMisses.Add(1)
+
+	res := &vetEntry{}
+	fr, _ := d.frontend(req.Name, req.Source, req.Exts)
+	res.diags = fr.diags
+	res.stages = fr.stages
+	if fr.prog != nil {
+		t1 := time.Now()
+		res.findings = vet.Check(fr.prog, fr.info)
+		vetD := time.Since(t1)
+		d.metrics.VetAnalysisLatency.Observe(vetD)
+		res.stages.VetNS = int64(vetD)
+	}
+	res.errors = vet.ErrorCount(res.findings)
+	res.ok = fr.ok && res.errors == 0
+	d.metrics.VetFindings.Add(int64(len(res.findings)))
+
+	c.res = res
+	close(c.done)
+	d.vets.complete(key, diagBytes(res.diags)+findingBytes(res.findings), true)
+
+	out.OK, out.Diagnostics, out.Findings = res.ok, res.diags, res.findings
+	out.Errors, out.Stages = res.errors, res.stages
+	return out
+}

@@ -1,6 +1,6 @@
 // Builtin library functions: the host's dimSize / readMatrix /
 // writeMatrix / print and the reference-counting extension's
-// rcnew / rcget / rcset.
+// rcnew / rcget / rcset / rcrelease.
 package interp
 
 import (
@@ -72,7 +72,7 @@ func (c *ctx) evalBuiltin(e *ast.CallExpr, args []any) (any, error) {
 			return nil, rerr(e, "rcget of a null refcounted pointer")
 		}
 		if cell.hdr.Freed() {
-			return nil, rerr(e, "rcget of a freed refcounted pointer")
+			return nil, trapErr(e, TrapRC, "rcget of a freed refcounted pointer (use after release)")
 		}
 		return cell.val, nil
 
@@ -82,9 +82,19 @@ func (c *ctx) evalBuiltin(e *ast.CallExpr, args []any) (any, error) {
 			return nil, rerr(e, "rcset of a null refcounted pointer")
 		}
 		if cell.hdr.Freed() {
-			return nil, rerr(e, "rcset of a freed refcounted pointer")
+			return nil, trapErr(e, TrapRC, "rcset of a freed refcounted pointer (use after release)")
 		}
 		cell.val = args[1]
+		return nil, nil
+
+	case "rcrelease":
+		cell, ok := args[0].(*rcCell)
+		if !ok || cell == nil {
+			return nil, rerr(e, "rcrelease of a null refcounted pointer")
+		}
+		if !cell.hdr.ForceFree() {
+			return nil, trapErr(e, TrapRC, "rcrelease of an already-released refcounted pointer (double release)")
+		}
 		return nil, nil
 	}
 	return nil, rerr(e, "undeclared function %q", e.Fun)

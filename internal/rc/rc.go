@@ -32,8 +32,13 @@ func (v *Violation) Error() string { return "rc: " + v.Msg }
 type Header struct {
 	count int32
 	freed atomic.Bool
-	size  int
-	heap  *Heap
+	// forced marks an explicit early release (ForceFree): the
+	// allocation is already returned to the heap, so the automatic
+	// scope-exit DecRefs that still hold stale references become
+	// no-ops instead of double-free violations.
+	forced atomic.Bool
+	size   int
+	heap   *Heap
 }
 
 // Heap tracks live allocations for leak accounting.
@@ -67,6 +72,9 @@ func (hd *Header) IncRef() {
 		return
 	}
 	if hd.freed.Load() {
+		if hd.forced.Load() {
+			return // stale alias of an explicitly released cell; caught at use
+		}
 		panic(&Violation{Msg: "IncRef on freed allocation (use after free)"})
 	}
 	atomic.AddInt32(&hd.count, 1)
@@ -79,6 +87,9 @@ func (hd *Header) DecRef() bool {
 		return false
 	}
 	if hd.freed.Load() {
+		if hd.forced.Load() {
+			return false // scope-exit release after an explicit ForceFree
+		}
 		panic(&Violation{Msg: "DecRef on freed allocation (double free)"})
 	}
 	n := atomic.AddInt32(&hd.count, -1)
@@ -96,6 +107,32 @@ func (hd *Header) DecRef() bool {
 		return true
 	}
 	return false
+}
+
+// ForceFree releases the allocation immediately regardless of its
+// count — the semantics of an explicit release operation (rcrelease).
+// It returns false if the allocation was already freed (an explicit
+// double release; callers report it as an rc violation). After a
+// successful ForceFree the outstanding automatic references become
+// inert: their IncRef/DecRef calls are no-ops, and any dereference is
+// the caller's use-after-free to detect via Freed.
+func (hd *Header) ForceFree() bool {
+	if hd == nil {
+		return false
+	}
+	// forced is set before freed so a concurrent DecRef that observes
+	// freed==true also observes forced==true and no-ops.
+	hd.forced.Store(true)
+	if !hd.freed.CompareAndSwap(false, true) {
+		return false
+	}
+	hd.heap.live.Add(-1)
+	hd.heap.liveBytes.Add(-int64(hd.size))
+	hd.heap.frees.Add(1)
+	if hd.heap.OnFree != nil {
+		hd.heap.OnFree(hd.size)
+	}
+	return true
 }
 
 // Count returns the current reference count.

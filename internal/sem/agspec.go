@@ -110,6 +110,12 @@ func rcBuiltins() map[string]builtinFn {
 			}
 			return types.VoidT, nil
 		},
+		"rcrelease": func(args []*types.Type, c *ast.CallExpr) (*types.Type, errlist) {
+			if len(args) != 1 || args[0].Kind != types.RcPtr {
+				return types.InvalidT, errlist{errf(c, "rcrelease expects a refcounted pointer, got %s", typesStr(args))}
+			}
+			return types.VoidT, nil
+		},
 	}
 }
 

@@ -77,17 +77,22 @@ func MatrixAG(info *Info) *attr.AGSpec {
 			}
 			seen[id] = true
 		}
-		for _, ts := range [][]*types.Type{typsOf(t.Child(0)), typsOf(t.Child(1))} {
-			for _, ty := range ts {
+		for bi, ts := range [][]*types.Type{typsOf(t.Child(0)), typsOf(t.Child(1))} {
+			bounds := [][]ast.Expr{w.Lower, w.Upper}[bi]
+			for i, ty := range ts {
 				if ty.Kind != types.Int && ty.Kind != types.Invalid {
-					errs = append(errs, errf(w, "with-loop bounds must be int, got %s", ty))
+					at := ast.Node(w)
+					if i < len(bounds) {
+						at = bounds[i]
+					}
+					errs = append(errs, errf(at, "with-loop bounds must be int, got %s", ty))
 				}
 			}
 		}
 		// "...which should also match the number of dimensions provided
 		// in the Operation."
 		if ga, ok := w.Op.(*ast.GenArrayOp); ok && len(ga.Shape) != len(w.Ids) {
-			errs = append(errs, errf(w,
+			errs = append(errs, errf(ga,
 				"genarray shape has %d dimension(s) but the generator defines %d index(es)",
 				len(ga.Shape), len(w.Ids)))
 		}
@@ -118,14 +123,18 @@ func MatrixAG(info *Info) *attr.AGSpec {
 	syn("genarrayOp", "ownErrs", func(t *attr.Tree) any {
 		op := t.Value.(*ast.GenArrayOp)
 		var errs errlist
-		for _, ty := range typsOf(t.Child(0)) {
+		for i, ty := range typsOf(t.Child(0)) {
 			if ty.Kind != types.Int && ty.Kind != types.Invalid {
-				errs = append(errs, errf(op, "genarray shape must be int expressions, got %s", ty))
+				at := ast.Node(op)
+				if i < len(op.Shape) {
+					at = op.Shape[i]
+				}
+				errs = append(errs, errf(at, "genarray shape must be int expressions, got %s", ty))
 			}
 		}
 		body := typOf(t.Child(1))
 		if !body.IsScalar() && body.Kind != types.Invalid {
-			errs = append(errs, errf(op, "genarray element expression must be scalar, got %s", body))
+			errs = append(errs, errf(op.Body, "genarray element expression must be scalar, got %s", body))
 		}
 		return errs
 	})
@@ -154,10 +163,10 @@ func MatrixAG(info *Info) *attr.AGSpec {
 		base, body := typOf(t.Child(0)), typOf(t.Child(1))
 		var errs errlist
 		if base.Kind != types.Invalid && !base.IsNumeric() {
-			errs = append(errs, errf(op, "fold base value must be numeric, got %s", base))
+			errs = append(errs, errf(op.Init, "fold base value must be numeric, got %s", base))
 		}
 		if body.Kind != types.Invalid && !body.IsNumeric() {
-			errs = append(errs, errf(op, "fold body must be numeric, got %s", body))
+			errs = append(errs, errf(op.Body, "fold body must be numeric, got %s", body))
 		}
 		return errs
 	})
@@ -173,7 +182,7 @@ func MatrixAG(info *Info) *attr.AGSpec {
 			return types.InvalidT, nil
 		}
 		if arg.Kind != types.Matrix {
-			return types.InvalidT, errlist{errf(m, "matrixMap requires a matrix argument, got %s", arg)}
+			return types.InvalidT, errlist{errf(m.Arg, "matrixMap requires a matrix argument, got %s", arg)}
 		}
 		var dims []int
 		seen := map[int]bool{}
@@ -248,9 +257,13 @@ func MatrixAG(info *Info) *attr.AGSpec {
 			errs = append(errs, errf(e, "init of %s requires %d dimension size(s), got %d",
 				ty, ty.Rank, len(e.Dims)))
 		}
-		for _, dt := range typsOf(t.Child(0)) {
+		for i, dt := range typsOf(t.Child(0)) {
 			if dt.Kind != types.Int && dt.Kind != types.Invalid {
-				errs = append(errs, errf(e, "init dimension sizes must be int, got %s", dt))
+				at := ast.Node(e)
+				if i < len(e.Dims) {
+					at = e.Dims[i]
+				}
+				errs = append(errs, errf(at, "init dimension sizes must be int, got %s", dt))
 			}
 		}
 		return ty, errs

@@ -6,6 +6,7 @@
 //
 //	POST /v1/compile   translate extended-C to parallel C (or AST)
 //	POST /v1/run       execute a program on the parallel interpreter
+//	POST /v1/vet       cmvet static analysis: structured findings
 //	GET  /v1/analyses  the §VI modular analysis report (memoized)
 //	GET  /healthz      liveness probe
 //	GET  /metrics      request counters, cache ratios, stage latencies
@@ -37,6 +38,7 @@ import (
 	"repro/internal/driver"
 	"repro/internal/interp"
 	"repro/internal/matrix"
+	"repro/internal/source"
 )
 
 // Config parameterizes a Server. Zero values select the defaults.
@@ -84,6 +86,7 @@ type Server struct {
 
 	compileReqs  atomic.Int64
 	runReqs      atomic.Int64
+	vetReqs      atomic.Int64
 	analysesReqs atomic.Int64
 	clientErrors atomic.Int64
 	runTimeouts  atomic.Int64
@@ -156,6 +159,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/compile", s.handleCompile)
 	mux.HandleFunc("/v1/run", s.handleRun)
+	mux.HandleFunc("/v1/vet", s.handleVet)
 	mux.HandleFunc("/v1/analyses", s.handleAnalyses)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -252,6 +256,25 @@ type runResponse struct {
 	Diagnostics []string            `json:"diagnostics,omitempty"`
 	Stages      driver.StageTimings `json:"stages"`
 	DurationMS  float64             `json:"duration_ms"`
+}
+
+type vetRequest struct {
+	Name       string `json:"name,omitempty"`
+	Source     string `json:"source"`
+	Extensions string `json:"extensions,omitempty"`
+}
+
+// vetResponse is the /v1/vet document, returned with 200 when the
+// program passes (no error-severity findings) and 422 when it is
+// rejected — the structured findings ride along either way.
+type vetResponse struct {
+	Key         string              `json:"key"`
+	Cached      bool                `json:"cached"`
+	OK          bool                `json:"ok"`
+	Findings    []source.Diagnostic `json:"findings"`
+	Errors      int                 `json:"errors"`
+	Diagnostics []string            `json:"diagnostics,omitempty"`
+	Stages      driver.StageTimings `json:"stages"`
 }
 
 type errorResponse struct {
@@ -495,6 +518,52 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+func (s *Server) handleVet(w http.ResponseWriter, r *http.Request) {
+	s.vetReqs.Add(1)
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req vetRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Source == "" {
+		s.clientError(w, http.StatusBadRequest, errorResponse{Error: `missing "source"`})
+		return
+	}
+	name := req.Name
+	if name == "" {
+		name = "request.xc"
+	}
+	if req.Extensions == "" {
+		req.Extensions = "all"
+	}
+	exts, err := driver.ParseExtensions(req.Extensions)
+	if err != nil {
+		s.clientError(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+
+	res := s.d.Vet(driver.VetRequest{Name: name, Source: req.Source, Exts: exts})
+	resp := vetResponse{
+		Key: res.Key, Cached: res.Cached, OK: res.OK,
+		Findings: res.Findings, Errors: res.Errors,
+		Diagnostics: res.Diagnostics, Stages: res.Stages,
+	}
+	if resp.Findings == nil {
+		resp.Findings = []source.Diagnostic{}
+	}
+	if !res.OK {
+		// Rejected program — frontend errors or error-severity findings.
+		// The structured findings still ride in the body so clients can
+		// show spans and codes.
+		s.clientErrors.Add(1)
+		writeJSON(w, http.StatusUnprocessableEntity, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 func (s *Server) handleAnalyses(w http.ResponseWriter, r *http.Request) {
 	s.analysesReqs.Add(1)
 	if !requireMethod(w, r, http.MethodGet) {
@@ -537,6 +606,7 @@ type metricsSnapshot struct {
 	UptimeSeconds   float64 `json:"uptime_seconds"`
 	CompileRequests int64   `json:"compile_requests"`
 	RunRequests     int64   `json:"run_requests"`
+	VetRequests     int64   `json:"vet_requests"`
 	AnalysisReqs    int64   `json:"analyses_requests"`
 	ClientErrors    int64   `json:"client_errors"`
 	RunTimeouts     int64   `json:"run_timeouts"`
@@ -566,6 +636,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds:   time.Since(s.startedAt).Seconds(),
 		CompileRequests: s.compileReqs.Load(),
 		RunRequests:     s.runReqs.Load(),
+		VetRequests:     s.vetReqs.Load(),
 		AnalysisReqs:    s.analysesReqs.Load(),
 		ClientErrors:    s.clientErrors.Load(),
 		RunTimeouts:     s.runTimeouts.Load(),

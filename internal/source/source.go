@@ -3,6 +3,7 @@
 package source
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -11,9 +12,9 @@ import (
 // Pos is a position in a source file. Line and Col are 1-based;
 // Offset is the 0-based byte offset.
 type Pos struct {
-	Offset int
-	Line   int
-	Col    int
+	Offset int `json:"offset"`
+	Line   int `json:"line"`
+	Col    int `json:"col"`
 }
 
 // String renders the position as "line:col".
@@ -27,9 +28,9 @@ func (p Pos) IsValid() bool { return p.Line > 0 }
 
 // Span is a half-open region [Start, End) of a file.
 type Span struct {
-	File  string
-	Start Pos
-	End   Pos
+	File  string `json:"file,omitempty"`
+	Start Pos    `json:"start"`
+	End   Pos    `json:"end"`
 }
 
 // String renders the span as "file:line:col".
@@ -62,14 +63,52 @@ func (s Severity) String() string {
 	return "unknown"
 }
 
-// Diagnostic is one reported problem.
+// MarshalJSON renders a Severity as its name, so JSON consumers see
+// "error"/"warning"/"note" rather than an enum ordinal.
+func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// UnmarshalJSON accepts the name form produced by MarshalJSON.
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	switch name {
+	case "note":
+		*s = Note
+	case "warning":
+		*s = Warning
+	case "error":
+		*s = Error
+	default:
+		return fmt.Errorf("unknown severity %q", name)
+	}
+	return nil
+}
+
+// Related is a secondary source location attached to a diagnostic —
+// e.g. the release site of a use-after-release report.
+type Related struct {
+	Span    Span   `json:"span"`
+	Message string `json:"message"`
+}
+
+// Diagnostic is one reported problem. Code is an optional stable
+// machine-readable identifier (e.g. "shape-mismatch"); phase-era
+// diagnostics that predate codes leave it empty and render exactly as
+// before.
 type Diagnostic struct {
-	Severity Severity
-	Span     Span
-	Message  string
+	Code     string    `json:"code,omitempty"`
+	Severity Severity  `json:"severity"`
+	Span     Span      `json:"span"`
+	Message  string    `json:"message"`
+	Related  []Related `json:"related,omitempty"`
 }
 
 func (d Diagnostic) String() string {
+	if d.Code != "" {
+		return fmt.Sprintf("%s: %s[%s]: %s", d.Span, d.Severity, d.Code, d.Message)
+	}
 	return fmt.Sprintf("%s: %s: %s", d.Span, d.Severity, d.Message)
 }
 
@@ -80,17 +119,17 @@ type Diagnostics struct {
 
 // Errorf records an error at span.
 func (d *Diagnostics) Errorf(span Span, format string, args ...any) {
-	d.list = append(d.list, Diagnostic{Error, span, fmt.Sprintf(format, args...)})
+	d.list = append(d.list, Diagnostic{Severity: Error, Span: span, Message: fmt.Sprintf(format, args...)})
 }
 
 // Warnf records a warning at span.
 func (d *Diagnostics) Warnf(span Span, format string, args ...any) {
-	d.list = append(d.list, Diagnostic{Warning, span, fmt.Sprintf(format, args...)})
+	d.list = append(d.list, Diagnostic{Severity: Warning, Span: span, Message: fmt.Sprintf(format, args...)})
 }
 
 // Notef records a note at span.
 func (d *Diagnostics) Notef(span Span, format string, args ...any) {
-	d.list = append(d.list, Diagnostic{Note, span, fmt.Sprintf(format, args...)})
+	d.list = append(d.list, Diagnostic{Severity: Note, Span: span, Message: fmt.Sprintf(format, args...)})
 }
 
 // Add appends a prebuilt diagnostic.

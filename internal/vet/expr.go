@@ -1,0 +1,467 @@
+// Expression evaluation for the vet checker: constant folding over
+// int scalars, per-dimension shape inference through the overloaded
+// operators, index checking with 'end' bound to the indexed
+// dimension, and the rc must/may release checks.
+package vet
+
+import (
+	"repro/internal/ast"
+	"repro/internal/source"
+	"repro/internal/types"
+)
+
+func (c *checker) expr(x ast.Expr, e env) exprVal {
+	switch x := x.(type) {
+	case nil:
+		return exprVal{}
+
+	case *ast.IntLit:
+		return exprVal{fact: constFact(x.Value)}
+
+	case *ast.FloatLit, *ast.BoolLit, *ast.StrLit:
+		return exprVal{}
+
+	case *ast.Ident:
+		return c.identRead(x, e)
+
+	case *ast.UnaryExpr:
+		v := c.expr(x.X, e)
+		if x.Op == ast.OpNeg && v.fact.kind == fConst {
+			return exprVal{fact: constFact(-v.fact.c)}
+		}
+		// Elementwise unary ops preserve shape.
+		return exprVal{dims: v.dims}
+
+	case *ast.BinaryExpr:
+		return c.binary(x, e)
+
+	case *ast.CallExpr:
+		return c.call(x, e)
+
+	case *ast.CastExpr:
+		v := c.expr(x.X, e)
+		if x.To == ast.PrimInt && v.fact.kind == fConst {
+			return exprVal{fact: v.fact}
+		}
+		return exprVal{dims: v.dims}
+
+	case *ast.IndexExpr:
+		return c.indexExpr(x, e)
+
+	case *ast.EndExpr:
+		if n := len(c.endDims); n > 0 {
+			if d := c.endDims[n-1]; d.kind == fConst {
+				return exprVal{fact: constFact(d.c - 1)}
+			}
+		}
+		return exprVal{}
+
+	case *ast.RangeExpr:
+		lo := c.expr(x.Lo, e)
+		hi := c.expr(x.Hi, e)
+		if lo.fact.kind == fConst && hi.fact.kind == fConst && hi.fact.c >= lo.fact.c {
+			return exprVal{dims: []fact{constFact(hi.fact.c - lo.fact.c + 1)}}
+		}
+		return exprVal{dims: []fact{{}}}
+
+	case *ast.WithLoop:
+		return c.withLoop(x, e)
+
+	case *ast.MatrixMap:
+		v := c.expr(x.Arg, e)
+		for _, d := range x.Dims {
+			c.expr(d, e)
+		}
+		if x.General {
+			// matrixMapG may resize the mapped dimensions.
+			return exprVal{dims: unknownDims(len(v.dims))}
+		}
+		return exprVal{dims: v.dims}
+
+	case *ast.InitExpr:
+		var dims []fact
+		for _, d := range x.Dims {
+			v := c.expr(d, e)
+			if v.fact.kind == fConst && v.fact.c < 0 {
+				c.report(CodeNegativeDim, source.Error, d, nil,
+					"init dimension size is negative (%d)", v.fact.c)
+			}
+			dims = append(dims, v.fact)
+		}
+		if len(dims) > maxRank {
+			dims = nil
+		}
+		return exprVal{dims: dims}
+
+	case *ast.TupleExpr:
+		for _, el := range x.Elems {
+			c.expr(el, e)
+		}
+		return exprVal{}
+	}
+	return exprVal{}
+}
+
+func (c *checker) identRead(x *ast.Ident, e env) exprVal {
+	st, ok := e[x.Name]
+	if !ok {
+		return exprVal{}
+	}
+	if st.decl != nil {
+		st.decl.used = true
+	}
+	if !st.assigned {
+		if st.decl != nil && !st.decl.ubaReported {
+			st.decl.ubaReported = true
+			var rel []source.Related
+			if sp := st.decl.node.Span(); sp.Start.IsValid() {
+				rel = []source.Related{{Span: sp, Message: "declared here without an initial value"}}
+			}
+			c.report(CodeUseBeforeAssign, source.Warning, x, rel,
+				"%q may be used before it is assigned", x.Name)
+		}
+		st.assigned = true // suppress cascades along this path
+	}
+	return exprVal{
+		fact:   st.fact,
+		dims:   append([]fact(nil), st.dims...),
+		rcMay:  st.rcMay,
+		rcMust: st.rcMust,
+		rcSite: st.rcSite,
+	}
+}
+
+func (c *checker) binary(x *ast.BinaryExpr, e env) exprVal {
+	l := c.expr(x.L, e)
+	r := c.expr(x.R, e)
+	lt, rt := c.info.TypeOf(x.L), c.info.TypeOf(x.R)
+	lm, rm := isMatrixT(lt), isMatrixT(rt)
+
+	switch {
+	case x.Op == ast.OpMul && lm && rm:
+		// Linear-algebra product: lhs columns must equal rhs rows.
+		if len(l.dims) == 2 && len(r.dims) == 2 {
+			if factsConflict(l.dims[1], r.dims[0]) {
+				c.report(CodeShapeMismatch, source.Error, x, nil,
+					"matrix multiplication inner dimensions disagree: lhs has %s columns but rhs has %s rows",
+					factStr(l.dims[1]), factStr(r.dims[0]))
+			}
+			return exprVal{dims: []fact{l.dims[0], r.dims[1]}}
+		}
+		return exprVal{dims: unknownDims(2)}
+
+	case lm && rm:
+		// Elementwise (and comparison) operators require equal shapes.
+		if len(l.dims) == len(r.dims) {
+			out := make([]fact, len(l.dims))
+			for i := range l.dims {
+				if factsConflict(l.dims[i], r.dims[i]) {
+					c.report(CodeShapeMismatch, source.Error, x, nil,
+						"elementwise %s operands disagree in dimension %d: %s vs %s",
+						x.Op, i, factStr(l.dims[i]), factStr(r.dims[i]))
+				}
+				out[i] = mergeFact(l.dims[i], r.dims[i])
+			}
+			return exprVal{dims: out}
+		}
+		return exprVal{}
+
+	case lm:
+		// Matrix–scalar broadcasting preserves the matrix shape.
+		return exprVal{dims: l.dims}
+
+	case rm:
+		return exprVal{dims: r.dims}
+	}
+
+	// Scalar constant folding over int operands.
+	if l.fact.kind == fConst && r.fact.kind == fConst {
+		if t := c.info.TypeOf(x); t != nil && t.Kind == types.Int {
+			a, b := l.fact.c, r.fact.c
+			switch x.Op {
+			case ast.OpAdd:
+				return exprVal{fact: constFact(a + b)}
+			case ast.OpSub:
+				return exprVal{fact: constFact(a - b)}
+			case ast.OpMul:
+				return exprVal{fact: constFact(a * b)}
+			case ast.OpDiv:
+				if b != 0 {
+					return exprVal{fact: constFact(a / b)}
+				}
+			case ast.OpMod:
+				if b != 0 {
+					return exprVal{fact: constFact(a % b)}
+				}
+			}
+		}
+	}
+	return exprVal{}
+}
+
+func (c *checker) call(x *ast.CallExpr, e env) exprVal {
+	switch x.Fun {
+	case "dimSize":
+		if len(x.Args) != 2 {
+			break
+		}
+		m := c.expr(x.Args[0], e)
+		d := c.expr(x.Args[1], e)
+		mt := c.info.TypeOf(x.Args[0])
+		if d.fact.kind == fConst && isMatrixT(mt) {
+			if d.fact.c < 0 || d.fact.c >= int64(mt.Rank) {
+				c.report(CodeIndexOutOfRange, source.Error, x.Args[1], nil,
+					"dimSize dimension %d out of range for a rank-%d matrix", d.fact.c, mt.Rank)
+			} else if int(d.fact.c) < len(m.dims) {
+				return exprVal{fact: m.dims[d.fact.c]}
+			}
+		}
+		return exprVal{}
+
+	case "rcget", "rcset", "rcrelease":
+		return c.rcCall(x, e)
+	}
+
+	for _, a := range x.Args {
+		c.expr(a, e)
+	}
+	if sig, ok := c.info.Funcs[x.Fun]; ok {
+		// A user call may mutate any global through the callee.
+		c.havocGlobals(e)
+		if sig != nil && sig.Type != nil && isMatrixT(sig.Type.Ret) {
+			return exprVal{dims: c.freshDims(sig.Type.Ret.Rank)}
+		}
+	}
+	return exprVal{}
+}
+
+func (c *checker) rcCall(x *ast.CallExpr, e env) exprVal {
+	if len(x.Args) == 0 {
+		return exprVal{}
+	}
+	p := c.expr(x.Args[0], e)
+	for _, a := range x.Args[1:] {
+		c.expr(a, e)
+	}
+	if x.Fun == "rcrelease" {
+		if p.rcMust {
+			c.report(CodeRCDoubleRelease, source.Error, x, releasedHere(p.rcSite),
+				"refcounted pointer is released twice")
+		} else if p.rcMay {
+			c.report(CodeRCDoubleRelease, source.Warning, x, releasedHere(p.rcSite),
+				"refcounted pointer may already be released on some path")
+		}
+		if id, ok := x.Args[0].(*ast.Ident); ok {
+			if st, ok := e[id.Name]; ok {
+				st.rcMay, st.rcMust, st.rcSite = true, true, x.Span()
+			}
+		}
+		return exprVal{}
+	}
+	if p.rcMust {
+		c.report(CodeRCUseAfterRelease, source.Error, x, releasedHere(p.rcSite),
+			"%s of a released refcounted pointer", x.Fun)
+	} else if p.rcMay {
+		c.report(CodeRCUseAfterRelease, source.Warning, x, releasedHere(p.rcSite),
+			"%s of a refcounted pointer that may be released on some path", x.Fun)
+	}
+	return exprVal{}
+}
+
+func (c *checker) havocGlobals(e env) {
+	for _, g := range c.globals {
+		st, ok := e[g.name]
+		if !ok || !st.global {
+			continue
+		}
+		st.fact = fact{}
+		if isMatrixT(st.ty) {
+			st.dims = c.freshDims(st.ty.Rank)
+		}
+	}
+}
+
+// --- indexing ---
+
+func (c *checker) indexExpr(x *ast.IndexExpr, e env) exprVal {
+	base := c.expr(x.X, e)
+	bt := c.info.TypeOf(x.X)
+	if !isMatrixT(bt) || len(x.Args) != bt.Rank {
+		// Wrong arity or non-matrix base: sem reports it; still walk
+		// the index expressions for liveness with 'end' unknown.
+		for _, a := range x.Args {
+			c.idxArg(a, fact{}, e)
+		}
+		return exprVal{}
+	}
+	dims := base.dims
+	if len(dims) != bt.Rank {
+		dims = unknownDims(bt.Rank)
+	}
+	var kept []fact
+	for i, a := range x.Args {
+		k, keep := c.idxArg(a, dims[i], e)
+		if keep {
+			kept = append(kept, k)
+		}
+	}
+	return exprVal{dims: kept}
+}
+
+// idxArg analyzes one index argument against the size fact of the
+// dimension it indexes. It returns the selected extent along this
+// dimension and whether the argument keeps the dimension in the
+// result (ranges, ':' and masks do; scalars consume it).
+func (c *checker) idxArg(a ast.IndexArg, dim fact, e env) (fact, bool) {
+	switch a := a.(type) {
+	case *ast.IdxAll:
+		return dim, true
+
+	case *ast.IdxScalar:
+		at := c.info.TypeOf(a.X)
+		if isMatrixT(at) && at.Elem != nil && at.Elem.Kind == types.Bool {
+			// Logical mask: its length must match the dimension.
+			mv := c.evalIndexArgExpr(a.X, dim, e)
+			if len(mv.dims) == 1 && factsConflict(mv.dims[0], dim) {
+				c.report(CodeShapeMismatch, source.Error, a, nil,
+					"logical index mask has length %s but the dimension has size %s",
+					factStr(mv.dims[0]), factStr(dim))
+			}
+			// Mask selection count is unknown at compile time.
+			return fact{}, true
+		}
+		v := c.evalIndexArgExpr(a.X, dim, e)
+		if v.fact.kind == fConst {
+			if v.fact.c < 0 {
+				c.report(CodeIndexOutOfRange, source.Error, a, nil,
+					"index %d is negative", v.fact.c)
+			} else if dim.kind == fConst && v.fact.c >= dim.c {
+				c.report(CodeIndexOutOfRange, source.Error, a, nil,
+					"index %d out of range for a dimension of size %d", v.fact.c, dim.c)
+			}
+		}
+		return fact{}, false
+
+	case *ast.IdxRange:
+		lo := c.evalIndexArgExpr(a.Lo, dim, e)
+		hi := c.evalIndexArgExpr(a.Hi, dim, e)
+		if lo.fact.kind == fConst && lo.fact.c < 0 {
+			c.report(CodeIndexOutOfRange, source.Error, a, nil,
+				"range start %d is negative", lo.fact.c)
+		}
+		if hi.fact.kind == fConst && dim.kind == fConst && hi.fact.c >= dim.c {
+			c.report(CodeIndexOutOfRange, source.Error, a, nil,
+				"range end %d out of range for a dimension of size %d (ranges are inclusive)", hi.fact.c, dim.c)
+		}
+		if lo.fact.kind == fConst && hi.fact.kind == fConst {
+			if lo.fact.c > hi.fact.c {
+				c.report(CodeIndexOutOfRange, source.Error, a, nil,
+					"range %d:%d is reversed (inclusive ranges require start <= end)", lo.fact.c, hi.fact.c)
+				return fact{}, true
+			}
+			return constFact(hi.fact.c - lo.fact.c + 1), true
+		}
+		return fact{}, true
+	}
+	return fact{}, true
+}
+
+// evalIndexArgExpr evaluates an index-argument expression with 'end'
+// bound to the indexed dimension's size fact.
+func (c *checker) evalIndexArgExpr(x ast.Expr, dim fact, e env) exprVal {
+	c.endDims = append(c.endDims, dim)
+	v := c.expr(x, e)
+	c.endDims = c.endDims[:len(c.endDims)-1]
+	return v
+}
+
+// --- with-loops ---
+
+func (c *checker) withLoop(w *ast.WithLoop, e env) exprVal {
+	lower := make([]exprVal, len(w.Lower))
+	for i, b := range w.Lower {
+		lower[i] = c.expr(b, e)
+	}
+	upper := make([]exprVal, len(w.Upper))
+	for i, b := range w.Upper {
+		upper[i] = c.expr(b, e)
+	}
+
+	type saved struct {
+		name string
+		prev *vstate
+		had  bool
+	}
+	var scope []saved
+	for _, id := range w.Ids {
+		prev, had := e[id]
+		scope = append(scope, saved{id, prev, had})
+		e[id] = &vstate{ty: types.IntT, assigned: true}
+	}
+
+	var out exprVal
+	switch op := w.Op.(type) {
+	case *ast.GenArrayOp:
+		shape := make([]fact, 0, len(op.Shape))
+		for _, sx := range op.Shape {
+			v := c.expr(sx, e)
+			if v.fact.kind == fConst && v.fact.c < 0 {
+				c.report(CodeNegativeDim, source.Error, sx, nil,
+					"genarray dimension size is negative (%d)", v.fact.c)
+			}
+			shape = append(shape, v.fact)
+		}
+		c.genBounds(w, lower, upper, shape)
+		c.expr(op.Body, e)
+		if len(shape) > maxRank {
+			shape = nil
+		}
+		out = exprVal{dims: shape}
+	case *ast.FoldOp:
+		c.expr(op.Init, e)
+		c.expr(op.Body, e)
+		out = exprVal{} // folds reduce to a scalar
+	}
+
+	for i := len(scope) - 1; i >= 0; i-- {
+		sv := scope[i]
+		if sv.had {
+			e[sv.name] = sv.prev
+		} else {
+			delete(e, sv.name)
+		}
+	}
+	return out
+}
+
+// genBounds checks a genarray generator region against the declared
+// shape: constant upper bounds must not generate indices past the
+// extent (bounds are exclusive, so upper > extent means index
+// upper-1 lands out of range) and constant lower bounds must not be
+// negative — unless the region is provably empty and generates
+// nothing at all.
+func (c *checker) genBounds(w *ast.WithLoop, lower, upper []exprVal, shape []fact) {
+	for i := range upper {
+		if i < len(lower) &&
+			lower[i].fact.kind == fConst && upper[i].fact.kind == fConst &&
+			upper[i].fact.c <= lower[i].fact.c {
+			return // empty region: no indices are generated
+		}
+	}
+	for i := range upper {
+		if i >= len(shape) {
+			break
+		}
+		if u := upper[i].fact; u.kind == fConst && shape[i].kind == fConst && u.c > shape[i].c {
+			c.report(CodeGenarrayBounds, source.Error, w.Upper[i], nil,
+				"generator upper bound %d exceeds genarray dimension size %d (indices reach %d)",
+				u.c, shape[i].c, u.c-1)
+		}
+		if i < len(lower) {
+			if lo := lower[i].fact; lo.kind == fConst && lo.c < 0 {
+				c.report(CodeGenarrayBounds, source.Error, w.Lower[i], nil,
+					"generator lower bound %d is negative", lo.c)
+			}
+		}
+	}
+}

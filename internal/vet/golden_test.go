@@ -1,0 +1,94 @@
+package vet_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/driver"
+	"repro/internal/parser"
+	"repro/internal/vet"
+)
+
+var update = flag.Bool("update", false, "rewrite the vet golden .json files")
+
+// TestGolden runs the full driver vet pipeline over every program in
+// testdata/vet_golden and compares the JSON report byte-for-byte with
+// the committed sibling .json file. Regenerate with:
+//
+//	go test ./internal/vet -run TestGolden -update
+func TestGolden(t *testing.T) {
+	dir := filepath.Join("..", "..", "testdata", "vet_golden")
+	files, err := filepath.Glob(filepath.Join(dir, "*.cm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no golden programs in %s", dir)
+	}
+
+	d := driver.New()
+	seen := map[string]bool{}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Use the base name so spans in the committed goldens are
+			// independent of where the repo is checked out.
+			res := d.Vet(driver.VetRequest{
+				Name:   filepath.Base(file),
+				Source: string(src),
+				Exts:   parser.AllExtensions(),
+			})
+			for _, f := range res.Findings {
+				seen[f.Code] = true
+			}
+			report := vet.NewFileReport(filepath.Base(file), res.OK, res.Diagnostics, res.Findings)
+			got, err := report.RenderJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			goldenPath := file[:len(file)-len(".cm")] + ".json"
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("report drifted from %s\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+			}
+		})
+	}
+
+	// The acceptance bar: the golden corpus exercises at least ten
+	// distinct diagnostic codes spanning all three analysis families.
+	if *update {
+		return
+	}
+	if len(seen) < 10 {
+		t.Errorf("golden corpus covers %d distinct codes, want >= 10: %v", len(seen), seen)
+	}
+	for _, family := range [][]string{
+		{vet.CodeShapeMismatch, vet.CodeIndexOutOfRange, vet.CodeNegativeDim, vet.CodeGenarrayBounds},
+		{vet.CodeRCUseAfterRelease, vet.CodeRCDoubleRelease, vet.CodeRCLeak},
+		{vet.CodeUnusedVar, vet.CodeUseBeforeAssign, vet.CodeUnreachable, vet.CodeMissingReturn},
+	} {
+		any := false
+		for _, code := range family {
+			any = any || seen[code]
+		}
+		if !any {
+			t.Errorf("golden corpus misses the whole family %v", family)
+		}
+	}
+}

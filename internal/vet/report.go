@@ -1,0 +1,66 @@
+// Report rendering shared by the cmvet CLI, the driver stage and the
+// golden tests: one FileReport per vetted file, rendered as stable
+// JSON or as compiler-style text lines.
+package vet
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/source"
+)
+
+// FileReport is the result of vetting one file. OK is false when the
+// frontend rejected the program (Diagnostics holds its errors) or when
+// vet produced error-severity findings.
+type FileReport struct {
+	File        string              `json:"file"`
+	OK          bool                `json:"ok"`
+	Diagnostics []string            `json:"diagnostics,omitempty"`
+	Findings    []source.Diagnostic `json:"findings"`
+	Errors      int                 `json:"errors"`
+}
+
+// NewFileReport assembles a report from a frontend outcome and vet
+// findings.
+func NewFileReport(file string, frontOK bool, frontDiags []string, findings []source.Diagnostic) *FileReport {
+	r := &FileReport{
+		File:        file,
+		Diagnostics: frontDiags,
+		Findings:    findings,
+		Errors:      ErrorCount(findings),
+	}
+	r.OK = frontOK && r.Errors == 0
+	if r.Findings == nil {
+		r.Findings = []source.Diagnostic{}
+	}
+	return r
+}
+
+// RenderJSON renders the report as indented JSON with a trailing
+// newline. The encoding is pinned by the golden tests.
+func (r *FileReport) RenderJSON() (string, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(b) + "\n", nil
+}
+
+// RenderText renders the report as compiler-style diagnostic lines.
+func (r *FileReport) RenderText() string {
+	var b strings.Builder
+	for _, d := range r.Diagnostics {
+		b.WriteString(d)
+		b.WriteByte('\n')
+	}
+	for _, f := range r.Findings {
+		b.WriteString(f.String())
+		b.WriteByte('\n')
+		for _, rel := range f.Related {
+			fmt.Fprintf(&b, "\t%s: note: %s\n", rel.Span, rel.Message)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,127 @@
+// Package vet implements cmvet: compile-time static analysis over the
+// checked AST, run as an optional cached driver stage between check
+// and emit. It turns a class of runtime traps into span-accurate
+// compile-time diagnostics:
+//
+//   - matrix shape inference — a lattice of per-dimension facts
+//     (unknown / known constant / symbolic-equal-to) propagated through
+//     declarations, assignments, genarray/fold, indexing (scalar,
+//     range, 'end', whole-dim) and the overloaded operators, flagging
+//     provably-mismatched matmul/elementwise operands and out-of-range
+//     constant indices that would otherwise only fail at run time;
+//   - RC misuse detection — a forward must/may analysis over the
+//     reference-counting extension's rcnew/rcget/rcset/rcrelease
+//     calls reporting use-after-release, double-release and
+//     inconsistently-released (leaked) pointers, mirroring the dynamic
+//     rc.Violation checks;
+//   - liveness lints — unused variables, definite assignment,
+//     unreachable statements and missing returns.
+//
+// The analysis is a branch-joining abstract interpretation over the
+// structured AST: if/else joins per-variable facts, loops widen every
+// variable the body can assign (and mark every pointer it can release)
+// before a single body pass, so the pass is linear in program size and
+// never diverges. Findings are source.Diagnostics carrying a stable
+// Code; errors are reserved for programs the analysis can prove will
+// trap, warnings for suspicious-but-runnable code.
+package vet
+
+import (
+	"sort"
+
+	"repro/internal/ast"
+	"repro/internal/sem"
+	"repro/internal/source"
+)
+
+// Diagnostic codes. Stable API: the server, the golden tests and the
+// README's code table all key off these strings.
+const (
+	// CodeShapeMismatch: two matrix operands have provably incompatible
+	// shapes (matmul inner dimensions, elementwise operand shapes,
+	// logical-mask length, slice-store extents).
+	CodeShapeMismatch = "shape-mismatch"
+	// CodeIndexOutOfRange: a constant scalar index, range endpoint or
+	// dimSize dimension falls outside the (constant) valid range.
+	CodeIndexOutOfRange = "index-out-of-range"
+	// CodeNegativeDim: a constant negative dimension size in init() or
+	// genarray().
+	CodeNegativeDim = "negative-dim"
+	// CodeGenarrayBounds: a with-loop generator provably produces
+	// indices outside the genarray shape.
+	CodeGenarrayBounds = "genarray-bounds"
+	// CodeRCUseAfterRelease: rcget/rcset on a pointer that was (or may
+	// have been) explicitly released.
+	CodeRCUseAfterRelease = "rc-use-after-release"
+	// CodeRCDoubleRelease: rcrelease on a pointer that was (or may have
+	// been) already released.
+	CodeRCDoubleRelease = "rc-double-release"
+	// CodeRCLeak: a pointer released on some paths through its scope
+	// but not on all of them.
+	CodeRCLeak = "rc-leak"
+	// CodeUnusedVar: a variable declared but never read.
+	CodeUnusedVar = "unused-var"
+	// CodeUseBeforeAssign: a variable read on a path where it was never
+	// assigned.
+	CodeUseBeforeAssign = "use-before-assign"
+	// CodeUnreachable: statements that no execution path reaches.
+	CodeUnreachable = "unreachable-code"
+	// CodeMissingReturn: a non-void function whose body can fall off
+	// the end.
+	CodeMissingReturn = "missing-return"
+)
+
+// TrapFor maps a vet diagnostic code to the runtime trap code
+// (internal/interp.TrapCode) the same defect raises when it is not
+// caught statically. Codes that surface as ordinary runtime errors
+// (not trap-classed) or have no runtime counterpart map to "".
+var TrapFor = map[string]string{
+	CodeShapeMismatch:     "shape",
+	CodeNegativeDim:       "shape",
+	CodeGenarrayBounds:    "shape",
+	CodeIndexOutOfRange:   "",
+	CodeRCUseAfterRelease: "rc",
+	CodeRCDoubleRelease:   "rc",
+	CodeRCLeak:            "",
+	CodeUnusedVar:         "",
+	CodeUseBeforeAssign:   "",
+	CodeUnreachable:       "",
+	CodeMissingReturn:     "",
+}
+
+// Check runs all vet analyses over a checked program and returns the
+// findings sorted by position. It is safe to call on a program whose
+// semantic check reported errors (the fuzzer does); findings on such
+// programs are best-effort.
+func Check(prog *ast.Program, info *sem.Info) []source.Diagnostic {
+	if prog == nil || info == nil {
+		return nil
+	}
+	c := &checker{info: info}
+	c.program(prog)
+	sort.SliceStable(c.diags, func(i, j int) bool {
+		a, b := c.diags[i], c.diags[j]
+		if a.Span.File != b.Span.File {
+			return a.Span.File < b.Span.File
+		}
+		if a.Span.Start.Offset != b.Span.Start.Offset {
+			return a.Span.Start.Offset < b.Span.Start.Offset
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		return a.Message < b.Message
+	})
+	return c.diags
+}
+
+// ErrorCount returns the number of error-severity findings.
+func ErrorCount(findings []source.Diagnostic) int {
+	n := 0
+	for _, f := range findings {
+		if f.Severity == source.Error {
+			n++
+		}
+	}
+	return n
+}

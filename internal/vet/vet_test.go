@@ -1,0 +1,530 @@
+package vet
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/parser"
+	"repro/internal/sem"
+	"repro/internal/source"
+)
+
+// vetSrc parses + checks src with all extensions and runs the vet
+// analyses. Semantic errors fail the test unless allowSemErrors.
+func vetSrc(t *testing.T, src string) []source.Diagnostic {
+	t.Helper()
+	var diags source.Diagnostics
+	prog := parser.ParseFile("test.xc", src, parser.AllExtensions(), &diags)
+	if prog == nil {
+		t.Fatalf("parse failed: %v", diags.All())
+	}
+	info := sem.Check(prog, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("unexpected sem errors: %v", diags.All())
+	}
+	return Check(prog, info)
+}
+
+// codes extracts the finding codes in order.
+func codes(findings []source.Diagnostic) []string {
+	out := make([]string, len(findings))
+	for i, f := range findings {
+		out[i] = f.Code
+	}
+	return out
+}
+
+// wantCodes asserts the exact sequence of finding codes.
+func wantCodes(t *testing.T, findings []source.Diagnostic, want ...string) {
+	t.Helper()
+	got := codes(findings)
+	if len(got) != len(want) {
+		t.Fatalf("got %d findings %v, want %v\nfindings: %v", len(got), got, want, findings)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("finding %d: got code %q, want %q\nfindings: %v", i, got[i], want[i], findings)
+		}
+	}
+}
+
+func TestMatmulInnerDimMismatch(t *testing.T) {
+	findings := vetSrc(t, `
+int main() {
+    Matrix float <2> a = init(Matrix float <2>, 3, 4);
+    Matrix float <2> b = init(Matrix float <2>, 5, 6);
+    Matrix float <2> c = a * b;
+    print(c);
+    return 0;
+}`)
+	wantCodes(t, findings, CodeShapeMismatch)
+	f := findings[0]
+	if f.Severity != source.Error {
+		t.Errorf("severity = %v, want error", f.Severity)
+	}
+	if !strings.Contains(f.Message, "4 columns") || !strings.Contains(f.Message, "5 rows") {
+		t.Errorf("message %q should name both inner dimensions", f.Message)
+	}
+	if f.Span.Start.Line != 5 {
+		t.Errorf("span %v, want line 5 (the a * b expression)", f.Span)
+	}
+}
+
+func TestMatmulCompatibleDimsClean(t *testing.T) {
+	findings := vetSrc(t, `
+int main() {
+    Matrix float <2> a = init(Matrix float <2>, 3, 4);
+    Matrix float <2> b = init(Matrix float <2>, 4, 6);
+    Matrix float <2> c = a * b;
+    print(c);
+    return 0;
+}`)
+	wantCodes(t, findings)
+}
+
+func TestElementwiseMismatchAndResultShape(t *testing.T) {
+	// The first mismatch is reported; the result of a correct
+	// elementwise op keeps the shape, so the chained second op is
+	// checked against the propagated extents.
+	findings := vetSrc(t, `
+int main() {
+    Matrix float <1> a = init(Matrix float <1>, 4);
+    Matrix float <1> b = init(Matrix float <1>, 4);
+    Matrix float <1> c = init(Matrix float <1>, 7);
+    Matrix float <1> d = (a + b) .* c;
+    print(d);
+    return 0;
+}`)
+	wantCodes(t, findings, CodeShapeMismatch)
+	if !strings.Contains(findings[0].Message, "4 vs 7") {
+		t.Errorf("message %q should carry the propagated extents 4 vs 7", findings[0].Message)
+	}
+}
+
+func TestShapeThroughDimSizeSymbols(t *testing.T) {
+	// dimSize introduces a symbolic fact: rows of m are unknown but
+	// self-equal, so building two matrices from the same dimSize and
+	// adding them must not warn.
+	findings := vetSrc(t, `
+Matrix float <2> m;
+int main() {
+    m = init(Matrix float <2>, 8, 9);
+    int n = dimSize(m, 0);
+    Matrix float <1> a = with ([0] <= [i] < [n]) genarray([n], 1.0);
+    Matrix float <1> b = with ([0] <= [i] < [n]) genarray([n], 2.0);
+    print(a + b);
+    return 0;
+}`)
+	wantCodes(t, findings)
+}
+
+func TestConstIndexOutOfRange(t *testing.T) {
+	findings := vetSrc(t, `
+int main() {
+    Matrix float <2> a = init(Matrix float <2>, 3, 4);
+    print(a[2, 4]);
+    return 0;
+}`)
+	wantCodes(t, findings, CodeIndexOutOfRange)
+	if findings[0].Span.Start.Line != 4 {
+		t.Errorf("span %v, want line 4", findings[0].Span)
+	}
+}
+
+func TestEndResolvesToLastIndex(t *testing.T) {
+	findings := vetSrc(t, `
+int main() {
+    Matrix float <1> a = init(Matrix float <1>, 4);
+    print(a[end]);
+    print(a[1:end]);
+    print(a[end + 1]);
+    return 0;
+}`)
+	// a[end] and a[1:end] are fine; a[end + 1] is index 4 of a size-4
+	// dimension.
+	wantCodes(t, findings, CodeIndexOutOfRange)
+	if findings[0].Span.Start.Line != 6 {
+		t.Errorf("span %v, want line 6", findings[0].Span)
+	}
+}
+
+func TestRangeChecks(t *testing.T) {
+	findings := vetSrc(t, `
+int main() {
+    Matrix float <1> a = init(Matrix float <1>, 10);
+    Matrix float <1> b = a[2:5];
+    Matrix float <1> c = init(Matrix float <1>, 4);
+    print(b + c);
+    print(a[5:2]);
+    return 0;
+}`)
+	// b has inferred length 4 (inclusive range), so b + c is clean;
+	// a[5:2] is a reversed range.
+	wantCodes(t, findings, CodeIndexOutOfRange)
+	if !strings.Contains(findings[0].Message, "reversed") {
+		t.Errorf("message %q should flag the reversed range", findings[0].Message)
+	}
+}
+
+func TestSliceStoreExtentMismatch(t *testing.T) {
+	findings := vetSrc(t, `
+int main() {
+    Matrix int <1> a = init(Matrix int <1>, 10);
+    a[0:4] = [0 :: 9];
+    print(a);
+    return 0;
+}`)
+	wantCodes(t, findings, CodeShapeMismatch)
+	if !strings.Contains(findings[0].Message, "length 10") || !strings.Contains(findings[0].Message, "length 5") {
+		t.Errorf("message %q should carry both extents", findings[0].Message)
+	}
+}
+
+func TestGenarrayBoundsAndNegativeDim(t *testing.T) {
+	findings := vetSrc(t, `
+int main() {
+    Matrix float <1> a = with ([0] <= [i] < [10]) genarray([5], 1.0);
+    int n = 2 - 6;
+    Matrix float <1> b = init(Matrix float <1>, n);
+    print(a);
+    print(b);
+    return 0;
+}`)
+	wantCodes(t, findings, CodeGenarrayBounds, CodeNegativeDim)
+}
+
+func TestGenarrayEmptyRegionClean(t *testing.T) {
+	// Upper <= lower generates nothing, so the out-of-shape bound can
+	// never produce an index.
+	findings := vetSrc(t, `
+int main() {
+    Matrix float <1> a = with ([3] <= [i] < [3]) genarray([2], 1.0);
+    print(a);
+    return 0;
+}`)
+	wantCodes(t, findings)
+}
+
+func TestRCUseAfterReleaseAndDoubleRelease(t *testing.T) {
+	findings := vetSrc(t, `
+int main() {
+    refcounted float * p = rcnew(1.0);
+    rcrelease(p);
+    rcset(p, 2.0);
+    rcrelease(p);
+    return 0;
+}`)
+	wantCodes(t, findings, CodeRCUseAfterRelease, CodeRCDoubleRelease)
+	for _, f := range findings {
+		if f.Severity != source.Error {
+			t.Errorf("%s severity = %v, want error (release is definite)", f.Code, f.Severity)
+		}
+		if len(f.Related) != 1 || !strings.Contains(f.Related[0].Message, "released here") {
+			t.Errorf("%s should carry a released-here note, got %v", f.Code, f.Related)
+		}
+	}
+}
+
+func TestRCMayReleaseIsWarning(t *testing.T) {
+	findings := vetSrc(t, `
+int main() {
+    refcounted float * p = rcnew(1.0);
+    int c = 1;
+    if (c > 0) {
+        rcrelease(p);
+    }
+    print(rcget(p));
+    rcrelease(p);
+    return 0;
+}`)
+	// rcget after a conditional release: may-released, warning. The
+	// final rcrelease may double-release: warning. No leak (released on
+	// all paths by the end).
+	wantCodes(t, findings, CodeRCUseAfterRelease, CodeRCDoubleRelease)
+	for _, f := range findings {
+		if f.Severity != source.Warning {
+			t.Errorf("%s severity = %v, want warning (release is conditional)", f.Code, f.Severity)
+		}
+	}
+}
+
+func TestRCLeakOnSomePaths(t *testing.T) {
+	findings := vetSrc(t, `
+int f(int c) {
+    refcounted float * p = rcnew(1.0);
+    if (c > 0) {
+        rcrelease(p);
+        return 1;
+    }
+    return 0;
+}
+int main() {
+    return f(1);
+}`)
+	wantCodes(t, findings, CodeRCLeak)
+	if findings[0].Severity != source.Warning {
+		t.Errorf("severity = %v, want warning", findings[0].Severity)
+	}
+}
+
+func TestRCReleasedOnAllPathsClean(t *testing.T) {
+	findings := vetSrc(t, `
+int f(int c) {
+    refcounted float * p = rcnew(1.0);
+    if (c > 0) {
+        rcrelease(p);
+        return 1;
+    }
+    rcrelease(p);
+    return 0;
+}
+int main() {
+    return f(1);
+}`)
+	wantCodes(t, findings)
+}
+
+func TestRCNeverReleasedClean(t *testing.T) {
+	// Automatic reference counting reclaims unreleased cells; only
+	// inconsistent explicit release is a smell.
+	findings := vetSrc(t, `
+int main() {
+    refcounted float * p = rcnew(1.0);
+    print(rcget(p));
+    return 0;
+}`)
+	wantCodes(t, findings)
+}
+
+func TestRCReleaseInLoopWidensToMay(t *testing.T) {
+	findings := vetSrc(t, `
+int main() {
+    refcounted float * p = rcnew(1.0);
+    int i = 0;
+    while (i < 3) {
+        rcrelease(p);
+        i = i + 1;
+    }
+    return 0;
+}`)
+	// Inside the loop body iteration N>=2 re-releases: may-released →
+	// double-release warning at the loop's rcrelease; at scope end p is
+	// may-but-not-must released → leak warning.
+	wantCodes(t, findings, CodeRCLeak, CodeRCDoubleRelease)
+	for _, f := range findings {
+		if f.Severity != source.Warning {
+			t.Errorf("%s severity = %v, want warning", f.Code, f.Severity)
+		}
+	}
+}
+
+func TestUseBeforeAssignAndJoin(t *testing.T) {
+	findings := vetSrc(t, `
+int main() {
+    int x;
+    int c = 1;
+    if (c > 0) {
+        x = 1;
+    }
+    print(x);
+    return 0;
+}`)
+	// Assigned on one branch only: still may-unassigned after the join.
+	wantCodes(t, findings, CodeUseBeforeAssign)
+}
+
+func TestAssignedOnBothBranchesClean(t *testing.T) {
+	findings := vetSrc(t, `
+int main() {
+    int x;
+    int c = 1;
+    if (c > 0) {
+        x = 1;
+    } else {
+        x = 2;
+    }
+    print(x);
+    return 0;
+}`)
+	wantCodes(t, findings)
+}
+
+func TestUnusedVarSkipsParams(t *testing.T) {
+	findings := vetSrc(t, `
+int f(int unusedParam) {
+    return 1;
+}
+int main() {
+    int dead = 3;
+    return f(2);
+}`)
+	wantCodes(t, findings, CodeUnusedVar)
+	if !strings.Contains(findings[0].Message, "dead") {
+		t.Errorf("message %q should name the local, not the parameter", findings[0].Message)
+	}
+}
+
+func TestUnreachableAfterReturnAndBreak(t *testing.T) {
+	findings := vetSrc(t, `
+int main() {
+    int i = 0;
+    while (i < 3) {
+        break;
+        i = i + 1;
+    }
+    return 0;
+    print(i);
+}`)
+	wantCodes(t, findings, CodeUnreachable, CodeUnreachable)
+}
+
+func TestMissingReturn(t *testing.T) {
+	findings := vetSrc(t, `
+int f(int c) {
+    if (c > 0) {
+        return 1;
+    }
+}
+int main() {
+    return f(0);
+}`)
+	wantCodes(t, findings, CodeMissingReturn)
+}
+
+func TestVoidAndInfiniteLoopNoMissingReturn(t *testing.T) {
+	findings := vetSrc(t, `
+void log(int x) {
+    print(x);
+}
+int spin() {
+    while (true) {
+        print(1);
+    }
+}
+int main() {
+    log(3);
+    return 0;
+}`)
+	wantCodes(t, findings)
+}
+
+func TestLoopWideningKillsStaleConstants(t *testing.T) {
+	// n is reassigned in the loop, so its constant fact must not
+	// survive into the index check after the loop.
+	findings := vetSrc(t, `
+int main() {
+    Matrix float <1> a = init(Matrix float <1>, 4);
+	int n = 2;
+    int i = 0;
+    while (i < 3) {
+        n = n + 10;
+        i = i + 1;
+    }
+    print(a[n]);
+    return 0;
+}`)
+	wantCodes(t, findings)
+}
+
+func TestCallHavocsGlobals(t *testing.T) {
+	// grow() reassigns the global, so the post-call index check must
+	// not use the stale constant extent.
+	findings := vetSrc(t, `
+Matrix float <1> g;
+void grow() {
+    g = init(Matrix float <1>, 100);
+}
+int main() {
+    g = init(Matrix float <1>, 2);
+    grow();
+    print(g[50]);
+    return 0;
+}`)
+	wantCodes(t, findings)
+}
+
+func TestLogicalMaskLengthMismatch(t *testing.T) {
+	findings := vetSrc(t, `
+int main() {
+    Matrix float <1> a = init(Matrix float <1>, 4);
+    Matrix float <1> b = init(Matrix float <1>, 7);
+    Matrix bool <1> mask = b > 1.0;
+    print(a[mask]);
+    return 0;
+}`)
+	wantCodes(t, findings, CodeShapeMismatch)
+	if !strings.Contains(findings[0].Message, "mask") {
+		t.Errorf("message %q should mention the mask", findings[0].Message)
+	}
+}
+
+func TestDimSizeConstDimOutOfRange(t *testing.T) {
+	findings := vetSrc(t, `
+int main() {
+    Matrix float <2> a = init(Matrix float <2>, 3, 4);
+    print(dimSize(a, 2));
+    return 0;
+}`)
+	wantCodes(t, findings, CodeIndexOutOfRange)
+}
+
+func TestFindingsAreSortedAndDeterministic(t *testing.T) {
+	src := `
+int main() {
+    int dead = 1;
+    Matrix float <1> a = init(Matrix float <1>, 2);
+    print(a[5]);
+    refcounted float * p = rcnew(1.0);
+    rcrelease(p);
+    rcrelease(p);
+    return 0;
+}`
+	first := vetSrc(t, src)
+	for i := 0; i < 10; i++ {
+		again := vetSrc(t, src)
+		if len(again) != len(first) {
+			t.Fatalf("run %d: %d findings, want %d", i, len(again), len(first))
+		}
+		for j := range first {
+			if again[j].String() != first[j].String() {
+				t.Fatalf("run %d finding %d: %q != %q", i, j, again[j], first[j])
+			}
+		}
+	}
+	for i := 1; i < len(first); i++ {
+		if first[i].Span.Start.Offset < first[i-1].Span.Start.Offset {
+			t.Errorf("findings not sorted by offset: %v before %v", first[i-1], first[i])
+		}
+	}
+}
+
+func TestTrapForCoversEveryCode(t *testing.T) {
+	all := []string{
+		CodeShapeMismatch, CodeIndexOutOfRange, CodeNegativeDim,
+		CodeGenarrayBounds, CodeRCUseAfterRelease, CodeRCDoubleRelease,
+		CodeRCLeak, CodeUnusedVar, CodeUseBeforeAssign, CodeUnreachable,
+		CodeMissingReturn,
+	}
+	for _, code := range all {
+		if _, ok := TrapFor[code]; !ok {
+			t.Errorf("TrapFor missing entry for %q", code)
+		}
+	}
+	if len(TrapFor) != len(all) {
+		t.Errorf("TrapFor has %d entries, want %d", len(TrapFor), len(all))
+	}
+	// The runtime counterparts must be real interp trap codes.
+	for code, trap := range TrapFor {
+		switch trap {
+		case "", "shape", "rc":
+		default:
+			t.Errorf("TrapFor[%q] = %q is not a known trap code", code, trap)
+		}
+	}
+}
+
+func TestCheckNilSafe(t *testing.T) {
+	if got := Check(nil, nil); got != nil {
+		t.Errorf("Check(nil, nil) = %v, want nil", got)
+	}
+}

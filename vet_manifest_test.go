@@ -1,0 +1,144 @@
+// Static-analysis regression gate: every shipped program — the
+// testdata/ corpus, the vet golden programs, and the CMINUS sources
+// embedded in the examples/ Go hosts — is vetted and the findings are
+// compared line-for-line with the committed manifest. Any drift (a new
+// false positive on a known-good program, a lost finding on a known-bad
+// one) fails the build. Regenerate with:
+//
+//	go test -run TestVetManifest -update-vet-manifest
+package repro_test
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	goparser "go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/driver"
+	"repro/internal/parser"
+)
+
+var updateManifest = flag.Bool("update-vet-manifest", false, "rewrite testdata/vet_manifest.txt")
+
+const manifestPath = "testdata/vet_manifest.txt"
+
+// corpusProgram is one CMINUS source the manifest covers.
+type corpusProgram struct {
+	name string // stable label used in the manifest and in spans
+	src  string
+}
+
+// exampleSources extracts the backtick CMINUS program constants from an
+// examples/*/main.go host. A program is any top-level raw string
+// constant whose value contains "int main()"; printf-style %s holes
+// (the transforms host splices an optional epilogue) are blanked.
+func exampleSources(t *testing.T, goFile string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := goparser.ParseFile(fset, goFile, nil, 0)
+	if err != nil {
+		t.Fatalf("parse %s: %v", goFile, err)
+	}
+	var out []string
+	ast.Inspect(f, func(n ast.Node) bool {
+		lit, ok := n.(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING || !strings.HasPrefix(lit.Value, "`") {
+			return true
+		}
+		body := strings.Trim(lit.Value, "`")
+		if strings.Contains(body, "int main()") {
+			out = append(out, strings.ReplaceAll(body, "%s", ""))
+		}
+		return true
+	})
+	return out
+}
+
+// corpus gathers every program the manifest locks down, sorted by name.
+func corpus(t *testing.T) []corpusProgram {
+	t.Helper()
+	var progs []corpusProgram
+	for _, pat := range []string{"testdata/*.xc", "testdata/vet_golden/*.cm"} {
+		files, err := filepath.Glob(pat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, file := range files {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			progs = append(progs, corpusProgram{name: filepath.ToSlash(file), src: string(src)})
+		}
+	}
+	hosts, err := filepath.Glob("examples/*/main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, host := range hosts {
+		for i, src := range exampleSources(t, host) {
+			name := filepath.ToSlash(filepath.Dir(host))
+			if i > 0 {
+				name = fmt.Sprintf("%s#%d", name, i)
+			}
+			progs = append(progs, corpusProgram{name: name, src: src})
+		}
+	}
+	sort.Slice(progs, func(i, j int) bool { return progs[i].name < progs[j].name })
+	return progs
+}
+
+func TestVetManifest(t *testing.T) {
+	progs := corpus(t)
+	if len(progs) < 10 {
+		t.Fatalf("corpus has only %d programs; expected testdata + goldens + examples", len(progs))
+	}
+	sawExample := false
+	for _, p := range progs {
+		if strings.HasPrefix(p.name, "examples/") {
+			sawExample = true
+		}
+	}
+	if !sawExample {
+		t.Fatal("no examples/ programs extracted — the manifest would silently stop covering them")
+	}
+
+	d := driver.New()
+	var b strings.Builder
+	b.WriteString("# Vet findings manifest. Regenerate: go test -run TestVetManifest -update-vet-manifest\n")
+	for _, p := range progs {
+		res := d.Vet(driver.VetRequest{Name: p.name, Source: p.src, Exts: parser.AllExtensions()})
+		status := "ok"
+		if !res.OK {
+			status = "rejected"
+		}
+		fmt.Fprintf(&b, "== %s: %s, %d findings\n", p.name, status, len(res.Findings))
+		for _, diag := range res.Diagnostics {
+			fmt.Fprintf(&b, "%s\n", diag)
+		}
+		for _, f := range res.Findings {
+			fmt.Fprintf(&b, "%s\n", f.String())
+		}
+	}
+	got := b.String()
+
+	if *updateManifest {
+		if err := os.WriteFile(manifestPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(manifestPath)
+	if err != nil {
+		t.Fatalf("missing manifest (run with -update-vet-manifest): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("vet findings drifted from %s.\nIf the change is intended, regenerate with -update-vet-manifest.\n--- got ---\n%s--- want ---\n%s", manifestPath, got, want)
+	}
+}
