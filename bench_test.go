@@ -441,3 +441,155 @@ func BenchmarkFrontEnd(b *testing.B) {
 		}
 	})
 }
+
+// ---- kernel benchmarks (PR 5) ----
+//
+// BenchmarkKernel* measure the specialized arithmetic kernels of
+// internal/matrix/kernels.go against the retained boxed reference path
+// (the pre-PR implementation, kept as *Ref). BENCH_kernels.json records
+// the committed before/after baseline. Run with:
+//
+//	go test -bench=Kernel -benchmem
+
+func kernelBenchMat(elem matrix.Elem, n int) *matrix.Matrix {
+	m := matrix.New(elem, n)
+	switch elem {
+	case matrix.Float:
+		fl := m.Floats()
+		for k := range fl {
+			fl[k] = float64(k%97) + 0.5
+		}
+	case matrix.Int:
+		is := m.Ints()
+		for k := range is {
+			is[k] = int64(k%97) + 1
+		}
+	}
+	return m
+}
+
+// BenchmarkKernelElementwise: kernel vs boxed reference across sizes
+// and element types (satisfies the BenchmarkElementwise axis of the
+// bench plan; the Kernel prefix keeps one CI smoke regex).
+func BenchmarkKernelElementwise(b *testing.B) {
+	for _, size := range []int{1 << 10, 1 << 16, 1 << 20} {
+		for _, elem := range []matrix.Elem{matrix.Float, matrix.Int} {
+			x := kernelBenchMat(elem, size)
+			y := kernelBenchMat(elem, size)
+			b.Run(fmt.Sprintf("kernel/%s/%d", elem, size), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := matrix.Elementwise(matrix.OpAdd, x, y); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("generic/%s/%d", elem, size), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := matrix.ElementwiseRef(matrix.OpAdd, x, y); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkKernelBroadcast: matrix-scalar kernels vs boxed reference.
+func BenchmarkKernelBroadcast(b *testing.B) {
+	for _, size := range []int{1 << 10, 1 << 20} {
+		for _, elem := range []matrix.Elem{matrix.Float, matrix.Int} {
+			x := kernelBenchMat(elem, size)
+			var s any = 1.5
+			if elem == matrix.Int {
+				s = int64(3)
+			}
+			b.Run(fmt.Sprintf("kernel/%s/%d", elem, size), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := matrix.Broadcast(matrix.OpMul, x, s, true); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("generic/%s/%d", elem, size), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := matrix.BroadcastRef(matrix.OpMul, x, s, true); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkKernelMatMul: blocked i-k-j kernel vs naive i-j-k reference.
+func BenchmarkKernelMatMul(b *testing.B) {
+	for _, size := range []int{64, 256, 512} {
+		for _, elem := range []matrix.Elem{matrix.Float, matrix.Int} {
+			x := kernelBenchMat(elem, size*size)
+			y := kernelBenchMat(elem, size*size)
+			xm := matrix.New(elem, size, size)
+			ym := matrix.New(elem, size, size)
+			switch elem {
+			case matrix.Float:
+				copy(xm.Floats(), x.Floats())
+				copy(ym.Floats(), y.Floats())
+			case matrix.Int:
+				copy(xm.Ints(), x.Ints())
+				copy(ym.Ints(), y.Ints())
+			}
+			b.Run(fmt.Sprintf("kernel/%s/%d", elem, size), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := matrix.MatMul(xm, ym); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			if size > 256 && elem == matrix.Int {
+				continue // the boxed reference at 512 int adds nothing new and minutes of runtime
+			}
+			b.Run(fmt.Sprintf("generic/%s/%d", elem, size), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := matrix.MatMulRef(xm, ym); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkKernelChained: the buffer-reuse case — (a+b).*c allocates
+// two outputs; recycling the spent a+b temporary lets the free list
+// feed later outputs, cutting allocs/op versus the reference chain.
+func BenchmarkKernelChained(b *testing.B) {
+	x := kernelBenchMat(matrix.Float, 1<<20)
+	y := kernelBenchMat(matrix.Float, 1<<20)
+	z := kernelBenchMat(matrix.Float, 1<<20)
+	b.Run("kernel", func(b *testing.B) {
+		matrix.DrainFreeLists()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s, err := matrix.Elementwise(matrix.OpAdd, x, y)
+			if err != nil {
+				b.Fatal(err)
+			}
+			out, err := matrix.Elementwise(matrix.OpMul, s, z)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s.Recycle()
+			out.Recycle()
+		}
+	})
+	b.Run("generic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s, err := matrix.ElementwiseRef(matrix.OpAdd, x, y)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := matrix.ElementwiseRef(matrix.OpMul, s, z); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

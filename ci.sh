@@ -36,6 +36,9 @@ go test ./...
 echo "== go test -race (crash-proofing + overload layers) =="
 go test -race ./internal/par ./internal/matrix ./internal/interp ./internal/server ./internal/driver
 
+echo "== go test -race (kernel differential + integration suites) =="
+go test -race -run 'Kernel|Recycle|FreeList|SetOnFree' ./internal/matrix ./internal/interp ./internal/rc
+
 echo "== chaos suite (flood / drain / disk-cache recovery) =="
 go test -race -run 'TestChaos|TestCrash' ./internal/server
 
@@ -43,6 +46,7 @@ echo "== fuzz smoke (frontend + analyzer never panic) =="
 go test -run='^$' -fuzz='^FuzzLex$' -fuzztime=10s ./internal/parser
 go test -run='^$' -fuzz='^FuzzParse$' -fuzztime=10s ./internal/parser
 go test -run='^$' -fuzz='^FuzzVet$' -fuzztime=10s ./internal/vet
+go test -run='^$' -fuzz='^FuzzKernelDiff$' -fuzztime=10s ./internal/matrix
 
 echo "== vet manifest (examples + testdata findings pinned) =="
 go test -run='^TestVetManifest$' .
@@ -50,5 +54,6 @@ go test -run='^TestVetManifest$' .
 echo "== bench smoke =="
 go test -run='^$' -bench='BenchmarkE1_' -benchtime=1x .
 go test -run='^$' -bench='BenchmarkCompileService' -benchtime=1x ./internal/driver
+go test -run='^$' -bench='Kernel' -benchtime=1x .
 
 echo "OK"

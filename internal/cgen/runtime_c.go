@@ -237,7 +237,30 @@ static cm_mat *cm_ew(int op, cm_mat *a, cm_mat *b) {
     for (int d = 0; d < a->rank; d++)
         if (a->shape[d] != b->shape[d]) cm_die("shape mismatch");
     cm_mat *out = cm_alloc(cm_result_elem(op, a->elem, b->elem), a->rank, a->shape);
-    for (long k = 0; k < a->size; k++)
+    long size = a->size;
+    /* Typed fast paths: the hot arithmetic combinations run directly on
+       the backing arrays instead of boxing every element through
+       cm_get/cm_apply/cm_put (mirrors the Go runtime's kernels). */
+    if (a->elem == CM_FLOAT && b->elem == CM_FLOAT && op <= CM_DIV) {
+        const float *x = a->f, *y = b->f; float *d = out->f;
+        switch (op) {
+        case CM_ADD: for (long k = 0; k < size; k++) d[k] = x[k] + y[k]; break;
+        case CM_SUB: for (long k = 0; k < size; k++) d[k] = x[k] - y[k]; break;
+        case CM_MUL: for (long k = 0; k < size; k++) d[k] = x[k] * y[k]; break;
+        default:     for (long k = 0; k < size; k++) d[k] = x[k] / y[k]; break;
+        }
+        return out;
+    }
+    if (a->elem == CM_INT && b->elem == CM_INT && op <= CM_MUL) {
+        const long *x = a->i, *y = b->i; long *d = out->i;
+        switch (op) {
+        case CM_ADD: for (long k = 0; k < size; k++) d[k] = x[k] + y[k]; break;
+        case CM_SUB: for (long k = 0; k < size; k++) d[k] = x[k] - y[k]; break;
+        default:     for (long k = 0; k < size; k++) d[k] = x[k] * y[k]; break;
+        }
+        return out;
+    }
+    for (long k = 0; k < size; k++)
         cm_put(out, k, cm_apply(op, cm_get(a, k), cm_get(b, k)));
     return out;
 }
@@ -259,13 +282,48 @@ static cm_mat *cm_matmul(cm_mat *a, cm_mat *b) {
     long shp[2] = {m, n};
     int elem = (a->elem == CM_INT && b->elem == CM_INT) ? CM_INT : CM_FLOAT;
     cm_mat *out = cm_alloc(elem, 2, shp);
-    for (long i = 0; i < m; i++)
-        for (long j = 0; j < n; j++) {
-            double acc = 0;
-            for (long x = 0; x < kk; x++)
-                acc += cm_get(a, i * kk + x) * cm_get(b, x * n + j);
-            cm_put(out, i * n + j, acc);
+    /* i-k-j loop order: the inner loop walks one row of b and the
+       accumulator row sequentially (unit stride), unlike the naive
+       i-j-k order which strides down b's columns. */
+    if (elem == CM_INT) {
+        /* exact in long; k-blocked so a block of b's rows stays
+           cache-resident across the output rows that stream it */
+        const long BK = 128;
+        for (long k0 = 0; k0 < kk; k0 += BK) {
+            long k1 = k0 + BK < kk ? k0 + BK : kk;
+            for (long i = 0; i < m; i++) {
+                long *row = out->i + i * n;
+                const long *ar = a->i + i * kk;
+                for (long x = k0; x < k1; x++) {
+                    long av = ar[x];
+                    const long *br = b->i + x * n;
+                    for (long j = 0; j < n; j++) row[j] += av * br[j];
+                }
+            }
         }
+        return out;
+    }
+    /* float result: accumulate each output row in double (at least the
+       precision of the previous per-cell double accumulator), then
+       store once as float */
+    double *acc = (double *)calloc(n ? n : 1, sizeof(double));
+    if (!acc) cm_die("out of memory");
+    int fastFF = (a->elem == CM_FLOAT && b->elem == CM_FLOAT);
+    for (long i = 0; i < m; i++) {
+        for (long j = 0; j < n; j++) acc[j] = 0;
+        for (long x = 0; x < kk; x++) {
+            double av = fastFF ? a->f[i * kk + x] : cm_get(a, i * kk + x);
+            if (fastFF) {
+                const float *br = b->f + x * n;
+                for (long j = 0; j < n; j++) acc[j] += av * br[j];
+            } else {
+                for (long j = 0; j < n; j++) acc[j] += av * cm_get(b, x * n + j);
+            }
+        }
+        float *row = out->f + i * n;
+        for (long j = 0; j < n; j++) row[j] = (float)acc[j];
+    }
+    free(acc);
     return out;
 }
 

@@ -7,6 +7,8 @@ package driver
 import (
 	"sync/atomic"
 	"time"
+
+	"repro/internal/matrix"
 )
 
 // histBoundsUS are the upper bounds (inclusive, in microseconds) of the
@@ -166,6 +168,14 @@ type MetricsSnapshot struct {
 
 	CompileHitRatio float64 `json:"compile_hit_ratio"`
 
+	// Matrix kernel execution counters (process-wide, from
+	// matrix.KernelStats): constructs distributed over the worker pool,
+	// constructs run serially, and backing buffers served from the
+	// kernel free list instead of the allocator.
+	KernelParallel int64 `json:"kernel_parallel_total"`
+	KernelSerial   int64 `json:"kernel_serial_total"`
+	KernelReused   int64 `json:"kernel_buffers_reused"`
+
 	ParseLatency   HistogramSnapshot `json:"parse_latency"`
 	CheckLatency   HistogramSnapshot `json:"check_latency"`
 	EmitLatency    HistogramSnapshot `json:"emit_latency"`
@@ -211,5 +221,6 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	if total := s.CompileHits + s.CompileCoalesced + s.CompileMisses; total > 0 {
 		s.CompileHitRatio = float64(s.CompileHits+s.CompileCoalesced) / float64(total)
 	}
+	s.KernelParallel, s.KernelSerial, s.KernelReused = matrix.KernelStats()
 	return s
 }

@@ -387,7 +387,10 @@ func (c *ctx) evalExpr(e ast.Expr) (any, error) {
 			return nil, err
 		}
 		if m, ok := v.(*matrix.Matrix); ok {
-			out, err := matrix.Unary(e.Op == ast.OpNeg, m)
+			out, err := matrix.UnaryExec(e.Op == ast.OpNeg, m, c.exec())
+			if kernelTemp(e.X, m) {
+				m.Recycle()
+			}
 			return out, wrap(e, err)
 		}
 		switch x := v.(type) {
@@ -508,20 +511,58 @@ func (c *ctx) binaryVals(e *ast.BinaryExpr, l, r any) (any, error) {
 	switch {
 	case lIsM && rIsM:
 		if e.Op == ast.OpMul {
-			out, err := matrix.MatMul(lm, rm)
+			out, err := matrix.MatMulExec(lm, rm, c.exec())
+			recycleTemps(e, lm, rm)
 			return out, wrap(e, err)
 		}
-		out, err := matrix.Elementwise(op, lm, rm)
+		out, err := matrix.ElementwiseExec(op, lm, rm, c.exec())
+		recycleTemps(e, lm, rm)
 		return out, wrap(e, err)
 	case lIsM:
-		out, err := matrix.Broadcast(op, lm, r, true)
+		out, err := matrix.BroadcastExec(op, lm, r, true, c.exec())
+		recycleTemps(e, lm, nil)
 		return out, wrap(e, err)
 	case rIsM:
-		out, err := matrix.Broadcast(op, rm, l, false)
+		out, err := matrix.BroadcastExec(op, rm, l, false, c.exec())
+		recycleTemps(e, nil, rm)
 		return out, wrap(e, err)
 	default:
 		v, err := matrix.ScalarBinary(op, l, r)
 		return v, wrap(e, err)
+	}
+}
+
+// kernelTemp reports whether m is an expression temporary produced by
+// an arithmetic kernel: a matrix the rc discipline never saw (Hdr ==
+// nil) whose source expression is itself a compound operator. Kernels
+// always allocate their result fresh, so such a value is unaliased and
+// its only reference is the operand slot currently being consumed —
+// which makes it safe to recycle the backing storage the moment the
+// enclosing operator has read it. Idents, index results and call
+// results are never recycled here: their values may be bound, cached,
+// or otherwise shared.
+func kernelTemp(src ast.Expr, m *matrix.Matrix) bool {
+	if m == nil || m.Hdr != nil {
+		return false
+	}
+	switch src.(type) {
+	case *ast.BinaryExpr, *ast.UnaryExpr:
+		return true
+	}
+	return false
+}
+
+// recycleTemps returns the backing buffers of spent kernel temporaries
+// to the free list after a binary operator consumed them, so a chained
+// expression like (a+b).*c reuses the a+b buffer for its own result
+// instead of allocating a third matrix.
+func recycleTemps(e *ast.BinaryExpr, lm, rm *matrix.Matrix) {
+	lt := lm != nil && kernelTemp(e.L, lm)
+	if lt {
+		lm.Recycle()
+	}
+	if rm != nil && rm != lm && kernelTemp(e.R, rm) {
+		rm.Recycle()
 	}
 }
 

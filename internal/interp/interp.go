@@ -226,6 +226,10 @@ func (c *ctx) bindValue(v any) {
 		}
 		if x.Hdr == nil {
 			x.Hdr = c.i.heap.Alloc(x.Size()*8 + 4) // data + the 4-byte RC header of §III-B
+			// When the last reference is dropped, hand the backing
+			// storage to the kernel free list. ForceFree (rcrelease)
+			// deliberately bypasses this — see rc.Header.SetOnFree.
+			x.Hdr.SetOnFree(x.Recycle)
 		} else {
 			x.Hdr.IncRef()
 		}

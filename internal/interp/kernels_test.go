@@ -1,0 +1,136 @@
+// Integration tests for the specialized arithmetic kernels running
+// under the interpreter: pool-parallel execution, chained-expression
+// buffer reuse, and serial/parallel result parity — all under the rc
+// leak check mustRun enforces.
+package interp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func kernelFile(r *rand.Rand, n int) *matrix.Matrix {
+	m := matrix.New(matrix.Float, n)
+	fl := m.Floats()
+	for k := range fl {
+		fl[k] = 0.25 + r.Float64()*3
+	}
+	return m
+}
+
+const kernelChainSrc = `
+int main() {
+	Matrix float <1> a = readMatrix("a.data");
+	Matrix float <1> b = readMatrix("b.data");
+	Matrix float <1> c = readMatrix("c.data");
+	Matrix float <1> out;
+	out = (a + b) .* c - a / 2.0;
+	writeMatrix("out.data", out);
+	return 0;
+}`
+
+// TestKernelChainedExpression runs a chained elementwise expression
+// through the interpreter with a worker pool and checks (a) the result
+// against the boxed reference path, (b) that the big operators took the
+// parallel kernel path, and (c) that the spent temporaries' buffers
+// were reused for later operators in the chain.
+func TestKernelChainedExpression(t *testing.T) {
+	matrix.DrainFreeLists()
+	matrix.ResetKernelStats()
+	defer matrix.DrainFreeLists()
+	r := rand.New(rand.NewSource(7))
+	n := 3 * matrix.ParallelGrain
+	a, b, c := kernelFile(r, n), kernelFile(r, n), kernelFile(r, n)
+	files := map[string]*matrix.Matrix{"a.data": a, "b.data": b, "c.data": c}
+	mustRun(t, kernelChainSrc, Options{Files: files, Threads: 4})
+
+	got := files["out.data"]
+	if got == nil {
+		t.Fatal("out.data not written")
+	}
+	sum, err := matrix.ElementwiseRef(matrix.OpAdd, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, err := matrix.ElementwiseRef(matrix.OpMul, sum, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := matrix.BroadcastRef(matrix.OpDiv, a, 2.0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := matrix.ElementwiseRef(matrix.OpSub, prod, half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.Equal(got, want) {
+		t.Fatal("kernel chain result differs from boxed reference")
+	}
+
+	parallel, _, reused := matrix.KernelStats()
+	if parallel == 0 {
+		t.Error("no kernel took the parallel path despite Threads=4 and large matrices")
+	}
+	if reused == 0 {
+		t.Error("no buffer was reused across the chained expression")
+	}
+}
+
+// TestKernelSerialParallelParity: the same program produces identical
+// bytes with and without a pool (elementwise kernels do no reductions,
+// so chunking cannot change results).
+func TestKernelSerialParallelParity(t *testing.T) {
+	matrix.DrainFreeLists()
+	defer matrix.DrainFreeLists()
+	r := rand.New(rand.NewSource(8))
+	n := 3 * matrix.ParallelGrain
+	a, b, c := kernelFile(r, n), kernelFile(r, n), kernelFile(r, n)
+	seq := map[string]*matrix.Matrix{"a.data": a, "b.data": b, "c.data": c}
+	par := map[string]*matrix.Matrix{"a.data": a, "b.data": b, "c.data": c}
+	mustRun(t, kernelChainSrc, Options{Files: seq})
+	mustRun(t, kernelChainSrc, Options{Files: par, Threads: 4})
+	if !matrix.Equal(seq["out.data"], par["out.data"]) {
+		t.Fatal("parallel kernel result differs from serial")
+	}
+}
+
+// TestKernelMatMulUnderBudget: the pooled matmul kernel still respects
+// the cell budget and the OOM trap contract.
+func TestKernelMatMulUnderBudget(t *testing.T) {
+	src := `
+int main() {
+	Matrix float <2> a = readMatrix("a.data");
+	Matrix float <2> out;
+	out = a * a;
+	writeMatrix("out.data", out);
+	return 0;
+}`
+	a := matrix.New(matrix.Float, 64, 64)
+	fl := a.Floats()
+	for k := range fl {
+		fl[k] = float64(k%31) * 0.5
+	}
+	files := map[string]*matrix.Matrix{"a.data": a}
+	mustRun(t, src, Options{Files: files, Threads: 2, MaxCells: 64 * 64 * 8})
+	want, err := matrix.MatMulRef(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.AlmostEqual(files["out.data"], want, 1e-6) {
+		t.Fatal("pooled matmul differs from reference")
+	}
+
+	// Too small a budget for the 64x64 product must trap as OOM, not crash.
+	tight := map[string]*matrix.Matrix{"a.data": a}
+	_, _, _, err = run(t, src, Options{Files: tight, MaxCells: 64*64 + 10})
+	if err == nil {
+		t.Fatal("budget-exceeding matmul did not fail")
+	}
+	re, ok := err.(*RuntimeError)
+	if !ok || re.Trap != TrapOOM {
+		t.Fatalf("want OOM trap, got %v", err)
+	}
+}

@@ -114,12 +114,29 @@ func NewBudgeted(b *Budget, elem Elem, shape ...int) (*Matrix, error) {
 	}
 	m := &Matrix{elem: elem, shape: append([]int(nil), shape...)}
 	m.strides = stridesFor(m.shape)
+	// Serve the backing slice from the kernel free list when a released
+	// buffer fits; NewBudgeted promises zeroed storage, so clear it.
 	switch elem {
 	case Float:
+		if s, ok := floatFree.get(n); ok {
+			clear(s)
+			m.f = s
+			return m, nil
+		}
 		m.f = make([]float64, n)
 	case Int:
+		if s, ok := intFree.get(n); ok {
+			clear(s)
+			m.i = s
+			return m, nil
+		}
 		m.i = make([]int64, n)
 	case Bool:
+		if s, ok := boolFree.get(n); ok {
+			clear(s)
+			m.b = s
+			return m, nil
+		}
 		m.b = make([]bool, n)
 	}
 	return m, nil

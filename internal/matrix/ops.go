@@ -173,7 +173,43 @@ func resultElem(op Op, a, b Elem) Elem {
 }
 
 // Elementwise applies op pointwise over two matrices of equal shape.
+// It runs the specialized kernels of kernels.go serially; callers with
+// a worker pool use ElementwiseExec directly.
 func Elementwise(op Op, a, b *Matrix) (*Matrix, error) {
+	return ElementwiseExec(op, a, b, Exec{})
+}
+
+// Broadcast applies op between a matrix and a scalar; matLeft selects
+// which side the matrix is on (m op s vs s op m). It runs the
+// specialized kernels serially; callers with a pool use BroadcastExec.
+func Broadcast(op Op, m *Matrix, s any, matLeft bool) (*Matrix, error) {
+	return BroadcastExec(op, m, s, matLeft, Exec{})
+}
+
+// MatMul computes the linear-algebra product of two rank-2 matrices.
+// It runs the blocked kernel serially; callers with a pool use
+// MatMulExec.
+func MatMul(a, b *Matrix) (*Matrix, error) {
+	return MatMulExec(a, b, Exec{})
+}
+
+// Unary applies negation or logical not elementwise, serially; callers
+// with a pool use UnaryExec.
+func Unary(neg bool, m *Matrix) (*Matrix, error) {
+	return UnaryExec(neg, m, Exec{})
+}
+
+// --- reference oracles ---
+//
+// The original boxed implementations are retained verbatim below as
+// reference oracles: they define the semantics the specialized kernels
+// must reproduce, and the differential tests (kernels_test.go,
+// FuzzKernelDiff) pin every kernel against them. They are slow by
+// design — one scalarOp interface round-trip per element — and are not
+// called on any production path.
+
+// ElementwiseRef is the boxed per-element reference for Elementwise.
+func ElementwiseRef(op Op, a, b *Matrix) (*Matrix, error) {
 	if !a.SameShape(b) {
 		return nil, fmt.Errorf("matrix: %s requires equal shapes, got %v and %v", op, a.shape, b.shape)
 	}
@@ -190,9 +226,8 @@ func Elementwise(op Op, a, b *Matrix) (*Matrix, error) {
 	return out, nil
 }
 
-// Broadcast applies op between a matrix and a scalar; matLeft selects
-// which side the matrix is on (m op s vs s op m).
-func Broadcast(op Op, m *Matrix, s any, matLeft bool) (*Matrix, error) {
+// BroadcastRef is the boxed per-element reference for Broadcast.
+func BroadcastRef(op Op, m *Matrix, s any, matLeft bool) (*Matrix, error) {
 	sElem := Float
 	switch s.(type) {
 	case int64, int:
@@ -219,8 +254,10 @@ func Broadcast(op Op, m *Matrix, s any, matLeft bool) (*Matrix, error) {
 	return out, nil
 }
 
-// MatMul computes the linear-algebra product of two rank-2 matrices.
-func MatMul(a, b *Matrix) (*Matrix, error) {
+// MatMulRef is the naive i-j-k reference for MatMul. Float results may
+// differ from the blocked i-k-j kernel in the last bits (different
+// summation order); differential tests compare with a tolerance.
+func MatMulRef(a, b *Matrix) (*Matrix, error) {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		return nil, fmt.Errorf("matrix: matmul requires rank-2 matrices, got ranks %d and %d", a.Rank(), b.Rank())
 	}
@@ -257,8 +294,8 @@ func MatMul(a, b *Matrix) (*Matrix, error) {
 	return out, nil
 }
 
-// Unary applies negation or logical not elementwise.
-func Unary(neg bool, m *Matrix) (*Matrix, error) {
+// UnaryRef is the reference for Unary.
+func UnaryRef(neg bool, m *Matrix) (*Matrix, error) {
 	if neg {
 		switch m.elem {
 		case Float:

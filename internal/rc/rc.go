@@ -39,6 +39,24 @@ type Header struct {
 	forced atomic.Bool
 	size   int
 	heap   *Heap
+	// onFree is an optional per-allocation release hook (see SetOnFree);
+	// the matrix runtime uses it to return backing storage to its
+	// kernel free list the moment the last reference is dropped.
+	onFree func()
+}
+
+// SetOnFree registers f to run when the allocation is released by
+// DecRef reaching zero. It must be called before the header is shared
+// across goroutines (typically right after Alloc). ForceFree — the
+// explicit early release — deliberately does NOT run f: after a forced
+// release, stale automatic references may still dereference the
+// storage (their misuse is detected via Freed, not prevented), so a
+// recycler must not hand the buffer to a new owner.
+func (hd *Header) SetOnFree(f func()) {
+	if hd == nil {
+		return
+	}
+	hd.onFree = f
 }
 
 // Heap tracks live allocations for leak accounting.
@@ -103,6 +121,9 @@ func (hd *Header) DecRef() bool {
 		hd.heap.frees.Add(1)
 		if hd.heap.OnFree != nil {
 			hd.heap.OnFree(hd.size)
+		}
+		if hd.onFree != nil {
+			hd.onFree()
 		}
 		return true
 	}

@@ -199,3 +199,39 @@ func TestArenaFreeReuse(t *testing.T) {
 		t.Error("freed block was never reused")
 	}
 }
+
+func TestSetOnFreeFiresOnLastDecRef(t *testing.T) {
+	h := NewHeap()
+	hd := h.Alloc(64)
+	fired := 0
+	hd.SetOnFree(func() { fired++ })
+	hd.IncRef()
+	if hd.DecRef() || fired != 0 {
+		t.Fatalf("hook fired before the count reached zero (fired=%d)", fired)
+	}
+	if !hd.DecRef() || fired != 1 {
+		t.Fatalf("hook did not fire exactly once on release (fired=%d)", fired)
+	}
+}
+
+func TestSetOnFreeSkippedOnForceFree(t *testing.T) {
+	h := NewHeap()
+	hd := h.Alloc(64)
+	fired := 0
+	hd.SetOnFree(func() { fired++ })
+	hd.IncRef() // a stale automatic reference survives the explicit release
+	if !hd.ForceFree() {
+		t.Fatal("ForceFree failed")
+	}
+	hd.DecRef()
+	hd.DecRef()
+	if fired != 0 {
+		t.Fatalf("onFree ran after ForceFree (fired=%d); stale aliases could observe a recycled buffer", fired)
+	}
+}
+
+func TestSetOnFreeNilHeader(t *testing.T) {
+	var hd *Header
+	hd.SetOnFree(func() { t.Fatal("hook on nil header ran") }) // must not panic
+	hd.DecRef()
+}
