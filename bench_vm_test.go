@@ -1,0 +1,121 @@
+// Dual-engine execution benchmarks (E15): the same checked program
+// run through the tree-walking interpreter and the register bytecode
+// VM. Parse+check (and for the VM, bytecode compilation) happen once
+// outside the timed loop — exactly what the driver's caches give a
+// warm server — so the numbers isolate pure execution dispatch.
+//
+// Run with: go test -bench 'ScalarLoop|Fib|IndexSum' -benchmem
+// Results are committed in BENCH_vm.json.
+package repro_test
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/interp"
+	"repro/internal/parser"
+	"repro/internal/sem"
+	"repro/internal/source"
+	"repro/internal/vm"
+)
+
+// scalarLoopSrc is the VM's headline case: a tight counted loop of
+// fused integer opcodes (compare-and-branch, add-immediate) that the
+// tree walker pays per-node evaluation and boxing for.
+const scalarLoopSrc = `
+int main() {
+	int s = 0;
+	for (int i = 0; i < 200000; i++) {
+		s = s + i * 3 - 1;
+	}
+	return s % 251;
+}
+`
+
+// fibSrc stresses the call path: frames, argument binding, returns.
+const fibSrc = `
+int fib(int n) {
+	if (n < 2) { return n; }
+	return fib(n - 1) + fib(n - 2);
+}
+int main() { return fib(21) % 251; }
+`
+
+// indexSumSrc stresses the fused rank-1 indexed load/store opcodes.
+const indexSumSrc = `
+int main() {
+	Matrix float <1> a = init(Matrix float <1>, 4096);
+	for (int i = 0; i < 4096; i++) {
+		a[i] = (float)(i % 97);
+	}
+	float s = 0.0;
+	for (int r = 0; r < 16; r++) {
+		for (int i = 0; i < 4096; i++) {
+			s = s + a[i];
+		}
+	}
+	return (int)(s / 4096.0);
+}
+`
+
+type benchProg struct {
+	prog *ast.Program
+	info *sem.Info
+	vmp  *vm.Program
+}
+
+func compileBench(b *testing.B, src string) benchProg {
+	b.Helper()
+	var d source.Diagnostics
+	p := parser.ParseFile("bench.xc", src, parser.AllExtensions(), &d)
+	if p == nil {
+		b.Fatalf("parse failed:\n%s", d.String())
+	}
+	info := sem.Check(p, &d)
+	if d.HasErrors() {
+		b.Fatalf("check failed:\n%s", d.String())
+	}
+	vmp, err := vm.Compile(p, info)
+	if err != nil {
+		b.Fatalf("vm.Compile: %v", err)
+	}
+	return benchProg{prog: p, info: info, vmp: vmp}
+}
+
+func benchEngines(b *testing.B, src string) {
+	bp := compileBench(b, src)
+	opts := interp.Options{Threads: 1, Stdout: io.Discard}
+	var treeCode, vmCode int
+	b.Run("Tree", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			it := interp.New(bp.prog, bp.info, opts)
+			code, err := it.Run()
+			it.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+			treeCode = code
+		}
+	})
+	b.Run("VM", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			it := interp.New(bp.prog, bp.info, opts)
+			code, err := vm.NewMachine(bp.vmp, it).Run()
+			it.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+			vmCode = code
+		}
+	})
+	if treeCode != 0 && vmCode != 0 && treeCode != vmCode {
+		b.Fatalf("engines disagree: tree=%d vm=%d", treeCode, vmCode)
+	}
+}
+
+func BenchmarkScalarLoop(b *testing.B) { benchEngines(b, scalarLoopSrc) }
+func BenchmarkFib(b *testing.B)        { benchEngines(b, fibSrc) }
+func BenchmarkIndexSum(b *testing.B)   { benchEngines(b, indexSumSrc) }

@@ -2,10 +2,12 @@
 # ci.sh — the repo's check gate: formatting, go vet, staticcheck (when
 # installed), build, full tests, a race-detector pass over the
 # crash-proofing layers (pool, matrix runtime, interpreter, server), a
-# fuzz smoke over the frontend and the cmvet analyzer, the vet findings
-# manifest, and a one-shot benchmark smoke pass (E1 plus the
-# compile-service cold/warm pair). Run locally before pushing; the
-# GitHub Actions workflow runs this script.
+# race-enabled dual-engine differential pass (bytecode VM vs the
+# tree-walking oracle), a fuzz smoke over the frontend, the cmvet
+# analyzer and the VM differential fuzzer, the vet findings manifest,
+# and a one-shot benchmark smoke pass (E1 plus the compile-service
+# cold/warm pair). Run locally before pushing; the GitHub Actions
+# workflow runs this script.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -42,11 +44,15 @@ go test -race -run 'Kernel|Recycle|FreeList|SetOnFree' ./internal/matrix ./inter
 echo "== chaos suite (flood / drain / disk-cache recovery) =="
 go test -race -run 'TestChaos|TestCrash' ./internal/server
 
+echo "== vm differential (bytecode engine vs tree-walking oracle) =="
+go test -race -run 'TestVMDifferential|TestVMStep' -count=1 .
+
 echo "== fuzz smoke (frontend + analyzer never panic) =="
 go test -run='^$' -fuzz='^FuzzLex$' -fuzztime=10s ./internal/parser
 go test -run='^$' -fuzz='^FuzzParse$' -fuzztime=10s ./internal/parser
 go test -run='^$' -fuzz='^FuzzVet$' -fuzztime=10s ./internal/vet
 go test -run='^$' -fuzz='^FuzzKernelDiff$' -fuzztime=10s ./internal/matrix
+go test -run='^$' -fuzz='^FuzzVMDiff$' -fuzztime=10s .
 
 echo "== vet manifest (examples + testdata findings pinned) =="
 go test -run='^TestVetManifest$' .

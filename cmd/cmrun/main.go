@@ -6,7 +6,11 @@
 //
 // Usage:
 //
-//	cmrun [-t N] [-dir path] [-timeout d] file.xc
+//	cmrun [-t N] [-dir path] [-timeout d] [-engine vm|tree] file.xc
+//
+// The default engine is the register bytecode VM; -engine tree selects
+// the tree-walking interpreter (the VM's differential oracle). The two
+// are observably identical — output, traps, exit codes, budgets.
 //
 // Exit codes: the program's own exit code on success; 1 for other
 // execution failures (e.g. a busted -timeout deadline); 2 for usage or
@@ -38,6 +42,7 @@ func main() {
 	cells := flag.Int64("maxcells", 0, "abort after allocating N matrix cells (0 = unlimited)")
 	timeout := flag.Duration("timeout", 0, "abort execution after this long (0 = no deadline)")
 	extFlag := flag.String("ext", "all", "comma-separated extensions to compose (matrix, transform, rc, cilk, all, none)")
+	engine := flag.String("engine", "vm", "execution engine: vm (register bytecode) or tree (AST walker)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: cmrun [-t N] [-dir path] file.xc")
@@ -67,6 +72,7 @@ func main() {
 	res, err := driver.New().Run(ctx, driver.RunRequest{
 		Name: file, Source: string(src), Exts: exts,
 		Threads: *threads, MaxSteps: *steps, MaxCells: *cells, Dir: d,
+		Engine: *engine,
 	})
 	for _, diag := range res.Diagnostics {
 		fmt.Fprintln(os.Stderr, diag)

@@ -49,6 +49,7 @@ func main() {
 	cacheEntries := flag.Int("cache-entries", 0, "in-memory cache cap, entries per cache (0 = default)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "in-memory cache cap, approximate bytes per cache (0 = default)")
 	warm := flag.Bool("warm", true, "pre-build the composed grammar table and §VI analyses at startup")
+	engine := flag.String("engine", "vm", "default execution engine for /v1/run: vm or tree")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: cmserved [-addr :8347] [-runs N] [-queue N] [-timeout d] [-max-timeout d] [-cachedir path]")
@@ -66,6 +67,7 @@ func main() {
 		MaxQueueWait:      *queueWait,
 		DefaultTimeout:    *timeout,
 		MaxTimeout:        *maxTimeout,
+		DefaultEngine:     *engine,
 	})
 	if *warm {
 		// Pay the one-time grammar-composition and analysis cost before

@@ -44,6 +44,7 @@ import (
 	"repro/internal/parser"
 	"repro/internal/sem"
 	"repro/internal/source"
+	"repro/internal/vm"
 )
 
 // Config bounds a Driver's caches. Zero values select the defaults;
@@ -76,6 +77,7 @@ type Driver struct {
 	front *lruCache // frontend (parse+check) results by content key
 	emits *lruCache // emitted artifacts by content key
 	vets  *lruCache // vet findings by content key
+	vms   *lruCache // compiled bytecode programs by content key
 	disk  *diskCache
 }
 
@@ -94,6 +96,7 @@ func NewWith(cfg Config) *Driver {
 	d.front = newLRUCache(cfg.MaxCacheEntries, cfg.MaxCacheBytes, &d.metrics.FrontendEvictions)
 	d.emits = newLRUCache(cfg.MaxCacheEntries, cfg.MaxCacheBytes, &d.metrics.CompileEvictions)
 	d.vets = newLRUCache(cfg.MaxCacheEntries, cfg.MaxCacheBytes, &d.metrics.VetEvictions)
+	d.vms = newLRUCache(cfg.MaxCacheEntries, cfg.MaxCacheBytes, &d.metrics.VMEvictions)
 	if cfg.CacheDir != "" {
 		disk, err := newDiskCache(cfg.CacheDir, &d.metrics)
 		if err != nil {
@@ -116,8 +119,9 @@ func (d *Driver) MetricsSnapshot() MetricsSnapshot {
 	fe, fb := d.front.stats()
 	ee, eb := d.emits.stats()
 	ve, vb := d.vets.stats()
-	s.CacheEntries = int64(fe + ee + ve)
-	s.CacheBytes = fb + eb + vb
+	me, mb := d.vms.stats()
+	s.CacheEntries = int64(fe + ee + ve + me)
+	s.CacheBytes = fb + eb + vb + mb
 	return s
 }
 
@@ -199,6 +203,12 @@ type RunRequest struct {
 	Dir    string
 	Files  map[string]*matrix.Matrix
 	Stdout io.Writer
+	// Engine selects the execution engine: "vm" (the default, also
+	// selected by "") runs the register bytecode machine; "tree" runs
+	// the tree-walking interpreter. A program the bytecode compiler
+	// declines falls back to the tree walker transparently — the two
+	// engines are observably identical by contract.
+	Engine string
 }
 
 // RunResult is the outcome of a Run.
@@ -210,6 +220,9 @@ type RunResult struct {
 	Diagnostics []string
 	ExitCode    int
 	Stages      StageTimings
+	// Engine is the engine that actually executed: "vm" or "tree"
+	// (the latter also when the bytecode compiler fell back).
+	Engine string
 }
 
 // hashKey content-addresses a request: a SHA-256 over length-prefixed
@@ -368,12 +381,53 @@ func emit(fr *frontResult, req *CompileRequest) (string, error) {
 	}
 }
 
+// vmEntry is a cached bytecode compilation outcome. err records a
+// compiler bail (a construct the bytecode engine declines), which is
+// cached too so the fallback decision is made once per content key.
+type vmEntry struct {
+	p   *vm.Program
+	err error
+}
+
+// vmProgram returns the compiled bytecode for an already-checked
+// frontend result, executing the bytecode compiler at most once per
+// content key (singleflight + LRU, like every other driver artifact).
+func (d *Driver) vmProgram(fr *frontResult, name, src string, exts parser.Options) (*vm.Program, error) {
+	key := hashKey("vm", name, src, FormatExtensions(exts))
+	c, owner, _ := d.vms.lookup(key)
+	if !owner {
+		d.metrics.VMCacheHits.Add(1)
+		<-c.done
+		e := c.res.(*vmEntry)
+		return e.p, e.err
+	}
+	d.metrics.VMCacheMisses.Add(1)
+	d.metrics.VMCompileTotal.Add(1)
+	p, err := vm.Compile(fr.prog, fr.info)
+	c.res = &vmEntry{p: p, err: err}
+	close(c.done)
+	// Charged the source length: a proxy for code size, consistent
+	// with the frontend cache's accounting.
+	d.vms.complete(key, int64(len(src)), true)
+	return p, err
+}
+
 // Run parses and checks req.Source through the frontend cache, then
-// executes it on the parallel interpreter. The returned error is nil
-// unless execution itself failed (including ctx cancellation); frontend
+// executes it — on the register bytecode machine by default, or on the
+// tree-walking interpreter when req.Engine says so or the bytecode
+// compiler declines the program. The returned error is nil unless
+// execution itself failed (including ctx cancellation); frontend
 // failures are reported through RunResult.OK and Diagnostics.
 func (d *Driver) Run(ctx context.Context, req RunRequest) (*RunResult, error) {
 	out := &RunResult{Key: frontKey(req.Name, req.Source, req.Exts)}
+	engine := req.Engine
+	switch engine {
+	case "", "vm":
+		engine = "vm"
+	case "tree":
+	default:
+		return out, fmt.Errorf("unknown engine %q (have: vm, tree)", req.Engine)
+	}
 	fr, cached := d.frontend(req.Name, req.Source, req.Exts)
 	out.Cached = cached
 	out.Diagnostics = fr.diags
@@ -381,6 +435,16 @@ func (d *Driver) Run(ctx context.Context, req RunRequest) (*RunResult, error) {
 	if !fr.ok {
 		return out, nil
 	}
+	var prog *vm.Program
+	if engine == "vm" {
+		p, err := d.vmProgram(fr, req.Name, req.Source, req.Exts)
+		if err != nil {
+			engine = "tree" // transparent fallback, same observable semantics
+		} else {
+			prog = p
+		}
+	}
+	out.Engine = engine
 	threads := req.Threads
 	if threads <= 0 {
 		threads = runtime.GOMAXPROCS(0)
@@ -397,7 +461,15 @@ func (d *Driver) Run(ctx context.Context, req RunRequest) (*RunResult, error) {
 	})
 	defer i.Close()
 	t0 := time.Now()
-	code, err := i.Run()
+	var code int
+	var err error
+	if prog != nil {
+		d.metrics.VMExecTotal.Add(1)
+		code, err = vm.NewMachine(prog, i).Run()
+		d.metrics.VMDispatchNS.Add(int64(time.Since(t0)))
+	} else {
+		code, err = i.Run()
+	}
 	runD := time.Since(t0)
 	d.metrics.RunLatency.Observe(runD)
 	out.Stages.RunNS = int64(runD)

@@ -114,6 +114,18 @@ type Metrics struct {
 	// RuntimeError (shape/rc/oom/step/depth/panic).
 	RunsTrapped atomic.Int64
 
+	// Bytecode engine counters: actual bytecode compilations, VM
+	// executions, compiled-program cache outcomes, evictions, and the
+	// total nanoseconds spent inside the VM dispatch loop (the whole
+	// Machine.Run, which is pure dispatch — parse/check time is
+	// accounted separately).
+	VMCompileTotal atomic.Int64
+	VMExecTotal    atomic.Int64
+	VMCacheHits    atomic.Int64
+	VMCacheMisses  atomic.Int64
+	VMEvictions    atomic.Int64
+	VMDispatchNS   atomic.Int64
+
 	// Vet stage counters: requests, cache outcomes, evictions and the
 	// total findings produced by actual analysis executions.
 	VetRuns      atomic.Int64
@@ -145,6 +157,12 @@ type MetricsSnapshot struct {
 	RunsStarted        int64 `json:"runs_started"`
 	RunsCancelled      int64 `json:"runs_cancelled"`
 	RunsTrapped        int64 `json:"runs_trapped"`
+
+	VMCompileTotal int64 `json:"vm_compile_total"`
+	VMExecTotal    int64 `json:"vm_exec_total"`
+	VMCacheHits    int64 `json:"vm_cache_hits"`
+	VMCacheMisses  int64 `json:"vm_cache_misses"`
+	VMDispatchNS   int64 `json:"vm_dispatch_ns"`
 
 	VetRuns      int64 `json:"vet_runs"`
 	VetHits      int64 `json:"vet_cache_hits"`
@@ -199,12 +217,17 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		RunsStarted:        m.RunsStarted.Load(),
 		RunsCancelled:      m.RunsCancelled.Load(),
 		RunsTrapped:        m.RunsTrapped.Load(),
+		VMCompileTotal:     m.VMCompileTotal.Load(),
+		VMExecTotal:        m.VMExecTotal.Load(),
+		VMCacheHits:        m.VMCacheHits.Load(),
+		VMCacheMisses:      m.VMCacheMisses.Load(),
+		VMDispatchNS:       m.VMDispatchNS.Load(),
 		VetRuns:            m.VetRuns.Load(),
 		VetHits:            m.VetHits.Load(),
 		VetMisses:          m.VetMisses.Load(),
 		VetCoalesced:       m.VetCoalesced.Load(),
 		VetFindings:        m.VetFindings.Load(),
-		CacheEvictions:     m.FrontendEvictions.Load() + m.CompileEvictions.Load() + m.VetEvictions.Load(),
+		CacheEvictions:     m.FrontendEvictions.Load() + m.CompileEvictions.Load() + m.VetEvictions.Load() + m.VMEvictions.Load(),
 		DiskHits:           m.DiskHits.Load(),
 		DiskMisses:         m.DiskMisses.Load(),
 		DiskCorrupt:        m.DiskCorrupt.Load(),

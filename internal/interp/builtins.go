@@ -4,12 +4,10 @@
 package interp
 
 import (
-	"fmt"
-	"path/filepath"
-
 	"repro/internal/ast"
-	"repro/internal/matio"
 	"repro/internal/matrix"
+	"repro/internal/sem"
+	"repro/internal/types"
 )
 
 func (c *ctx) evalBuiltin(e *ast.CallExpr, args []any) (any, error) {
@@ -45,21 +43,11 @@ func (c *ctx) evalBuiltin(e *ast.CallExpr, args []any) (any, error) {
 		return nil, c.writeMatrix(e, name, m)
 
 	case "print":
-		c.i.outMu.Lock()
-		defer c.i.outMu.Unlock()
-		switch v := args[0].(type) {
-		case float64:
-			fmt.Fprintf(c.i.stdout, "%g\n", v)
-		case *matrix.Matrix:
-			fmt.Fprintf(c.i.stdout, "%s\n", v)
-		default:
-			fmt.Fprintf(c.i.stdout, "%v\n", v)
-		}
+		c.i.PrintValue(args[0])
 		return nil, nil
 
 	case "rcnew":
-		h := c.i.heap.Alloc(8 + 4)
-		cell := &rcCell{hdr: h, val: args[0]}
+		cell, h := c.i.RcNew(args[0])
 		// The fresh count of 1 is the expression's temporary
 		// reference; binding takes its own, and the temporary is
 		// dropped when the enclosing statement finishes.
@@ -67,66 +55,30 @@ func (c *ctx) evalBuiltin(e *ast.CallExpr, args []any) (any, error) {
 		return cell, nil
 
 	case "rcget":
-		cell, ok := args[0].(*rcCell)
-		if !ok || cell == nil {
-			return nil, rerr(e, "rcget of a null refcounted pointer")
-		}
-		if cell.hdr.Freed() {
-			return nil, trapErr(e, TrapRC, "rcget of a freed refcounted pointer (use after release)")
-		}
-		return cell.val, nil
+		return c.i.RcGet(e, args[0])
 
 	case "rcset":
-		cell, ok := args[0].(*rcCell)
-		if !ok || cell == nil {
-			return nil, rerr(e, "rcset of a null refcounted pointer")
-		}
-		if cell.hdr.Freed() {
-			return nil, trapErr(e, TrapRC, "rcset of a freed refcounted pointer (use after release)")
-		}
-		cell.val = args[1]
-		return nil, nil
+		return nil, c.i.RcSet(e, args[0], args[1], rcElemType(c.i.info, e.Args[0]))
 
 	case "rcrelease":
-		cell, ok := args[0].(*rcCell)
-		if !ok || cell == nil {
-			return nil, rerr(e, "rcrelease of a null refcounted pointer")
-		}
-		if !cell.hdr.ForceFree() {
-			return nil, trapErr(e, TrapRC, "rcrelease of an already-released refcounted pointer (double release)")
-		}
-		return nil, nil
+		return nil, c.i.RcRelease(e, args[0])
 	}
 	return nil, rerr(e, "undeclared function %q", e.Fun)
 }
 
+// rcElemType resolves the declared element type of an rc-pointer
+// expression, or nil when unrecorded.
+func rcElemType(info *sem.Info, e ast.Expr) *types.Type {
+	if ty := info.TypeOf(e); ty.Kind == types.RcPtr {
+		return ty.Elem
+	}
+	return nil
+}
+
 func (c *ctx) readMatrix(e *ast.CallExpr, name string) (*matrix.Matrix, error) {
-	c.i.fileMu.Lock()
-	defer c.i.fileMu.Unlock()
-	if c.i.opts.Files != nil {
-		if m, ok := c.i.opts.Files[name]; ok {
-			if err := c.charge(e, int64(m.Size())); err != nil {
-				return nil, err
-			}
-			return m.Copy(), nil
-		}
-		if c.i.opts.Dir == "" {
-			return nil, rerr(e, "readMatrix: no matrix %q provided", name)
-		}
-	}
-	m, err := matio.ReadFile(filepath.Join(c.i.opts.Dir, name))
-	if err != nil {
-		return nil, wrap(e, err)
-	}
-	return m, nil
+	return c.i.ReadMatrixFile(e, name)
 }
 
 func (c *ctx) writeMatrix(e *ast.CallExpr, name string, m *matrix.Matrix) error {
-	c.i.fileMu.Lock()
-	defer c.i.fileMu.Unlock()
-	if c.i.opts.Files != nil && c.i.opts.Dir == "" {
-		c.i.opts.Files[name] = m.Copy()
-		return nil
-	}
-	return wrap(e, matio.WriteFile(filepath.Join(c.i.opts.Dir, name), m))
+	return c.i.WriteMatrixFile(e, name, m)
 }

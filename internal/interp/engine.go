@@ -1,0 +1,323 @@
+// The service surface alternate execution engines build on. The
+// bytecode VM (internal/vm) compiles the checked AST to registers but
+// delegates every runtime policy decision — step budgets, allocation
+// charging, cancellation, rc bookkeeping, builtin I/O — to the same
+// Interp methods the tree walker uses, so the two engines cannot
+// drift on resource semantics or error texts.
+//
+// Step accounting (shared contract): execution ticks the step budget
+// exactly once per executed statement — block entry, each statement in
+// a block, a function body once per call, each loop body (and for-loop
+// init/post) once per iteration. Conditions, expressions and global
+// initializers never tick. The VM emits one step opcode at each
+// compiled statement entry, so trap:step fires at the same program
+// point under both engines.
+package interp
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"repro/internal/ast"
+	"repro/internal/matio"
+	"repro/internal/matrix"
+	"repro/internal/par"
+	"repro/internal/rc"
+	"repro/internal/types"
+)
+
+// Pool returns the interpreter's worker pool (nil when sequential);
+// engines pass it to Exec for outermost constructs and nil inside
+// nested parallel bodies.
+func (i *Interp) Pool() *par.Pool { return i.pool }
+
+// Exec is the matrix-runtime execution environment: the supplied pool,
+// the interpreter's allocation budget and cancellation context.
+func (i *Interp) Exec(pool *par.Pool) matrix.Exec {
+	return matrix.Exec{Pool: pool, Budget: i.budget, Ctx: i.ctx}
+}
+
+// Budget exposes the cell budget (nil when unbounded).
+func (i *Interp) Budget() *matrix.Budget { return i.budget }
+
+// CheckCancel aborts execution once the interpreter's context is
+// cancelled. The channel poll is cheap enough to run per statement and
+// per with-loop element.
+func (i *Interp) CheckCancel(n ast.Node) error {
+	if i.done == nil {
+		return nil
+	}
+	select {
+	case <-i.done:
+		return wrap(n, i.ctx.Err())
+	default:
+		return nil
+	}
+}
+
+// StepTick checks cancellation and debits one statement from the step
+// budget (see the step-accounting contract in the package comment
+// above).
+func (i *Interp) StepTick(n ast.Node) error {
+	if err := i.CheckCancel(n); err != nil {
+		return err
+	}
+	max := i.opts.MaxSteps
+	if max == 0 {
+		return nil
+	}
+	if s := i.steps.Add(1); s > max {
+		return trapErr(n, TrapStep, "execution exceeded %d steps", max)
+	}
+	return nil
+}
+
+// ChargeCells debits cells from the allocation budget before an
+// allocation the matrix package does not make itself (ranges, file
+// reads).
+func (i *Interp) ChargeCells(n ast.Node, cells int64) error {
+	if i.budget == nil {
+		return nil
+	}
+	if cells < 0 || cells > int64(^uint(0)>>1) {
+		return trapErr(n, TrapShape, "allocation of %d cells is impossible", cells)
+	}
+	if err := i.budget.Charge(int(cells)); err != nil {
+		return wrap(n, err)
+	}
+	return nil
+}
+
+// BindValue takes a reference to v on behalf of a variable binding.
+func (i *Interp) BindValue(v any) {
+	switch x := v.(type) {
+	case *matrix.Matrix:
+		if x == nil {
+			return
+		}
+		if x.Hdr == nil {
+			x.Hdr = i.heap.Alloc(x.Size()*8 + 4) // data + the 4-byte RC header of §III-B
+			// When the last reference is dropped, hand the backing
+			// storage to the kernel free list. ForceFree (rcrelease)
+			// deliberately bypasses this — see rc.Header.SetOnFree.
+			x.Hdr.SetOnFree(x.Recycle)
+		} else {
+			x.Hdr.IncRef()
+		}
+	case *rcCell:
+		if x != nil {
+			x.hdr.IncRef()
+		}
+	case []any:
+		for _, e := range x {
+			i.BindValue(e)
+		}
+	}
+}
+
+// ReleaseValue drops a reference taken by BindValue.
+func (i *Interp) ReleaseValue(v any) {
+	switch x := v.(type) {
+	case *matrix.Matrix:
+		if x != nil {
+			x.Hdr.DecRef()
+		}
+	case *rcCell:
+		if x != nil {
+			x.hdr.DecRef()
+		}
+	case []any:
+		for _, e := range x {
+			i.ReleaseValue(e)
+		}
+	}
+}
+
+// EscapeRef takes an extra reference on v's rc-managed parts so the
+// value survives its frame's teardown, appending the headers to
+// *pending (the consuming statement's release list).
+func (i *Interp) EscapeRef(v any, pending *[]*rc.Header) {
+	switch x := v.(type) {
+	case *matrix.Matrix:
+		if x != nil && x.Hdr != nil {
+			x.Hdr.IncRef()
+			*pending = append(*pending, x.Hdr)
+		}
+	case *rcCell:
+		if x != nil {
+			x.hdr.IncRef()
+			*pending = append(*pending, x.hdr)
+		}
+	case []any:
+		for _, e := range x {
+			i.EscapeRef(e, pending)
+		}
+	}
+}
+
+// PrintValue implements the print builtin (serialized on the output
+// mutex so parallel spawns interleave whole lines).
+func (i *Interp) PrintValue(v any) {
+	i.outMu.Lock()
+	defer i.outMu.Unlock()
+	switch v := v.(type) {
+	case float64:
+		fmt.Fprintf(i.stdout, "%g\n", v)
+	case *matrix.Matrix:
+		fmt.Fprintf(i.stdout, "%s\n", v)
+	default:
+		fmt.Fprintf(i.stdout, "%v\n", v)
+	}
+}
+
+// ReadMatrixFile implements the readMatrix builtin: in-memory Files
+// first (charged against the budget), then the filesystem under Dir.
+func (i *Interp) ReadMatrixFile(n ast.Node, name string) (*matrix.Matrix, error) {
+	i.fileMu.Lock()
+	defer i.fileMu.Unlock()
+	if i.opts.Files != nil {
+		if m, ok := i.opts.Files[name]; ok {
+			if err := i.ChargeCells(n, int64(m.Size())); err != nil {
+				return nil, err
+			}
+			return m.Copy(), nil
+		}
+		if i.opts.Dir == "" {
+			return nil, rerr(n, "readMatrix: no matrix %q provided", name)
+		}
+	}
+	m, err := matio.ReadFile(filepath.Join(i.opts.Dir, name))
+	if err != nil {
+		return nil, wrap(n, err)
+	}
+	return m, nil
+}
+
+// WriteMatrixFile implements the writeMatrix builtin.
+func (i *Interp) WriteMatrixFile(n ast.Node, name string, m *matrix.Matrix) error {
+	i.fileMu.Lock()
+	defer i.fileMu.Unlock()
+	if i.opts.Files != nil && i.opts.Dir == "" {
+		i.opts.Files[name] = m.Copy()
+		return nil
+	}
+	return wrap(n, matio.WriteFile(filepath.Join(i.opts.Dir, name), m))
+}
+
+// RcNew allocates a refcounted cell holding v, returning the opaque
+// cell value and its header. The fresh count of 1 is the expression's
+// temporary reference; the engine must register the header on the
+// enclosing statement's pending list.
+func (i *Interp) RcNew(v any) (cell any, hdr *rc.Header) {
+	h := i.heap.Alloc(8 + 4)
+	return &rcCell{hdr: h, val: v}, h
+}
+
+// RcGet implements the rcget builtin against an opaque cell value.
+func (i *Interp) RcGet(n ast.Node, cellv any) (any, error) {
+	cell, ok := cellv.(*rcCell)
+	if !ok || cell == nil {
+		return nil, rerr(n, "rcget of a null refcounted pointer")
+	}
+	if cell.hdr.Freed() {
+		return nil, trapErr(n, TrapRC, "rcget of a freed refcounted pointer (use after release)")
+	}
+	return cell.val, nil
+}
+
+// RcSet implements the rcset builtin. elem, when non-nil, is the
+// cell's declared element type; the stored value is promoted to it so
+// rcget returns a value whose representation matches the static type
+// (an int stored through a refcounted float * arrives as float).
+func (i *Interp) RcSet(n ast.Node, cellv, v any, elem *types.Type) error {
+	cell, ok := cellv.(*rcCell)
+	if !ok || cell == nil {
+		return rerr(n, "rcset of a null refcounted pointer")
+	}
+	if cell.hdr.Freed() {
+		return trapErr(n, TrapRC, "rcset of a freed refcounted pointer (use after release)")
+	}
+	if elem != nil {
+		v = promoteScalar(elem, v)
+	}
+	cell.val = v
+	return nil
+}
+
+// RcRelease implements the rcrelease builtin.
+func (i *Interp) RcRelease(n ast.Node, cellv any) error {
+	cell, ok := cellv.(*rcCell)
+	if !ok || cell == nil {
+		return rerr(n, "rcrelease of a null refcounted pointer")
+	}
+	if !cell.hdr.ForceFree() {
+		return trapErr(n, TrapRC, "rcrelease of an already-released refcounted pointer (double release)")
+	}
+	return nil
+}
+
+// promoteScalar applies the int→float promotion that AssignableTo
+// admits statically to an already-evaluated value, recursively through
+// tuples. It never checks and never fails; both engines apply it at
+// function returns and rcset stores so a value's runtime
+// representation always matches its static scalar type.
+func promoteScalar(ty *types.Type, v any) any {
+	switch ty.Kind {
+	case types.Float:
+		if iv, ok := v.(int64); ok {
+			return float64(iv)
+		}
+	case types.Tuple:
+		tup, ok := v.([]any)
+		if !ok || len(tup) != len(ty.Elems) {
+			return v
+		}
+		out := make([]any, len(tup))
+		for k := range tup {
+			out[k] = promoteScalar(ty.Elems[k], tup[k])
+		}
+		return out
+	}
+	return v
+}
+
+// PromoteScalar is promoteScalar for alternate engines.
+func PromoteScalar(ty *types.Type, v any) any { return promoteScalar(ty, v) }
+
+// CastScalar applies a C-style scalar cast to an evaluated value;
+// exported so alternate engines share one conversion semantics.
+func CastScalar(n ast.Node, to ast.PrimKind, v any) (any, error) {
+	return castScalar(n, to, v)
+}
+
+// CoerceValue checks v against declared type ty at binding time: this
+// is where AnyMatrix values (readMatrix results) are validated against
+// declared matrix types and int→float promotion happens for scalars.
+// Exported so alternate engines share one coercion semantics.
+func CoerceValue(n ast.Node, ty *types.Type, v any) (any, error) {
+	return coerceValue(n, ty, v)
+}
+
+// ZeroValue produces the default value for a declared type: scalars
+// zero, matrices unassigned-nil, tuples elementwise, rc pointers null.
+func ZeroValue(ty *types.Type) any {
+	switch ty.Kind {
+	case types.Int:
+		return int64(0)
+	case types.Float:
+		return float64(0)
+	case types.Bool:
+		return false
+	case types.Matrix, types.AnyMatrix:
+		return (*matrix.Matrix)(nil)
+	case types.Tuple:
+		out := make([]any, len(ty.Elems))
+		for k, e := range ty.Elems {
+			out[k] = ZeroValue(e)
+		}
+		return out
+	case types.RcPtr:
+		return (*rcCell)(nil)
+	}
+	return nil
+}

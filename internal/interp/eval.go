@@ -47,6 +47,21 @@ func (c *ctx) callFunction(fn *ast.FuncDecl, args []any, site ast.Node) (any, er
 		cc.popFrame(f)
 		return nil, err
 	}
+	if sig, ok := c.i.info.Funcs[fn.Name]; ok && sig.Type.Ret != nil &&
+		sig.Type.Ret.Kind != types.Void && sig.Type.Ret.Kind != types.Invalid {
+		if ctl == ctlReturn && ret != nil {
+			// Promote the returned value to the declared return type
+			// (an int returned from a float function arrives as float)
+			// so a call result's representation always matches its
+			// static type under both engines.
+			ret = promoteScalar(sig.Type.Ret, ret)
+		} else if ctl != ctlReturn {
+			// A non-void function that falls off its end yields the
+			// declared type's zero value, deterministically, under
+			// both engines.
+			ret = ZeroValue(sig.Type.Ret)
+		}
+	}
 	if ctl == ctlReturn && ret != nil {
 		// Keep the return value alive across the frame teardown; the
 		// reference is released by the caller's enclosing statement.
@@ -386,28 +401,7 @@ func (c *ctx) evalExpr(e ast.Expr) (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		if m, ok := v.(*matrix.Matrix); ok {
-			out, err := matrix.UnaryExec(e.Op == ast.OpNeg, m, c.exec())
-			if kernelTemp(e.X, m) {
-				m.Recycle()
-			}
-			return out, wrap(e, err)
-		}
-		switch x := v.(type) {
-		case int64:
-			if e.Op == ast.OpNeg {
-				return -x, nil
-			}
-		case float64:
-			if e.Op == ast.OpNeg {
-				return -x, nil
-			}
-		case bool:
-			if e.Op == ast.OpNot {
-				return !x, nil
-			}
-		}
-		return nil, rerr(e, "operator %s cannot be applied to %T", e.Op, v)
+		return EvalUnary(e, v, c.exec())
 
 	case *ast.CastExpr:
 		v, err := c.evalExpr(e.X)
@@ -496,9 +490,16 @@ func (c *ctx) evalExpr(e ast.Expr) (any, error) {
 	return nil, rerr(e, "unknown expression %T", e)
 }
 
-// binaryVals applies a binary operator to evaluated operands, choosing
-// among scalar, broadcast, elementwise and matmul forms (§III-A.2).
+// binaryVals applies a binary operator to evaluated operands.
 func (c *ctx) binaryVals(e *ast.BinaryExpr, l, r any) (any, error) {
+	return EvalBinary(e, l, r, c.exec())
+}
+
+// EvalBinary applies a binary operator to evaluated operands, choosing
+// among scalar, broadcast, elementwise and matmul forms (§III-A.2).
+// Exported so alternate engines share one operator semantics,
+// including the kernel-temporary recycling of chained expressions.
+func EvalBinary(e *ast.BinaryExpr, l, r any, x matrix.Exec) (any, error) {
 	lm, lIsM := l.(*matrix.Matrix)
 	rm, rIsM := r.(*matrix.Matrix)
 	if lIsM && lm == nil || rIsM && rm == nil {
@@ -511,25 +512,52 @@ func (c *ctx) binaryVals(e *ast.BinaryExpr, l, r any) (any, error) {
 	switch {
 	case lIsM && rIsM:
 		if e.Op == ast.OpMul {
-			out, err := matrix.MatMulExec(lm, rm, c.exec())
+			out, err := matrix.MatMulExec(lm, rm, x)
 			recycleTemps(e, lm, rm)
 			return out, wrap(e, err)
 		}
-		out, err := matrix.ElementwiseExec(op, lm, rm, c.exec())
+		out, err := matrix.ElementwiseExec(op, lm, rm, x)
 		recycleTemps(e, lm, rm)
 		return out, wrap(e, err)
 	case lIsM:
-		out, err := matrix.BroadcastExec(op, lm, r, true, c.exec())
+		out, err := matrix.BroadcastExec(op, lm, r, true, x)
 		recycleTemps(e, lm, nil)
 		return out, wrap(e, err)
 	case rIsM:
-		out, err := matrix.BroadcastExec(op, rm, l, false, c.exec())
+		out, err := matrix.BroadcastExec(op, rm, l, false, x)
 		recycleTemps(e, nil, rm)
 		return out, wrap(e, err)
 	default:
 		v, err := matrix.ScalarBinary(op, l, r)
 		return v, wrap(e, err)
 	}
+}
+
+// EvalUnary applies a unary operator to an evaluated operand; exported
+// so alternate engines share one operator semantics.
+func EvalUnary(e *ast.UnaryExpr, v any, x matrix.Exec) (any, error) {
+	if m, ok := v.(*matrix.Matrix); ok {
+		out, err := matrix.UnaryExec(e.Op == ast.OpNeg, m, x)
+		if kernelTemp(e.X, m) {
+			m.Recycle()
+		}
+		return out, wrap(e, err)
+	}
+	switch s := v.(type) {
+	case int64:
+		if e.Op == ast.OpNeg {
+			return -s, nil
+		}
+	case float64:
+		if e.Op == ast.OpNeg {
+			return -s, nil
+		}
+	case bool:
+		if e.Op == ast.OpNot {
+			return !s, nil
+		}
+	}
+	return nil, rerr(e, "operator %s cannot be applied to %T", e.Op, v)
 }
 
 // kernelTemp reports whether m is an expression temporary produced by

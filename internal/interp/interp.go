@@ -218,71 +218,15 @@ func (c *ctx) child(frame *frame, pool *par.Pool) *ctx {
 }
 
 // bindValue takes a reference to v on behalf of a variable binding.
-func (c *ctx) bindValue(v any) {
-	switch x := v.(type) {
-	case *matrix.Matrix:
-		if x == nil {
-			return
-		}
-		if x.Hdr == nil {
-			x.Hdr = c.i.heap.Alloc(x.Size()*8 + 4) // data + the 4-byte RC header of §III-B
-			// When the last reference is dropped, hand the backing
-			// storage to the kernel free list. ForceFree (rcrelease)
-			// deliberately bypasses this — see rc.Header.SetOnFree.
-			x.Hdr.SetOnFree(x.Recycle)
-		} else {
-			x.Hdr.IncRef()
-		}
-	case *rcCell:
-		if x != nil {
-			x.hdr.IncRef()
-		}
-	case []any:
-		for _, e := range x {
-			c.bindValue(e)
-		}
-	}
-}
+func (c *ctx) bindValue(v any) { c.i.BindValue(v) }
 
 // releaseValue drops a reference taken by bindValue.
-func (c *ctx) releaseValue(v any) {
-	switch x := v.(type) {
-	case *matrix.Matrix:
-		if x != nil {
-			x.Hdr.DecRef()
-		}
-	case *rcCell:
-		if x != nil {
-			x.hdr.DecRef()
-		}
-	case []any:
-		for _, e := range x {
-			c.releaseValue(e)
-		}
-	}
-}
+func (c *ctx) releaseValue(v any) { c.i.ReleaseValue(v) }
 
 // escapeRef takes an extra reference so a value survives its frame's
 // teardown; the reference is registered for release at the end of the
 // consuming statement.
-func (c *ctx) escapeRef(v any) {
-	switch x := v.(type) {
-	case *matrix.Matrix:
-		if x != nil && x.Hdr != nil {
-			x.Hdr.IncRef()
-			c.pending = append(c.pending, x.Hdr)
-		}
-	case *rcCell:
-		if x != nil {
-			x.hdr.IncRef()
-			c.pending = append(c.pending, x.hdr)
-		}
-	case []any:
-		for _, e := range x {
-			c.escapeRef(e)
-		}
-	}
-}
+func (c *ctx) escapeRef(v any) { c.i.EscapeRef(v, &c.pending) }
 
 // releasePending drops escape references accumulated since mark.
 func (c *ctx) releasePending(mark int) {
@@ -300,33 +244,13 @@ func (c *ctx) popFrame(f *frame) {
 }
 
 // checkCancel aborts execution once the interpreter's context is
-// cancelled. The channel poll is cheap enough to run per statement and
-// per with-loop element.
-func (c *ctx) checkCancel(n ast.Node) error {
-	if c.i.done == nil {
-		return nil
-	}
-	select {
-	case <-c.i.done:
-		return wrap(n, c.i.ctx.Err())
-	default:
-		return nil
-	}
-}
+// cancelled.
+func (c *ctx) checkCancel(n ast.Node) error { return c.i.CheckCancel(n) }
 
-func (c *ctx) step(n ast.Node) error {
-	if err := c.checkCancel(n); err != nil {
-		return err
-	}
-	max := c.i.opts.MaxSteps
-	if max == 0 {
-		return nil
-	}
-	if s := c.i.steps.Add(1); s > max {
-		return trapErr(n, TrapStep, "execution exceeded %d steps", max)
-	}
-	return nil
-}
+// step ticks the statement budget: exactly one tick per executed
+// statement, never for conditions or expressions (the contract both
+// engines share — see engine.go).
+func (c *ctx) step(n ast.Node) error { return c.i.StepTick(n) }
 
 // exec is the matrix-runtime execution environment for this context:
 // the pool (nil in nested constructs), the interpreter's allocation
@@ -337,18 +261,7 @@ func (c *ctx) exec() matrix.Exec {
 
 // charge debits cells from the allocation budget before an allocation
 // the matrix package does not make itself (ranges, file reads).
-func (c *ctx) charge(n ast.Node, cells int64) error {
-	if c.i.budget == nil {
-		return nil
-	}
-	if cells < 0 || cells > int64(^uint(0)>>1) {
-		return trapErr(n, TrapShape, "allocation of %d cells is impossible", cells)
-	}
-	if err := c.i.budget.Charge(int(cells)); err != nil {
-		return wrap(n, err)
-	}
-	return nil
-}
+func (c *ctx) charge(n ast.Node, cells int64) error { return c.i.ChargeCells(n, cells) }
 
 // Run executes main() and returns its exit code. Run never panics: a
 // panic escaping evaluation — a matrix kernel shape violation, an rc
@@ -461,6 +374,10 @@ func (c *ctx) coerceToDeclared(n ast.Node, te ast.TypeExpr, v any) (any, error) 
 }
 
 func (c *ctx) coerceToType(n ast.Node, ty *types.Type, v any) (any, error) {
+	return coerceValue(n, ty, v)
+}
+
+func coerceValue(n ast.Node, ty *types.Type, v any) (any, error) {
 	switch ty.Kind {
 	case types.Float:
 		if iv, ok := v.(int64); ok {
@@ -488,7 +405,7 @@ func (c *ctx) coerceToType(n ast.Node, ty *types.Type, v any) (any, error) {
 		}
 		out := make([]any, len(tup))
 		for k := range tup {
-			cv, err := c.coerceToType(n, ty.Elems[k], tup[k])
+			cv, err := coerceValue(n, ty.Elems[k], tup[k])
 			if err != nil {
 				return nil, err
 			}

@@ -70,6 +70,9 @@ type Config struct {
 	// timeout) — a run that cannot start before its deadline is shed,
 	// not left to occupy the queue). Defaults to DefaultTimeout.
 	MaxQueueWait time.Duration
+	// DefaultEngine selects the execution engine for run requests that
+	// specify none: "vm" (the default) or "tree".
+	DefaultEngine string
 }
 
 // TestHookRunBarrier, when non-nil, is called by handleRun while its
@@ -124,6 +127,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.MaxQueueWait <= 0 {
 		cfg.MaxQueueWait = cfg.DefaultTimeout
+	}
+	if cfg.DefaultEngine == "" {
+		cfg.DefaultEngine = "vm"
 	}
 	return &Server{
 		cfg:       cfg,
@@ -246,11 +252,17 @@ type runRequest struct {
 	// MaxCells bounds matrix cells the run may allocate; 0 or a value
 	// above the server's cap selects the cap.
 	MaxCells int64 `json:"max_cells,omitempty"`
+	// Engine selects the execution engine: "vm" (default) or "tree";
+	// empty selects the server's configured default.
+	Engine string `json:"engine,omitempty"`
 }
 
 type runResponse struct {
-	Key         string              `json:"key"`
-	Cached      bool                `json:"cached"`
+	Key    string `json:"key"`
+	Cached bool   `json:"cached"`
+	// Engine is the engine that executed: "vm" or "tree" (the latter
+	// also when the bytecode compiler fell back).
+	Engine      string              `json:"engine"`
 	ExitCode    int                 `json:"exit_code"`
 	Stdout      string              `json:"stdout"`
 	Diagnostics []string            `json:"diagnostics,omitempty"`
@@ -441,6 +453,18 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if maxCells <= 0 || maxCells > s.cfg.MaxCells {
 		maxCells = s.cfg.MaxCells
 	}
+	engine := req.Engine
+	if engine == "" {
+		engine = s.cfg.DefaultEngine
+	}
+	switch engine {
+	case "vm", "tree":
+	default:
+		s.clientError(w, http.StatusBadRequest, errorResponse{
+			Error: fmt.Sprintf("unknown engine %q (have: vm, tree)", req.Engine),
+		})
+		return
+	}
 
 	// Admission control: acquire an execution slot through the bounded,
 	// deadline-aware run queue, or shed now with a structured
@@ -472,6 +496,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	res, err := s.d.Run(ctx, driver.RunRequest{
 		Name: name, Source: req.Source, Exts: exts,
 		Threads: req.Threads, MaxSteps: req.MaxSteps, MaxCells: maxCells,
+		Engine: engine,
 		// No Dir + non-nil Files: file I/O stays in this request-local
 		// in-memory map, never the server's filesystem.
 		Files:  map[string]*matrix.Matrix{},
@@ -512,7 +537,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, runResponse{
-		Key: res.Key, Cached: res.Cached, ExitCode: res.ExitCode,
+		Key: res.Key, Cached: res.Cached, Engine: res.Engine, ExitCode: res.ExitCode,
 		Stdout: stdout.String(), Diagnostics: res.Diagnostics,
 		Stages: res.Stages, DurationMS: float64(dur) / float64(time.Millisecond),
 	})

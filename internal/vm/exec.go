@@ -1,0 +1,295 @@
+// The bytecode machine: a switch-dispatch loop over proto code, plus
+// the call, with-loop, matrixMap and spawn runners. All resource
+// policy (budgets, cancellation, rc bookkeeping, I/O) is delegated to
+// the interp engine surface so both engines share one semantics.
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/interp"
+	"repro/internal/par"
+	"repro/internal/rc"
+	"repro/internal/types"
+)
+
+// Machine executes a compiled Program against one interpreter's
+// runtime services (budget, heap, pool, I/O). One Machine runs one
+// program once; the Program itself is immutable and shareable.
+type Machine struct {
+	p       *Program
+	in      *interp.Interp
+	globals []value
+}
+
+// NewMachine pairs a compiled program with an interpreter instance
+// (which supplies budgets, the worker pool, rc heap and I/O).
+func NewMachine(p *Program, in *interp.Interp) *Machine {
+	return &Machine{p: p, in: in}
+}
+
+// frame is one function activation: its registers, its statement-
+// scoped pending rc releases, and its outstanding Cilk spawns.
+type frame struct {
+	regs    []value
+	pending []*rc.Header
+	futures []*vmFuture
+	pool    *par.Pool
+	depth   int
+	ret     any
+	hasRet  bool
+}
+
+// vmFuture is one outstanding spawned call (mirrors interp's
+// spawnFuture).
+type vmFuture struct {
+	done    chan struct{}
+	val     any
+	err     error
+	pending []*rc.Header
+	args    []any
+	target  targetRef
+	node    ast.Node
+}
+
+// box reads an operand register as a boxed value.
+func (fr *frame) box(d argDesc) any {
+	switch d.cl {
+	case clI:
+		return fr.regs[d.reg].i
+	case clF:
+		return fr.regs[d.reg].f
+	case clB:
+		return fr.regs[d.reg].i != 0
+	default:
+		return fr.regs[d.reg].r
+	}
+}
+
+// store writes a boxed value into a typed register. The checks are
+// tolerant: a mismatch is unreachable in a checked program (binding
+// coercion and return promotion pin runtime representations to static
+// types), and int→float promotion covers the one dynamic seam the
+// tree walker also papers over.
+func (fr *frame) store(reg int32, cl class, v any, nd ast.Node) error {
+	switch cl {
+	case clI:
+		n, ok := v.(int64)
+		if !ok {
+			return interp.Errorf(nd, "expected an int value, got %T", v)
+		}
+		fr.regs[reg].i = n
+	case clF:
+		switch x := v.(type) {
+		case float64:
+			fr.regs[reg].f = x
+		case int64:
+			fr.regs[reg].f = float64(x)
+		default:
+			return interp.Errorf(nd, "expected a float value, got %T", v)
+		}
+	case clB:
+		b, ok := v.(bool)
+		if !ok {
+			return interp.Errorf(nd, "condition evaluated to %T, not bool", v)
+		}
+		if b {
+			fr.regs[reg].i = 1
+		} else {
+			fr.regs[reg].i = 0
+		}
+	default:
+		fr.regs[reg].r = v
+	}
+	return nil
+}
+
+// flush releases the frame's pending rc references (the engine-shared
+// statement-boundary discipline).
+func (mc *Machine) flush(fr *frame) {
+	for _, h := range fr.pending {
+		h.DecRef()
+	}
+	fr.pending = fr.pending[:0]
+}
+
+// Run executes the program: globals in declaration order, then main.
+// Like the tree walker it never panics; anything recovered becomes a
+// classified *interp.RuntimeError.
+func (mc *Machine) Run() (code int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			code, err = 0, interp.Recovered(mc.p.prog, r)
+		}
+	}()
+	return mc.run()
+}
+
+func (mc *Machine) run() (int, error) {
+	if mc.p.main < 0 {
+		return 0, fmt.Errorf("interp: program has no main function")
+	}
+	mc.globals = make([]value, len(mc.p.globals))
+	gfr := &frame{regs: make([]value, mc.p.ginit.nregs), pool: mc.in.Pool()}
+	if err := mc.exec(gfr, mc.p.ginit); err != nil {
+		// Globals are deliberately not released on error (tree parity).
+		return 0, err
+	}
+	mp := mc.p.protos[mc.p.main]
+	var rootPending []*rc.Header
+	ret, err := mc.callProto(mc.p.main, nil, mp.decl, 0, mc.in.Pool(), &rootPending)
+	if err != nil {
+		return 0, err
+	}
+	for _, h := range rootPending {
+		h.DecRef()
+	}
+	for gi, g := range mc.p.globals {
+		if g.cl == clR {
+			mc.in.ReleaseValue(mc.globals[gi].r)
+		}
+	}
+	code := 0
+	if n, ok := ret.(int64); ok {
+		code = int(n)
+	}
+	return code, nil
+}
+
+// callProto invokes a compiled function: depth check, parameter
+// coercion and binding, execution, implicit sync, return promotion /
+// fall-off zero substitution, escape of the return value into the
+// caller's pending list, and frame teardown — each step mirroring the
+// tree walker's callFunction exactly, including its error-path
+// ordering.
+func (mc *Machine) callProto(pi int, args []any, site ast.Node, callerDepth int, pool *par.Pool, callerPending *[]*rc.Header) (any, error) {
+	p := mc.p.protos[pi]
+	if callerDepth > 512 {
+		return nil, interp.Trapf(site, interp.TrapDepth, "call stack exceeded 512 frames (infinite recursion in %q?)", p.name)
+	}
+	fr := &frame{regs: make([]value, p.nregs), pool: pool, depth: callerDepth + 1}
+	for k, pd := range p.params {
+		v, err := interp.CoerceValue(site, pd.ty, args[k])
+		if err != nil {
+			// Earlier parameters stay bound (tree parity: callFunction
+			// returns without popping the half-built frame).
+			return nil, err
+		}
+		mc.in.BindValue(v)
+		if err := fr.store(pd.reg, pd.cl, v, site); err != nil {
+			return nil, err
+		}
+	}
+	err := mc.exec(fr, p)
+	if serr := mc.syncFrame(fr); serr != nil && err == nil {
+		err = serr
+	}
+	if err != nil {
+		mc.flush(fr)
+		mc.releaseRefRegs(fr, p)
+		return nil, err
+	}
+	ret := fr.ret
+	if p.retTy != nil && p.retTy.Kind != types.Void && p.retTy.Kind != types.Invalid {
+		if fr.hasRet && ret != nil {
+			ret = interp.PromoteScalar(p.retTy, ret)
+		} else if !fr.hasRet {
+			ret = interp.ZeroValue(p.retTy)
+		}
+	}
+	if fr.hasRet && ret != nil {
+		mc.in.EscapeRef(ret, callerPending)
+	}
+	mc.flush(fr)
+	mc.releaseRefRegs(fr, p)
+	return ret, nil
+}
+
+// releaseRefRegs drops the binding references of the frame's boxed
+// variable registers (block-scoped variables included: the VM frees
+// them at function exit rather than block exit, which the cumulative
+// cell budget cannot observe).
+func (mc *Machine) releaseRefRegs(fr *frame, p *proto) {
+	for _, r := range p.refRegs {
+		mc.in.ReleaseValue(fr.regs[r].r)
+	}
+}
+
+// syncFrame joins the frame's outstanding spawns: the semantics of
+// `sync;` and of the implicit sync at function exit.
+func (mc *Machine) syncFrame(fr *frame) error {
+	var firstErr error
+	for _, fut := range fr.futures {
+		<-fut.done
+		if fut.err != nil {
+			if firstErr == nil {
+				firstErr = fut.err
+			}
+		} else if fut.target.kind != tgNone {
+			cv, err := interp.CoerceValue(fut.node, fut.target.ty, fut.val)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+			} else {
+				mc.in.BindValue(cv)
+				if fut.target.kind == tgGlobal {
+					mc.in.ReleaseValue(mc.globals[fut.target.reg].r)
+					if err := storeInto(mc.globals, fut.target.reg, fut.target.cl, cv); err != nil && firstErr == nil {
+						firstErr = interp.WrapError(fut.node, err)
+					}
+				} else {
+					if fut.target.cl == clR {
+						mc.in.ReleaseValue(fr.regs[fut.target.reg].r)
+					}
+					if err := storeInto(fr.regs, fut.target.reg, fut.target.cl, cv); err != nil && firstErr == nil {
+						firstErr = interp.WrapError(fut.node, err)
+					}
+				}
+			}
+		}
+		for _, h := range fut.pending {
+			h.DecRef()
+		}
+		for _, a := range fut.args {
+			mc.in.ReleaseValue(a)
+		}
+	}
+	fr.futures = nil
+	return firstErr
+}
+
+// storeInto writes a boxed value into a register slice slot.
+func storeInto(regs []value, reg int32, cl class, v any) error {
+	switch cl {
+	case clI:
+		n, ok := v.(int64)
+		if !ok {
+			return fmt.Errorf("expected an int value, got %T", v)
+		}
+		regs[reg].i = n
+	case clF:
+		switch x := v.(type) {
+		case float64:
+			regs[reg].f = x
+		case int64:
+			regs[reg].f = float64(x)
+		default:
+			return fmt.Errorf("expected a float value, got %T", v)
+		}
+	case clB:
+		b, ok := v.(bool)
+		if !ok {
+			return fmt.Errorf("expected a bool value, got %T", v)
+		}
+		if b {
+			regs[reg].i = 1
+		} else {
+			regs[reg].i = 0
+		}
+	default:
+		regs[reg].r = v
+	}
+	return nil
+}
