@@ -3,8 +3,10 @@
 # installed), build, full tests, a race-detector pass over the
 # crash-proofing layers (pool, matrix runtime, interpreter, server), a
 # race-enabled dual-engine differential pass (bytecode VM vs the
-# tree-walking oracle), a fuzz smoke over the frontend, the cmvet
-# analyzer and the VM differential fuzzer, the vet findings manifest,
+# tree-walking oracle), the race-enabled fleet chaos suite (cmgate
+# routing under shard kill/restart/hang), a fuzz smoke over the
+# frontend, the cmvet analyzer, the VM differential fuzzer and the
+# consistent-hash ring, the vet findings manifest,
 # and a one-shot benchmark smoke pass (E1 plus the compile-service
 # cold/warm pair). Run locally before pushing; the GitHub Actions
 # workflow runs this script.
@@ -44,6 +46,9 @@ go test -race -run 'Kernel|Recycle|FreeList|SetOnFree' ./internal/matrix ./inter
 echo "== chaos suite (flood / drain / disk-cache recovery) =="
 go test -race -run 'TestChaos|TestCrash' ./internal/server
 
+echo "== fleet chaos suite (kill / restart / hang / slow shards under flood) =="
+go test -race ./internal/fleet
+
 echo "== vm differential (bytecode engine vs tree-walking oracle) =="
 go test -race -run 'TestVMDifferential|TestVMStep' -count=1 .
 
@@ -53,6 +58,7 @@ go test -run='^$' -fuzz='^FuzzParse$' -fuzztime=10s ./internal/parser
 go test -run='^$' -fuzz='^FuzzVet$' -fuzztime=10s ./internal/vet
 go test -run='^$' -fuzz='^FuzzKernelDiff$' -fuzztime=10s ./internal/matrix
 go test -run='^$' -fuzz='^FuzzVMDiff$' -fuzztime=10s .
+go test -run='^$' -fuzz='^FuzzRing$' -fuzztime=10s ./internal/fleet
 
 echo "== vet manifest (examples + testdata findings pinned) =="
 go test -run='^TestVetManifest$' .

@@ -20,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -75,7 +76,7 @@ func main() {
 		}
 	}
 
-	res := d.Compile(driver.CompileRequest{
+	res := d.Compile(context.Background(), driver.CompileRequest{
 		Name: file, Source: string(src), Exts: exts, Emit: *emit,
 		Codegen: cgen.Options{Par: parMode, Optimize: *optimize},
 	})

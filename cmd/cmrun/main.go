@@ -7,19 +7,26 @@
 // Usage:
 //
 //	cmrun [-t N] [-dir path] [-timeout d] [-engine vm|tree] file.xc
+//	cmrun -server http://gate:8080 [-retries N] file.xc
 //
 // The default engine is the register bytecode VM; -engine tree selects
 // the tree-walking interpreter (the VM's differential oracle). The two
 // are observably identical — output, traps, exit codes, budgets.
 //
+// With -server, the program is shipped to a cmserved instance (or a
+// cmgate fleet front) instead of running locally; -retries bounds
+// client-side re-attempts after an overload shed or transport failure,
+// with jittered exponential backoff honoring the server's Retry-After.
+// -dir does not apply remotely (the server has no access to local
+// matrix files).
+//
 // Exit codes: the program's own exit code on success; 1 for other
 // execution failures (e.g. a busted -timeout deadline); 2 for usage or
 // compile errors; 3 for a runtime trap (shape, rc, panic); 4 when a
 // resource budget was exceeded (-maxsteps, -maxcells, call depth); 5
-// when a compile server sheds the request under load
-// (server.ErrOverloaded — reserved for the client mode that talks to
-// cmserved; retry with backoff instead of hammering a shedding
-// server).
+// when the compile server sheds the request under load and the
+// -retries budget is exhausted (retry with backoff instead of
+// hammering a shedding server).
 package main
 
 import (
@@ -29,6 +36,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
+	"time"
 
 	"repro/internal/driver"
 	"repro/internal/interp"
@@ -43,9 +52,11 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort execution after this long (0 = no deadline)")
 	extFlag := flag.String("ext", "all", "comma-separated extensions to compose (matrix, transform, rc, cilk, all, none)")
 	engine := flag.String("engine", "vm", "execution engine: vm (register bytecode) or tree (AST walker)")
+	serverURL := flag.String("server", "", "execute remotely via this cmserved/cmgate base URL instead of locally")
+	retries := flag.Int("retries", 0, "remote mode: re-attempts after overload sheds or transport failures")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: cmrun [-t N] [-dir path] file.xc")
+		fmt.Fprintln(os.Stderr, "usage: cmrun [-t N] [-dir path] [-server url [-retries N]] file.xc")
 		os.Exit(2)
 	}
 	file := flag.Arg(0)
@@ -68,6 +79,13 @@ func main() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+	if *serverURL != "" {
+		os.Exit(runRemote(ctx, strings.TrimRight(*serverURL, "/"), remoteRunRequest{
+			Name: file, Source: string(src), Extensions: *extFlag,
+			Threads: *threads, TimeoutMS: int64(*timeout / time.Millisecond),
+			MaxSteps: *steps, MaxCells: *cells, Engine: *engine,
+		}, *retries))
 	}
 	res, err := driver.New().Run(ctx, driver.RunRequest{
 		Name: file, Source: string(src), Exts: exts,

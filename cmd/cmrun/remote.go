@@ -1,0 +1,152 @@
+// Remote execution mode: with -server, cmrun ships the program to a
+// cmserved instance (or a cmgate fleet front) over the PR 3 HTTP API
+// instead of interpreting locally. The client half of the overload
+// contract lives here: a 429 shed is retried -retries times with
+// full-jitter exponential backoff floored at the server's Retry-After
+// estimate, and only an exhausted budget surfaces as exit code 5.
+// Transport failures (gate restarting, connection refused) share the
+// same budget — both are "try again shortly", not "your program is
+// broken".
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+// remoteRunRequest mirrors the server's runRequest wire shape.
+type remoteRunRequest struct {
+	Name       string `json:"name,omitempty"`
+	Source     string `json:"source"`
+	Extensions string `json:"extensions,omitempty"`
+	Threads    int    `json:"threads,omitempty"`
+	TimeoutMS  int64  `json:"timeout_ms,omitempty"`
+	MaxSteps   int64  `json:"max_steps,omitempty"`
+	MaxCells   int64  `json:"max_cells,omitempty"`
+	Engine     string `json:"engine,omitempty"`
+}
+
+// remoteRunResponse mirrors the server's runResponse wire shape.
+type remoteRunResponse struct {
+	ExitCode    int      `json:"exit_code"`
+	Stdout      string   `json:"stdout"`
+	Diagnostics []string `json:"diagnostics,omitempty"`
+}
+
+// remoteError mirrors the server's errorResponse wire shape.
+type remoteError struct {
+	Error        string   `json:"error"`
+	Diagnostics  []string `json:"diagnostics,omitempty"`
+	Trap         string   `json:"trap,omitempty"`
+	RetryAfterMS int64    `json:"retry_after_ms,omitempty"`
+}
+
+// runRemote posts the program to serverURL/v1/run and maps the
+// response onto cmrun's local exit-code contract. It returns the
+// process exit code.
+func runRemote(ctx context.Context, serverURL string, req remoteRunRequest, retries int) int {
+	body, err := json.Marshal(req)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cmrun: %v\n", err)
+		return 2
+	}
+	policy := fleet.RetryPolicy{Max: retries}
+	client := &http.Client{}
+	var lastErr string
+	for attempt := 0; ; attempt++ {
+		status, payload, err := postOnce(ctx, client, serverURL+"/v1/run", body)
+		if err == nil {
+			switch {
+			case status == http.StatusOK:
+				var res remoteRunResponse
+				if err := json.Unmarshal(payload, &res); err != nil {
+					fmt.Fprintf(os.Stderr, "cmrun: malformed server response: %v\n", err)
+					return 1
+				}
+				for _, diag := range res.Diagnostics {
+					fmt.Fprintln(os.Stderr, diag)
+				}
+				os.Stdout.WriteString(res.Stdout)
+				return res.ExitCode
+			case status == http.StatusTooManyRequests:
+				e := decodeRemoteError(payload)
+				lastErr = "server overloaded: " + e.Error
+				if attempt < retries {
+					wait := policy.Backoff(attempt, time.Duration(e.RetryAfterMS)*time.Millisecond)
+					fmt.Fprintf(os.Stderr, "cmrun: %s; retrying in %v (%d/%d)\n", lastErr, wait.Round(time.Millisecond), attempt+1, retries)
+					if fleet.SleepCtx(ctx, wait) != nil {
+						fmt.Fprintln(os.Stderr, "cmrun: "+lastErr)
+						return 5
+					}
+					continue
+				}
+				fmt.Fprintln(os.Stderr, "cmrun: "+lastErr)
+				return 5
+			default:
+				e := decodeRemoteError(payload)
+				for _, diag := range e.Diagnostics {
+					fmt.Fprintln(os.Stderr, diag)
+				}
+				msg := e.Error
+				if msg == "" {
+					msg = fmt.Sprintf("server returned HTTP %d", status)
+				}
+				fmt.Fprintf(os.Stderr, "cmrun: %s\n", msg)
+				if status >= 400 && status < 500 {
+					// The program (or request) is at fault: same exit code
+					// as a local compile/usage error.
+					return 2
+				}
+				if e.Trap != "" {
+					return 3
+				}
+				return 1
+			}
+		}
+		// Transport-level failure: the fleet may be mid-restart, which
+		// is exactly what the retry budget is for.
+		lastErr = err.Error()
+		if attempt < retries {
+			wait := policy.Backoff(attempt, 0)
+			fmt.Fprintf(os.Stderr, "cmrun: %s; retrying in %v (%d/%d)\n", lastErr, wait.Round(time.Millisecond), attempt+1, retries)
+			if fleet.SleepCtx(ctx, wait) == nil {
+				continue
+			}
+		}
+		fmt.Fprintf(os.Stderr, "cmrun: %s\n", lastErr)
+		return 1
+	}
+}
+
+// postOnce issues a single POST and reads the full response body.
+func postOnce(ctx context.Context, client *http.Client, url string, body []byte) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, payload, nil
+}
+
+func decodeRemoteError(payload []byte) remoteError {
+	var e remoteError
+	json.Unmarshal(payload, &e)
+	return e
+}

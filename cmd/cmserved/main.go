@@ -50,6 +50,7 @@ func main() {
 	cacheBytes := flag.Int64("cache-bytes", 0, "in-memory cache cap, approximate bytes per cache (0 = default)")
 	warm := flag.Bool("warm", true, "pre-build the composed grammar table and §VI analyses at startup")
 	engine := flag.String("engine", "vm", "default execution engine for /v1/run: vm or tree")
+	shardID := flag.String("shard-id", "", "fleet identity stamped on responses as X-CM-Shard (empty = standalone)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: cmserved [-addr :8347] [-runs N] [-queue N] [-timeout d] [-max-timeout d] [-cachedir path]")
@@ -68,6 +69,7 @@ func main() {
 		DefaultTimeout:    *timeout,
 		MaxTimeout:        *maxTimeout,
 		DefaultEngine:     *engine,
+		ShardID:           *shardID,
 	})
 	if *warm {
 		// Pay the one-time grammar-composition and analysis cost before

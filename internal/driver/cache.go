@@ -119,6 +119,44 @@ func (l *lruCache) removeLocked(el *list.Element) {
 	delete(l.index, e.key)
 }
 
+// peek returns the completed result stored under key without
+// installing a slot, promoting the entry, or blocking on an in-flight
+// execution. Fleet artifact export uses it: a peer asking "do you have
+// this?" must never create a slot it will not fill.
+func (l *lruCache) peek(key string) (any, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	el, ok := l.index[key]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*cacheEntry)
+	if !e.done {
+		return nil, false
+	}
+	return e.c.res, true
+}
+
+// install puts an already-completed result under key if no slot exists
+// yet, reporting whether it was installed. An existing entry — complete
+// or in flight — wins: a peer-imported artifact never replaces a local
+// result or races an execution already under way.
+func (l *lruCache) install(key string, res any, bytes int64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.index[key]; ok {
+		return false
+	}
+	c := &call{done: make(chan struct{}), res: res}
+	close(c.done)
+	el := l.ll.PushFront(&cacheEntry{key: key, c: c, bytes: bytes, done: true})
+	l.index[key] = el
+	l.bytes += bytes
+	l.completed++
+	l.trimLocked()
+	return true
+}
+
 // stats reports the completed-entry count and accounted bytes.
 func (l *lruCache) stats() (entries int, bytes int64) {
 	l.mu.Lock()

@@ -19,6 +19,7 @@ package driver
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -58,33 +59,76 @@ func (dc *diskCache) objectPath(key string) string {
 }
 
 // get loads the artifact stored under key. It returns (nil, false) on
-// any miss: absent file, unreadable file, or a payload whose digest
-// does not match (which is quarantined and counted as corrupt).
-func (dc *diskCache) get(key string) (*diskArtifact, bool) {
-	path := dc.objectPath(key)
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		dc.m.DiskMisses.Add(1)
-		return nil, false
-	}
-	payload, ok := verifyObject(raw)
+// any miss: absent file, unreadable file, a payload whose digest does
+// not match (which is quarantined and counted as corrupt), or a ctx
+// that expires while the read is outstanding — a disconnected client
+// must not stay pinned behind a hung disk.
+func (dc *diskCache) get(ctx context.Context, key string) (*diskArtifact, bool) {
+	raw, ok := dc.getRaw(ctx, key)
 	if !ok {
-		dc.quarantine(path)
-		dc.m.DiskCorrupt.Add(1)
-		dc.m.DiskMisses.Add(1)
 		return nil, false
 	}
+	payload, _ := verifyObject(raw) // getRaw already verified
 	var art diskArtifact
 	if err := json.Unmarshal(payload, &art); err != nil {
 		// Digest matched but the payload does not decode: written by an
 		// incompatible version. Quarantine it the same way.
-		dc.quarantine(path)
+		dc.quarantine(dc.objectPath(key))
 		dc.m.DiskCorrupt.Add(1)
 		dc.m.DiskMisses.Add(1)
 		return nil, false
 	}
 	dc.m.DiskHits.Add(1)
 	return &art, true
+}
+
+// getRaw loads the digest-framed object bytes stored under key — the
+// exact on-disk (and peer-transfer) representation — verifying the
+// embedded digest but not decoding the payload. The read itself runs
+// on a helper goroutine raced against ctx: a blocked disk (NFS stall,
+// dying device) degrades to a miss at the caller's deadline instead of
+// pinning its slot. The helper drains into a buffered channel, so no
+// goroutine leaks even when abandoned.
+func (dc *diskCache) getRaw(ctx context.Context, key string) ([]byte, bool) {
+	path := dc.objectPath(key)
+	if ctx != nil && ctx.Err() != nil {
+		dc.m.DiskMisses.Add(1)
+		return nil, false
+	}
+	var raw []byte
+	var err error
+	if ctx == nil {
+		raw, err = os.ReadFile(path)
+	} else {
+		type readResult struct {
+			raw []byte
+			err error
+		}
+		ch := make(chan readResult, 1)
+		go func() {
+			r, e := os.ReadFile(path)
+			ch <- readResult{r, e}
+		}()
+		select {
+		case <-ctx.Done():
+			dc.m.DiskMisses.Add(1)
+			dc.m.DiskAbandoned.Add(1)
+			return nil, false
+		case res := <-ch:
+			raw, err = res.raw, res.err
+		}
+	}
+	if err != nil {
+		dc.m.DiskMisses.Add(1)
+		return nil, false
+	}
+	if _, ok := verifyObject(raw); !ok {
+		dc.quarantine(path)
+		dc.m.DiskCorrupt.Add(1)
+		dc.m.DiskMisses.Add(1)
+		return nil, false
+	}
+	return raw, true
 }
 
 // put persists an artifact under key: temp file in the destination
@@ -97,7 +141,12 @@ func (dc *diskCache) put(key string, art *diskArtifact) {
 		dc.m.DiskWriteErrors.Add(1)
 		return
 	}
-	sum := sha256.Sum256(payload)
+	dc.putRaw(key, encodeObject(payload))
+}
+
+// putRaw persists already digest-framed object bytes (as produced by
+// encodeObject, or received verified from a peer) under key.
+func (dc *diskCache) putRaw(key string, raw []byte) {
 	path := dc.objectPath(key)
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		dc.m.DiskWriteErrors.Add(1)
@@ -108,10 +157,7 @@ func (dc *diskCache) put(key string, art *diskArtifact) {
 		dc.m.DiskWriteErrors.Add(1)
 		return
 	}
-	_, werr := fmt.Fprintf(tmp, "%s\n", hex.EncodeToString(sum[:]))
-	if werr == nil {
-		_, werr = tmp.Write(payload)
-	}
+	_, werr := tmp.Write(raw)
 	if cerr := tmp.Close(); werr == nil {
 		werr = cerr
 	}
@@ -134,6 +180,18 @@ func (dc *diskCache) quarantine(path string) {
 		// that fails too the digest check still protects every read.
 		os.Remove(path)
 	}
+}
+
+// encodeObject frames a payload in the disk-object format: a 64-byte
+// hex SHA-256 of the payload, a newline, then the payload. The same
+// framing travels over /v1/artifact between shards, so a peer transfer
+// is verified by exactly the code path that guards disk reads.
+func encodeObject(payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	raw := make([]byte, 0, hex.EncodedLen(sha256.Size)+1+len(payload))
+	raw = append(raw, hex.EncodeToString(sum[:])...)
+	raw = append(raw, '\n')
+	return append(raw, payload...)
 }
 
 // verifyObject splits a stored object into digest line + payload and

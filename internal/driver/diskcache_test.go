@@ -5,6 +5,7 @@
 package driver_test
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -17,7 +18,7 @@ import (
 
 func compileOnce(t *testing.T, d *driver.Driver, src string) *driver.CompileResult {
 	t.Helper()
-	res := d.Compile(driver.CompileRequest{
+	res := d.Compile(context.Background(), driver.CompileRequest{
 		Name: "t.xc", Source: src, Exts: parser.AllExtensions(),
 		Codegen: cgen.Options{Par: cgen.ParNone, Optimize: true},
 	})

@@ -184,6 +184,10 @@ type CompileResult struct {
 	Output      string
 	Diagnostics []string
 	Stages      StageTimings
+	// Canceled reports the request's context was already dead on
+	// arrival: no pipeline work was started and nothing was cached.
+	// A disconnected client costs nothing.
+	Canceled bool
 }
 
 // RunRequest describes one interpreter execution.
@@ -300,8 +304,15 @@ func (d *Driver) frontend(name, src string, exts parser.Options) (*frontResult, 
 
 // Compile translates req.Source, serving repeated identical requests
 // from the artifact cache and coalescing concurrent identical requests
-// into one pipeline execution.
-func (d *Driver) Compile(req CompileRequest) *CompileResult {
+// into one pipeline execution. ctx (nil means background) covers the
+// caller's interest in the result: a context already dead on arrival
+// returns immediately with Canceled set, and a context that dies while
+// the disk tier is being read degrades the read to a miss rather than
+// pinning the caller behind a hung disk. The pipeline itself, once
+// started, always runs to completion — concurrent identical requests
+// share the slot, and one caller's disconnect must not fail the
+// others.
+func (d *Driver) Compile(ctx context.Context, req CompileRequest) *CompileResult {
 	t0 := time.Now()
 	defer func() { d.metrics.CompileLatency.Observe(time.Since(t0)) }()
 	if req.Emit == "" {
@@ -309,6 +320,11 @@ func (d *Driver) Compile(req CompileRequest) *CompileResult {
 	}
 	key := compileKey(&req)
 	out := &CompileResult{Key: key}
+	if ctx != nil && ctx.Err() != nil {
+		out.Canceled = true
+		out.Diagnostics = []string{fmt.Sprintf("%s: error: compile canceled: %v", req.Name, ctx.Err())}
+		return out
+	}
 
 	c, owner, hit := d.emits.lookup(key)
 	if !owner {
@@ -329,7 +345,7 @@ func (d *Driver) Compile(req CompileRequest) *CompileResult {
 	// A verified disk object skips the whole pipeline; the result is
 	// promoted into the in-memory LRU like any other completed entry.
 	if d.disk != nil {
-		if art, ok := d.disk.get(key); ok {
+		if art, ok := d.disk.get(ctx, key); ok {
 			res := &emitResult{output: art.Output, diags: art.Diags, ok: true}
 			c.res = res
 			close(c.done)

@@ -77,11 +77,11 @@ func TestCompileCacheHitAndKeying(t *testing.T) {
 		Name: "t.xc", Source: okSrc, Exts: parser.AllExtensions(),
 		Codegen: cgen.Options{Par: cgen.ParNone, Optimize: true},
 	}
-	first := d.Compile(req)
+	first := d.Compile(context.Background(), req)
 	if !first.OK || first.Cached {
 		t.Fatalf("first compile: OK=%v Cached=%v diags=%v", first.OK, first.Cached, first.Diagnostics)
 	}
-	second := d.Compile(req)
+	second := d.Compile(context.Background(), req)
 	if !second.OK || !second.Cached {
 		t.Fatalf("second compile: OK=%v Cached=%v", second.OK, second.Cached)
 	}
@@ -95,7 +95,7 @@ func TestCompileCacheHitAndKeying(t *testing.T) {
 
 	// A flag change is a different content address...
 	req.Codegen.Par = cgen.ParOMP
-	third := d.Compile(req)
+	third := d.Compile(context.Background(), req)
 	if third.Cached || third.Key == first.Key {
 		t.Fatalf("flag change reused cache: Cached=%v", third.Cached)
 	}
@@ -108,7 +108,7 @@ func TestCompileCacheHitAndKeying(t *testing.T) {
 func TestCompileErrorsAreCachedWithDiagnostics(t *testing.T) {
 	d := driver.New()
 	req := driver.CompileRequest{Name: "bad.xc", Source: badSrc, Exts: parser.AllExtensions()}
-	first := d.Compile(req)
+	first := d.Compile(context.Background(), req)
 	if first.OK {
 		t.Fatal("bad source compiled")
 	}
@@ -119,7 +119,7 @@ func TestCompileErrorsAreCachedWithDiagnostics(t *testing.T) {
 		!strings.Contains(joined, "bad.xc:1:") || !strings.Contains(joined, "error") {
 		t.Fatalf("diagnostics = %v, want a positioned parse error", first.Diagnostics)
 	}
-	second := d.Compile(req)
+	second := d.Compile(context.Background(), req)
 	if second.OK || !second.Cached {
 		t.Fatalf("second compile of bad source: OK=%v Cached=%v", second.OK, second.Cached)
 	}
@@ -141,7 +141,7 @@ func TestConcurrentIdenticalCompilesExecuteOnce(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i] = d.Compile(req)
+			results[i] = d.Compile(context.Background(), req)
 		}(i)
 	}
 	wg.Wait()
@@ -261,19 +261,19 @@ int main() {
 	}
 	b.Run("cold", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if res := driver.New().Compile(req); !res.OK {
+			if res := driver.New().Compile(context.Background(), req); !res.OK {
 				b.Fatal(res.Diagnostics)
 			}
 		}
 	})
 	b.Run("warm", func(b *testing.B) {
 		d := driver.New()
-		if res := d.Compile(req); !res.OK {
+		if res := d.Compile(context.Background(), req); !res.OK {
 			b.Fatal(res.Diagnostics)
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if res := d.Compile(req); !res.OK || !res.Cached {
+			if res := d.Compile(context.Background(), req); !res.OK || !res.Cached {
 				b.Fatal("warm request missed the cache")
 			}
 		}

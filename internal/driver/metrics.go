@@ -107,6 +107,15 @@ type Metrics struct {
 	DiskCorrupt     atomic.Int64
 	DiskWrites      atomic.Int64
 	DiskWriteErrors atomic.Int64
+	// DiskAbandoned counts reads abandoned because the requester's
+	// context expired while the read was outstanding (hung or slow
+	// disk); each also counts as a miss.
+	DiskAbandoned atomic.Int64
+
+	// Fleet artifact transfer: objects served to peers/the router over
+	// /v1/artifact, and verified peer objects installed locally.
+	ArtifactExports atomic.Int64
+	ArtifactImports atomic.Int64
 
 	RunsStarted   atomic.Int64
 	RunsCancelled atomic.Int64
@@ -183,6 +192,11 @@ type MetricsSnapshot struct {
 	DiskCorrupt     int64 `json:"disk_cache_corrupt"`
 	DiskWrites      int64 `json:"disk_cache_writes"`
 	DiskWriteErrors int64 `json:"disk_cache_write_errors"`
+	DiskAbandoned   int64 `json:"disk_cache_abandoned"`
+
+	// Fleet artifact transfer (peer cache-fill).
+	ArtifactExports int64 `json:"artifact_exports"`
+	ArtifactImports int64 `json:"artifact_imports"`
 
 	CompileHitRatio float64 `json:"compile_hit_ratio"`
 
@@ -233,6 +247,9 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		DiskCorrupt:        m.DiskCorrupt.Load(),
 		DiskWrites:         m.DiskWrites.Load(),
 		DiskWriteErrors:    m.DiskWriteErrors.Load(),
+		DiskAbandoned:      m.DiskAbandoned.Load(),
+		ArtifactExports:    m.ArtifactExports.Load(),
+		ArtifactImports:    m.ArtifactImports.Load(),
 		ParseLatency:       m.ParseLatency.Snapshot(),
 		CheckLatency:       m.CheckLatency.Snapshot(),
 		EmitLatency:        m.EmitLatency.Snapshot(),

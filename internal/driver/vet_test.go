@@ -1,6 +1,7 @@
 package driver_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -52,7 +53,7 @@ func TestVetCachesResults(t *testing.T) {
 
 	// The vet key is a distinct content address from the compile key for
 	// the same source (different artifact kinds must not collide).
-	comp := d.Compile(driver.CompileRequest{Name: "t.xc", Source: okSrc, Exts: parser.AllExtensions()})
+	comp := d.Compile(context.Background(), driver.CompileRequest{Name: "t.xc", Source: okSrc, Exts: parser.AllExtensions()})
 	if comp.Key == first.Key {
 		t.Fatal("vet and compile share a cache key")
 	}
@@ -91,7 +92,7 @@ func TestVetFindingsSurviveTheCache(t *testing.T) {
 func TestVetReusesCachedFrontend(t *testing.T) {
 	d := driver.New()
 	// Compile first: parse+check results land in the frontend cache.
-	if res := d.Compile(driver.CompileRequest{Name: "t.xc", Source: okSrc, Exts: parser.AllExtensions()}); !res.OK {
+	if res := d.Compile(context.Background(), driver.CompileRequest{Name: "t.xc", Source: okSrc, Exts: parser.AllExtensions()}); !res.OK {
 		t.Fatalf("compile failed: %v", res.Diagnostics)
 	}
 	if res := d.Vet(driver.VetRequest{Name: "t.xc", Source: okSrc, Exts: parser.AllExtensions()}); !res.OK {

@@ -1,0 +1,142 @@
+// Per-shard circuit breaker with the classic three states. Closed:
+// traffic flows, consecutive transport failures are counted. Open: the
+// shard is presumed down; no traffic is sent until a cooldown elapses.
+// Half-open: one trial request (or health probe) is allowed through —
+// success closes the breaker, failure reopens it and restarts the
+// cooldown. The point is asymmetry: failure detection must be fast
+// (a hung shard eats its failure budget within one probe interval),
+// but recovery must be probing, not a thundering herd of retries into
+// a shard that just came back.
+package fleet
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BreakerState is the observable condition of one shard's breaker.
+type BreakerState int32
+
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// Breaker is one shard's circuit breaker. The zero value is not
+// usable; call newBreaker.
+type Breaker struct {
+	mu        sync.Mutex
+	state     BreakerState
+	failures  int           // consecutive failures while closed
+	threshold int           // failures that open the breaker
+	cooldown  time.Duration // open → half-open delay
+	openedAt  time.Time
+	trial     bool // a half-open trial is in flight
+
+	opens *atomic.Int64 // fleet-wide breaker_open_total, shared
+	now   func() time.Time
+}
+
+func newBreaker(threshold int, cooldown time.Duration, opens *atomic.Int64) *Breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = time.Second
+	}
+	if opens == nil {
+		opens = new(atomic.Int64)
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, opens: opens, now: time.Now}
+}
+
+// Allow reports whether a request may be sent to this shard now.
+// Closed always allows. Open allows nothing until the cooldown
+// elapses, then transitions to half-open and admits exactly one trial;
+// further calls are refused until that trial reports Success or
+// Failure.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.trial = true
+		return true
+	default: // half-open
+		if b.trial {
+			return false
+		}
+		b.trial = true
+		return true
+	}
+}
+
+// Success reports a request (or probe) completed against the shard:
+// any HTTP response counts — a 4xx/5xx status is the shard talking,
+// which is all the breaker measures. Resets to closed from any state.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	b.state = BreakerClosed
+	b.failures = 0
+	b.trial = false
+	b.mu.Unlock()
+}
+
+// Failure reports a transport-level failure (connect refused/reset,
+// client timeout): while closed it burns one unit of the failure
+// budget and opens at the threshold; while half-open the trial failed
+// and the breaker reopens, restarting the cooldown.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.open()
+		}
+	case BreakerHalfOpen:
+		b.open()
+	case BreakerOpen:
+		// Already open (e.g. a probe raced a late in-flight failure);
+		// do not extend the cooldown — recovery latency matters.
+	}
+}
+
+func (b *Breaker) open() {
+	b.state = BreakerOpen
+	b.failures = 0
+	b.trial = false
+	b.openedAt = b.now()
+	b.opens.Add(1)
+}
+
+// State reports the current state (half-open is reported while a
+// cooldown has expired but no trial has fired yet only after Allow
+// observes it — the transition is lazy).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

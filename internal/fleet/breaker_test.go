@@ -1,0 +1,109 @@
+package fleet
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock drives a breaker deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newClockedBreaker(threshold int, cooldown time.Duration) (*Breaker, *fakeClock, *atomic.Int64) {
+	opens := new(atomic.Int64)
+	b := newBreaker(threshold, cooldown, opens)
+	c := &fakeClock{t: time.Unix(1000, 0)}
+	b.now = c.now
+	return b, c, opens
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b, _, opens := newClockedBreaker(3, time.Second)
+	for i := 0; i < 2; i++ {
+		b.Failure()
+		if !b.Allow() || b.State() != BreakerClosed {
+			t.Fatalf("breaker opened after %d failures, threshold 3", i+1)
+		}
+	}
+	b.Failure()
+	if b.State() != BreakerOpen || b.Allow() {
+		t.Fatalf("state=%v after threshold failures", b.State())
+	}
+	if opens.Load() != 1 {
+		t.Fatalf("opens counter = %d", opens.Load())
+	}
+}
+
+func TestBreakerHalfOpenSingleTrial(t *testing.T) {
+	b, clk, _ := newClockedBreaker(1, time.Second)
+	b.Failure()
+	if b.Allow() {
+		t.Fatal("open breaker allowed traffic inside cooldown")
+	}
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("breaker refused the half-open trial after cooldown")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state=%v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second request admitted while the trial is in flight")
+	}
+	b.Success()
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("trial success did not close the breaker")
+	}
+}
+
+func TestBreakerTrialFailureReopens(t *testing.T) {
+	b, clk, opens := newClockedBreaker(1, time.Second)
+	b.Failure()
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("no trial admitted")
+	}
+	b.Failure() // trial failed
+	if b.State() != BreakerOpen {
+		t.Fatalf("state=%v after failed trial, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("reopened breaker admitted traffic without a new cooldown")
+	}
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("no second trial after the restarted cooldown")
+	}
+	if opens.Load() != 2 {
+		t.Fatalf("opens counter = %d, want 2", opens.Load())
+	}
+}
+
+func TestBreakerSuccessResetsFailureBudget(t *testing.T) {
+	b, _, _ := newClockedBreaker(3, time.Second)
+	b.Failure()
+	b.Failure()
+	b.Success() // shard talked: budget resets
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatal("non-consecutive failures opened the breaker")
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("three consecutive failures did not open the breaker")
+	}
+}
+
+func TestBreakerLateFailureDoesNotExtendCooldown(t *testing.T) {
+	b, clk, _ := newClockedBreaker(1, time.Second)
+	b.Failure()
+	clk.advance(900 * time.Millisecond)
+	b.Failure() // straggler from an in-flight request
+	clk.advance(100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("late failure extended the cooldown")
+	}
+}

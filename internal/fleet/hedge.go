@@ -1,0 +1,83 @@
+// Hedging support: the router keeps a sliding window of observed
+// forward latencies and fires a second copy of a request to the next
+// shard on the ring once the first has been outstanding longer than
+// the window's p99. The first response wins; the loser is cancelled.
+// This converts a stuck or GC-pausing shard's tail into one extra
+// (declared, counted) request instead of a slow client — the classic
+// "tied requests" tail-tolerance move, tuned so only the slowest ~1%
+// of requests ever hedge.
+package fleet
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyWindow is a fixed-size ring of recent request latencies with
+// a quantile view. Writers are request goroutines; the occasional
+// reader sorts a copy, so observation stays O(1) and lock-cheap.
+type latencyWindow struct {
+	mu      sync.Mutex
+	samples []time.Duration // ring storage
+	next    int
+	full    bool
+}
+
+const latencyWindowSize = 256
+
+func newLatencyWindow() *latencyWindow {
+	return &latencyWindow{samples: make([]time.Duration, latencyWindowSize)}
+}
+
+// Observe records one successful forward's latency.
+func (w *latencyWindow) Observe(d time.Duration) {
+	w.mu.Lock()
+	w.samples[w.next] = d
+	w.next = (w.next + 1) % len(w.samples)
+	if w.next == 0 {
+		w.full = true
+	}
+	w.mu.Unlock()
+}
+
+// Quantile returns the q-quantile (0 < q <= 1) of the window, or 0
+// when the window is empty (caller falls back to its floor).
+func (w *latencyWindow) Quantile(q float64) time.Duration {
+	w.mu.Lock()
+	n := w.next
+	if w.full {
+		n = len(w.samples)
+	}
+	if n == 0 {
+		w.mu.Unlock()
+		return 0
+	}
+	cp := make([]time.Duration, n)
+	copy(cp, w.samples[:n])
+	w.mu.Unlock()
+	sort.Slice(cp, func(a, b int) bool { return cp[a] < cp[b] })
+	i := int(q*float64(n)) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return cp[i]
+}
+
+// hedgeDelay derives the router's current hedge trigger: the p99 of
+// recent forwards, clamped to [min, max]. Before any traffic exists
+// the window is empty and min applies — conservative, so a cold
+// router does not hedge everything it sees.
+func hedgeDelay(w *latencyWindow, min, max time.Duration) time.Duration {
+	d := w.Quantile(0.99)
+	if d < min {
+		d = min
+	}
+	if max > 0 && d > max {
+		d = max
+	}
+	return d
+}

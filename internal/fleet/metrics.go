@@ -1,0 +1,82 @@
+// Router observability, in the repo's established style: sync/atomic
+// counters snapshotted into a plain struct that marshals directly to
+// the /metrics JSON. The gauge/counter set is the fleet contract the
+// chaos harness asserts against: shard_healthy, hedges_fired,
+// hedges_won, retries_total, breaker_open_total, peer_cache_fills.
+package fleet
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Metrics aggregates the router's counters; all fields are safe for
+// concurrent use.
+type Metrics struct {
+	ForwardedTotal  atomic.Int64 // requests relayed to a shard (first attempts)
+	RetriesTotal    atomic.Int64 // overload re-attempts after backoff
+	FailoversTotal  atomic.Int64 // attempts moved to the next ring shard after a transport fault
+	HedgesFired     atomic.Int64 // duplicate requests launched after the hedge delay
+	HedgesWon       atomic.Int64 // hedges whose response beat the primary's
+	BreakerOpens    atomic.Int64 // closed/half-open → open transitions, all shards
+	PeerCacheFills  atomic.Int64 // artifacts copied to a key's new owner before forwarding
+	PeerReplicas    atomic.Int64 // artifacts replicated to a key's ring successor after compile
+	NoShardShed     atomic.Int64 // requests answered 503: every shard refused or unreachable
+	InflightGauge   atomic.Int64 // forwards currently in flight through the router
+	ProbesTotal     atomic.Int64 // health probes sent
+	ProbeFails      atomic.Int64 // health probes failed (timeout or transport error)
+	ClientGoneTotal atomic.Int64 // forwards abandoned because the client disconnected
+}
+
+// ShardStatus is one shard's row in the /metrics document.
+type ShardStatus struct {
+	URL       string `json:"url"`
+	Healthy   bool   `json:"healthy"`
+	Breaker   string `json:"breaker"`
+	Forwarded int64  `json:"forwarded"`
+	Failures  int64  `json:"transport_failures"`
+}
+
+// MetricsSnapshot is the JSON served on cmgate's /metrics.
+type MetricsSnapshot struct {
+	UptimeSeconds float64       `json:"uptime_seconds"`
+	Shards        []ShardStatus `json:"shards"`
+	ShardHealthy  int           `json:"shard_healthy"`
+	ShardTotal    int           `json:"shard_total"`
+
+	ForwardedTotal int64   `json:"forwarded_total"`
+	RetriesTotal   int64   `json:"retries_total"`
+	FailoversTotal int64   `json:"failovers_total"`
+	HedgesFired    int64   `json:"hedges_fired"`
+	HedgesWon      int64   `json:"hedges_won"`
+	BreakerOpens   int64   `json:"breaker_open_total"`
+	PeerCacheFills int64   `json:"peer_cache_fills"`
+	PeerReplicas   int64   `json:"peer_replications"`
+	NoShardShed    int64   `json:"no_shard_shed"`
+	Inflight       int64   `json:"inflight"`
+	ProbesTotal    int64   `json:"probes_total"`
+	ProbeFails     int64   `json:"probe_failures"`
+	ClientGone     int64   `json:"client_gone_total"`
+	HedgeDelayMS   float64 `json:"hedge_delay_ms"`
+}
+
+// snapshot captures the counters; the router fills in the per-shard
+// rows and gauges it alone can see.
+func (m *Metrics) snapshot(started time.Time) MetricsSnapshot {
+	return MetricsSnapshot{
+		UptimeSeconds:  time.Since(started).Seconds(),
+		ForwardedTotal: m.ForwardedTotal.Load(),
+		RetriesTotal:   m.RetriesTotal.Load(),
+		FailoversTotal: m.FailoversTotal.Load(),
+		HedgesFired:    m.HedgesFired.Load(),
+		HedgesWon:      m.HedgesWon.Load(),
+		BreakerOpens:   m.BreakerOpens.Load(),
+		PeerCacheFills: m.PeerCacheFills.Load(),
+		PeerReplicas:   m.PeerReplicas.Load(),
+		NoShardShed:    m.NoShardShed.Load(),
+		Inflight:       m.InflightGauge.Load(),
+		ProbesTotal:    m.ProbesTotal.Load(),
+		ProbeFails:     m.ProbeFails.Load(),
+		ClientGone:     m.ClientGoneTotal.Load(),
+	}
+}

@@ -1,0 +1,97 @@
+// Retry policy: bounded attempts with full-jitter exponential backoff
+// that honors a server-provided Retry-After hint. Shared by the cmgate
+// router (429s from a shard's admission rings) and cmrun's -retries
+// client mode (exit-code-5 overload). Jitter is the load-shedding
+// contract's other half: PR 3's servers estimate when capacity frees
+// up, and a client that sleeps exactly that long — like every other
+// shed client — re-arrives in the same stampede it was shed from.
+package fleet
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// RetryPolicy bounds and paces re-attempts after overload responses.
+// The zero value retries nothing.
+type RetryPolicy struct {
+	// Max is the number of re-attempts after the first try.
+	Max int
+	// Base seeds the exponential backoff (attempt n waits in
+	// [0, Base*2^n), full jitter); default 100ms.
+	Base time.Duration
+	// Cap clamps any single wait; default 5s.
+	Cap time.Duration
+}
+
+func (p RetryPolicy) base() time.Duration {
+	if p.Base <= 0 {
+		return 100 * time.Millisecond
+	}
+	return p.Base
+}
+
+func (p RetryPolicy) cap() time.Duration {
+	if p.Cap <= 0 {
+		return 5 * time.Second
+	}
+	return p.Cap
+}
+
+// jitterRand is process-shared; rand.Rand is not concurrency-safe and
+// the global rand source locks internally anyway, but keeping our own
+// keeps tests free to seed it.
+var (
+	jitterMu   sync.Mutex
+	jitterRand = rand.New(rand.NewSource(time.Now().UnixNano()))
+)
+
+func randFloat() float64 {
+	jitterMu.Lock()
+	defer jitterMu.Unlock()
+	return jitterRand.Float64()
+}
+
+// Backoff computes the wait before re-attempt number attempt (0-based)
+// given the server's Retry-After hint (0 = none). Full jitter over the
+// exponential window, floored at the hint — the server knows its queue
+// better than the client does — and clamped at Cap with a ±25% spread
+// so even hint-floored clients do not re-arrive in phase.
+func (p RetryPolicy) Backoff(attempt int, retryAfter time.Duration) time.Duration {
+	window := p.base() << uint(attempt)
+	if window > p.cap() || window <= 0 { // <<-overflow guard
+		window = p.cap()
+	}
+	d := time.Duration(randFloat() * float64(window))
+	if retryAfter > 0 {
+		// Honor the hint as a floor, jittered upward by up to 25% to
+		// de-synchronize the shed cohort.
+		hinted := retryAfter + time.Duration(randFloat()*0.25*float64(retryAfter))
+		if hinted > d {
+			d = hinted
+		}
+	}
+	if d > p.cap() {
+		d = p.cap()
+	}
+	return d
+}
+
+// SleepCtx waits d or until ctx dies, whichever is first; the ctx
+// error is returned so callers stop retrying for clients that are
+// gone (a disconnected client must not keep a retry loop warm).
+func SleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

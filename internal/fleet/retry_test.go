@@ -1,0 +1,58 @@
+package fleet
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestBackoffWithinExponentialWindow(t *testing.T) {
+	p := RetryPolicy{Max: 5, Base: 100 * time.Millisecond, Cap: 5 * time.Second}
+	for attempt := 0; attempt < 5; attempt++ {
+		window := p.Base << uint(attempt)
+		for i := 0; i < 50; i++ {
+			d := p.Backoff(attempt, 0)
+			if d < 0 || d > window {
+				t.Fatalf("attempt %d: backoff %v outside [0, %v]", attempt, d, window)
+			}
+		}
+	}
+}
+
+func TestBackoffHonorsRetryAfterAsFloor(t *testing.T) {
+	p := RetryPolicy{Max: 1, Base: time.Millisecond, Cap: 5 * time.Second}
+	hint := 200 * time.Millisecond
+	for i := 0; i < 50; i++ {
+		d := p.Backoff(0, hint)
+		if d < hint {
+			t.Fatalf("backoff %v below the server's Retry-After %v", d, hint)
+		}
+		if d > hint+hint/4 {
+			t.Fatalf("backoff %v above the +25%% jitter band over %v", d, hint)
+		}
+	}
+}
+
+func TestBackoffCapClampsEverything(t *testing.T) {
+	p := RetryPolicy{Max: 1, Base: time.Second, Cap: 50 * time.Millisecond}
+	for i := 0; i < 20; i++ {
+		if d := p.Backoff(8, 10*time.Second); d > p.Cap {
+			t.Fatalf("backoff %v above cap %v", d, p.Cap)
+		}
+	}
+	// Shift overflow on huge attempt numbers must not go negative.
+	if d := p.Backoff(400, 0); d < 0 || d > p.Cap {
+		t.Fatalf("overflowed backoff: %v", d)
+	}
+}
+
+func TestSleepCtxHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := SleepCtx(ctx, time.Minute); err == nil {
+		t.Fatal("SleepCtx returned nil for a dead context")
+	}
+	if err := SleepCtx(context.Background(), time.Microsecond); err != nil {
+		t.Fatalf("SleepCtx: %v", err)
+	}
+}

@@ -1,0 +1,127 @@
+// Package fleet turns N independent cmserved daemons into one
+// fault-tolerant compile service. The cmgate router (cmd/cmgate) is a
+// thin HTTP front that consistent-hashes each request's content
+// address onto a shard ring — identical programs land on the same
+// shard, so the driver's singleflight and artifact caches become
+// fleet-wide for free — and wraps every forward in the robustness
+// toolkit: per-shard health probes feeding half-open circuit breakers,
+// bounded retries with jittered exponential backoff that honor
+// Retry-After, hedged requests after a p99-derived delay for tail
+// latency, and peer cache-fill so a key rerouted by shard loss starts
+// warm instead of recompiling.
+//
+// This file is the hash ring. Each shard owns `replicas` virtual
+// points on a 64-bit circle; a key routes to the shard owning the
+// first point clockwise of the key's hash, and its failover order is
+// the sequence of *distinct* shards continuing clockwise. The classic
+// consistent-hashing property is what makes failure cheap: adding or
+// removing one shard only remaps the keys that shard owned — every
+// other key keeps its shard, its cache, and its singleflight slot.
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// ringPoint is one virtual node: a position on the hash circle and the
+// index of the shard that owns it.
+type ringPoint struct {
+	pos   uint64
+	shard int
+}
+
+// Ring is an immutable consistent-hash ring over a fixed shard set.
+// Build a new Ring to change membership; liveness is the breaker's
+// job, not the ring's — a dead shard keeps its arcs so its keys come
+// back to it (and its caches) on recovery.
+type Ring struct {
+	points []ringPoint // sorted by pos
+	shards int
+}
+
+// DefaultReplicas is the virtual-node count per shard when the caller
+// passes none: enough points that a 3-shard fleet balances within a
+// few percent, cheap enough that ring construction is microseconds.
+const DefaultReplicas = 128
+
+// NewRing builds a ring over shards [0, n). Shard identity is the
+// caller's name list (URLs for cmgate); hashing names rather than
+// indices keeps placement stable when the list is reordered or
+// extended.
+func NewRing(names []string, replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	r := &Ring{shards: len(names)}
+	r.points = make([]ringPoint, 0, len(names)*replicas)
+	for i, name := range names {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, ringPoint{pos: ringHash(fmt.Sprintf("%s#%d", name, v)), shard: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].pos != r.points[b].pos {
+			return r.points[a].pos < r.points[b].pos
+		}
+		// Hash collisions between virtual nodes are vanishingly rare but
+		// must still order deterministically.
+		return r.points[a].shard < r.points[b].shard
+	})
+	return r
+}
+
+// ringHash maps a string to a point on the circle. SHA-256 truncated
+// to 64 bits: overkill strength, but it is the hash the repo already
+// leans on everywhere content is addressed, and uniformity is what
+// balances the ring.
+func ringHash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Shards reports the ring's shard count.
+func (r *Ring) Shards() int { return r.shards }
+
+// Primary returns the shard owning key: the owner of the first virtual
+// point at or clockwise of the key's hash.
+func (r *Ring) Primary(key string) int {
+	if len(r.points) == 0 {
+		return -1
+	}
+	return r.points[r.search(ringHash(key))].shard
+}
+
+// Order returns every shard exactly once, primary first, then the
+// distinct shards met continuing clockwise — the key's failover
+// preference. The tail of the order is what "graceful degradation to
+// any-healthy-shard" walks when the ring thins: a request never fails
+// while any shard will take it.
+func (r *Ring) Order(key string) []int {
+	order := make([]int, 0, r.shards)
+	if len(r.points) == 0 {
+		return order
+	}
+	seen := make([]bool, r.shards)
+	start := r.search(ringHash(key))
+	for i := 0; i < len(r.points) && len(order) < r.shards; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.shard] {
+			seen[p.shard] = true
+			order = append(order, p.shard)
+		}
+	}
+	return order
+}
+
+// search finds the index of the first point at or clockwise of pos,
+// wrapping past the top of the circle.
+func (r *Ring) search(pos uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= pos })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}

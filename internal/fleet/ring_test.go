@@ -1,0 +1,121 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("key-%d", i)
+	}
+	return out
+}
+
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing([]string{"s0", "s1", "s2"}, 0)
+	b := NewRing([]string{"s0", "s1", "s2"}, 0)
+	for _, k := range keys(200) {
+		if a.Primary(k) != b.Primary(k) {
+			t.Fatalf("Primary(%q) differs between identical rings", k)
+		}
+	}
+}
+
+func TestRingOrderCoversEveryShardOnce(t *testing.T) {
+	r := NewRing([]string{"s0", "s1", "s2", "s3", "s4"}, 0)
+	for _, k := range keys(100) {
+		order := r.Order(k)
+		if len(order) != 5 {
+			t.Fatalf("Order(%q) = %v, want 5 shards", k, order)
+		}
+		seen := map[int]bool{}
+		for _, i := range order {
+			if i < 0 || i >= 5 || seen[i] {
+				t.Fatalf("Order(%q) = %v: out of range or repeated", k, order)
+			}
+			seen[i] = true
+		}
+		if order[0] != r.Primary(k) {
+			t.Fatalf("Order(%q)[0] = %d, Primary = %d", k, order[0], r.Primary(k))
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	const shards, n = 4, 8000
+	r := NewRing([]string{"a", "b", "c", "d"}, 0)
+	counts := make([]int, shards)
+	for _, k := range keys(n) {
+		counts[r.Primary(k)]++
+	}
+	for i, c := range counts {
+		// Perfect balance is n/shards = 2000; vnode hashing should keep
+		// every shard within a loose 2x band of it.
+		if c < n/shards/2 || c > n/shards*2 {
+			t.Fatalf("shard %d owns %d of %d keys: %v", i, c, n, counts)
+		}
+	}
+}
+
+// TestRingRemovalRemapsOnlyLostKeys is the property consistent hashing
+// exists for: deleting one shard must not move keys between surviving
+// shards.
+func TestRingRemovalRemapsOnlyLostKeys(t *testing.T) {
+	names := []string{"s0", "s1", "s2", "s3"}
+	full := NewRing(names, 0)
+	without := NewRing(names[:3], 0) // drop s3
+	moved, owned := 0, 0
+	for _, k := range keys(4000) {
+		was := full.Primary(k)
+		now := without.Primary(k)
+		if was == 3 {
+			owned++
+			continue // lost shard's keys may land anywhere
+		}
+		if was != now {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys moved between surviving shards after removal", moved)
+	}
+	if owned == 0 {
+		t.Fatal("removed shard owned no keys; test is vacuous")
+	}
+}
+
+// FuzzRing asserts the structural invariants hold for arbitrary keys
+// and shard counts: a full, duplicate-free Order with the primary
+// first, identical across independently built rings.
+func FuzzRing(f *testing.F) {
+	f.Add("matrix.xc", uint8(3))
+	f.Add("", uint8(1))
+	f.Add("a#b#c", uint8(7))
+	f.Fuzz(func(t *testing.T, key string, n uint8) {
+		shards := int(n%16) + 1
+		names := make([]string, shards)
+		for i := range names {
+			names[i] = fmt.Sprintf("shard-%d", i)
+		}
+		r := NewRing(names, 32)
+		order := r.Order(key)
+		if len(order) != shards {
+			t.Fatalf("Order covers %d of %d shards", len(order), shards)
+		}
+		seen := map[int]bool{}
+		for _, i := range order {
+			if i < 0 || i >= shards || seen[i] {
+				t.Fatalf("Order(%q) = %v: invalid", key, order)
+			}
+			seen[i] = true
+		}
+		if order[0] != r.Primary(key) {
+			t.Fatalf("Order(%q)[0] != Primary", key)
+		}
+		if NewRing(names, 32).Primary(key) != order[0] {
+			t.Fatalf("Primary(%q) not deterministic", key)
+		}
+	})
+}

@@ -8,7 +8,9 @@
 //	POST /v1/run       execute a program on the parallel interpreter
 //	POST /v1/vet       cmvet static analysis: structured findings
 //	GET  /v1/analyses  the §VI modular analysis report (memoized)
-//	GET  /healthz      liveness probe
+//	GET  /v1/artifact/{key}  export a compile artifact to a fleet peer
+//	PUT  /v1/artifact/{key}  import a digest-verified peer artifact
+//	GET  /healthz      liveness probe (also the cmgate shard probe)
 //	GET  /metrics      request counters, cache ratios, stage latencies
 //
 // Interpreter executions go through admission control (admission.go):
@@ -28,8 +30,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -73,6 +77,10 @@ type Config struct {
 	// DefaultEngine selects the execution engine for run requests that
 	// specify none: "vm" (the default) or "tree".
 	DefaultEngine string
+	// ShardID, when set, labels this instance in an X-CM-Shard response
+	// header on every reply. The cmgate router and the chaos harness use
+	// it to attribute responses to fleet members.
+	ShardID string
 }
 
 // TestHookRunBarrier, when non-nil, is called by handleRun while its
@@ -167,9 +175,23 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/run", s.handleRun)
 	mux.HandleFunc("/v1/vet", s.handleVet)
 	mux.HandleFunc("/v1/analyses", s.handleAnalyses)
+	mux.HandleFunc("/v1/artifact/", s.handleArtifact)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
-	return s.withRecover(mux)
+	var h http.Handler = mux
+	if s.cfg.ShardID != "" {
+		h = s.withShardID(h)
+	}
+	return s.withRecover(h)
+}
+
+// withShardID stamps every response with this instance's fleet
+// identity, before the handler writes the status line.
+func (s *Server) withShardID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-CM-Shard", s.cfg.ShardID)
+		next.ServeHTTP(w, r)
+	})
 }
 
 // withRecover is the last-resort backstop: the interpreter's trap
@@ -359,18 +381,14 @@ func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
 
 // --- handlers ---
 
-func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
-	s.compileReqs.Add(1)
-	if !requireMethod(w, r, http.MethodPost) {
-		return
-	}
-	var req compileRequest
-	if !s.decode(w, r, &req) {
-		return
-	}
+// buildCompileRequest maps the wire-format compile body (already
+// decoded JSON) to the driver request, applying the handler's
+// defaults. CompileKeyForBody builds on it so the cmgate router
+// derives the same content-addressed cache key the shard will store
+// the artifact under — the address peer cache-fill moves objects by.
+func buildCompileRequest(req compileRequest) (driver.CompileRequest, error) {
 	if req.Source == "" {
-		s.clientError(w, http.StatusBadRequest, errorResponse{Error: `missing "source"`})
-		return
+		return driver.CompileRequest{}, errors.New(`missing "source"`)
 	}
 	name := req.Name
 	if name == "" {
@@ -381,28 +399,64 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 	exts, err := driver.ParseExtensions(req.Extensions)
 	if err != nil {
-		s.clientError(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
-		return
+		return driver.CompileRequest{}, err
 	}
 	if req.Par == "" {
 		req.Par = "pthread"
 	}
 	par, err := driver.ParseParMode(req.Par)
 	if err != nil {
+		return driver.CompileRequest{}, err
+	}
+	if req.Emit != "" && req.Emit != "c" && req.Emit != "ast" {
+		return driver.CompileRequest{}, fmt.Errorf("unknown emit kind %q (have: c, ast)", req.Emit)
+	}
+	optimize := req.Optimize == nil || *req.Optimize
+	return driver.CompileRequest{
+		Name: name, Source: req.Source, Exts: exts, Emit: req.Emit,
+		Codegen: cgen.Options{Par: par, Optimize: optimize},
+	}, nil
+}
+
+// CompileKeyForBody derives the artifact cache key for a raw compile
+// request body, without compiling anything. The router uses it for
+// peer cache-fill; ok is false when the body does not decode to a
+// valid compile request (the shard will reject it with a 400 anyway).
+func CompileKeyForBody(raw []byte) (key string, ok bool) {
+	var req compileRequest
+	if err := json.Unmarshal(raw, &req); err != nil {
+		return "", false
+	}
+	dreq, err := buildCompileRequest(req)
+	if err != nil {
+		return "", false
+	}
+	return driver.CompileCacheKey(dreq), true
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	s.compileReqs.Add(1)
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req compileRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	dreq, err := buildCompileRequest(req)
+	if err != nil {
 		s.clientError(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
-	if req.Emit != "" && req.Emit != "c" && req.Emit != "ast" {
-		s.clientError(w, http.StatusBadRequest,
-			errorResponse{Error: fmt.Sprintf("unknown emit kind %q (have: c, ast)", req.Emit)})
+
+	// The request context rides into the driver: a client that is
+	// already gone costs nothing, and one that disappears mid-request
+	// cannot pin its slot behind a hung disk read.
+	res := s.d.Compile(r.Context(), dreq)
+	if res.Canceled {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "client went away"})
 		return
 	}
-	optimize := req.Optimize == nil || *req.Optimize
-
-	res := s.d.Compile(driver.CompileRequest{
-		Name: name, Source: req.Source, Exts: exts, Emit: req.Emit,
-		Codegen: cgen.Options{Par: par, Optimize: optimize},
-	})
 	if !res.OK {
 		// Source the pipeline rejected: the parser's error-recovery
 		// diagnostics (and any semantic errors) ride in the body.
@@ -415,6 +469,52 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		Key: res.Key, Cached: res.Cached, Output: res.Output,
 		Diagnostics: res.Diagnostics, Stages: res.Stages,
 	})
+}
+
+// handleArtifact is the fleet transfer endpoint:
+//
+//	GET /v1/artifact/{key}  digest-framed artifact bytes, or 404
+//	PUT /v1/artifact/{key}  install a verified peer artifact, 204
+//
+// GET serves from the memory tier first, then the disk tier; PUT
+// re-verifies the embedded digest before anything is installed, so a
+// corrupted or hostile peer object can never poison the cache. Both
+// directions exist for cmgate's peer cache-fill: after a shard loss
+// the router copies artifacts to a key's new owner instead of letting
+// it recompile.
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	key := strings.TrimPrefix(r.URL.Path, "/v1/artifact/")
+	if !driver.ValidArtifactKey(key) {
+		s.clientError(w, http.StatusBadRequest,
+			errorResponse{Error: "malformed artifact key (want 64 hex bytes)"})
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		raw, ok := s.d.ExportArtifact(r.Context(), key)
+		if !ok {
+			writeJSON(w, http.StatusNotFound, errorResponse{Error: "no artifact under key"})
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.WriteHeader(http.StatusOK)
+		w.Write(raw)
+	case http.MethodPut:
+		raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxSourceBytes*4))
+		if err != nil {
+			s.clientError(w, http.StatusBadRequest, errorResponse{Error: "artifact body: " + err.Error()})
+			return
+		}
+		if err := s.d.ImportArtifact(key, raw); err != nil {
+			s.clientError(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		w.Header().Set("Allow", "GET, PUT")
+		writeJSON(w, http.StatusMethodNotAllowed,
+			errorResponse{Error: fmt.Sprintf("method %s not allowed", r.Method)})
+	}
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
