@@ -4,9 +4,11 @@
 # crash-proofing layers (pool, matrix runtime, interpreter, server), a
 # race-enabled dual-engine differential pass (bytecode VM vs the
 # tree-walking oracle), the race-enabled fleet chaos suite (cmgate
-# routing under shard kill/restart/hang), a fuzz smoke over the
-# frontend, the cmvet analyzer, the VM differential fuzzer and the
-# consistent-hash ring, the vet findings manifest,
+# routing under shard kill/restart/hang), the race-enabled tenant
+# isolation suite (token buckets, noisy-neighbor chaos, key rotation),
+# a fuzz smoke over the frontend, the cmvet analyzer, the VM
+# differential fuzzer, the consistent-hash ring and the tenant key
+# file parser, the vet findings manifest,
 # and a one-shot benchmark smoke pass (E1 plus the compile-service
 # cold/warm pair). Run locally before pushing; the GitHub Actions
 # workflow runs this script.
@@ -49,6 +51,10 @@ go test -race -run 'TestChaos|TestCrash' ./internal/server
 echo "== fleet chaos suite (kill / restart / hang / slow shards under flood) =="
 go test -race ./internal/fleet
 
+echo "== tenant isolation (registry + buckets + noisy-neighbor chaos) =="
+go test -race ./internal/tenant
+go test -race -run 'TestChaosNoisyNeighborIsolation|TestChaosTenantKeyRotationLive|TestTenant|TestGateHeaderTrust' ./internal/fleet ./internal/server
+
 echo "== vm differential (bytecode engine vs tree-walking oracle) =="
 go test -race -run 'TestVMDifferential|TestVMStep' -count=1 .
 
@@ -59,6 +65,7 @@ go test -run='^$' -fuzz='^FuzzVet$' -fuzztime=10s ./internal/vet
 go test -run='^$' -fuzz='^FuzzKernelDiff$' -fuzztime=10s ./internal/matrix
 go test -run='^$' -fuzz='^FuzzVMDiff$' -fuzztime=10s .
 go test -run='^$' -fuzz='^FuzzRing$' -fuzztime=10s ./internal/fleet
+go test -run='^$' -fuzz='^FuzzTenantKeyParse$' -fuzztime=10s ./internal/tenant
 
 echo "== vet manifest (examples + testdata findings pinned) =="
 go test -run='^TestVetManifest$' .

@@ -8,6 +8,16 @@
 //	cmgate [-addr :8340] -shards http://h1:8347,http://h2:8347,...
 //	       [-retries 2] [-probe-interval 1s] [-breaker-threshold 3]
 //	       [-hedge-min 20ms] [-hedge-max 2s] [-no-hedge] [-no-replicate]
+//	       [-keys path]
+//
+// Multi-tenancy: -keys loads an API-key registry (JSON). The gate
+// authenticates Authorization: Bearer / X-CM-Key, charges each
+// tenant's token bucket BEFORE routing (a flooding tenant is refused
+// with a structured 429 + retry_after_ms without touching any shard),
+// and stamps the authenticated identity on forwards as X-CM-Tenant for
+// shards started with -trust-gate. SIGHUP reloads the key file in
+// place without resetting bucket fill. Unauthenticated requests ride
+// the anonymous default tenant.
 //
 // Robustness behaviour: per-shard health probes feed half-open circuit
 // breakers; transport failures fail over along the ring; overload 429s
@@ -36,6 +46,7 @@ import (
 	"time"
 
 	"repro/internal/fleet"
+	"repro/internal/tenant"
 )
 
 func main() {
@@ -52,6 +63,7 @@ func main() {
 	hedgeMax := flag.Duration("hedge-max", 2*time.Second, "upper clamp on the p99-derived hedge delay")
 	noHedge := flag.Bool("no-hedge", false, "disable tail-latency request hedging")
 	noReplicate := flag.Bool("no-replicate", false, "disable artifact replication to the ring successor")
+	keys := flag.String("keys", "", "tenant API-key file (JSON); empty = anonymous only, no limits")
 	flag.Parse()
 	if flag.NArg() != 0 || *shards == "" {
 		fmt.Fprintln(os.Stderr, "usage: cmgate [-addr :8340] -shards http://h1:8347,http://h2:8347,...")
@@ -62,6 +74,14 @@ func main() {
 		if u = strings.TrimRight(strings.TrimSpace(u), "/"); u != "" {
 			urls = append(urls, u)
 		}
+	}
+	var reg *tenant.Registry
+	if *keys != "" {
+		var err error
+		if reg, err = tenant.LoadFile(*keys); err != nil {
+			log.Fatalf("cmgate: %v", err)
+		}
+		log.Printf("loaded tenant registry from %s (%d tenants)", *keys, len(reg.Names()))
 	}
 
 	rt, err := fleet.New(fleet.Config{
@@ -76,6 +96,7 @@ func main() {
 		HedgeAfterMax:      *hedgeMax,
 		HedgeDisabled:      *noHedge,
 		DisableReplication: *noReplicate,
+		Tenants:            reg,
 	})
 	if err != nil {
 		log.Fatalf("cmgate: %v", err)
@@ -88,19 +109,37 @@ func main() {
 	log.Printf("cmgate listening on %s, fronting %d shard(s)", *addr, len(urls))
 
 	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
-	select {
-	case err := <-errc:
-		log.Fatalf("cmgate: %v", err)
-	case sig := <-sigc:
-		log.Printf("cmgate: %v, shutting down", sig)
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		if err := httpSrv.Shutdown(ctx); err != nil {
-			log.Printf("cmgate: shutdown: %v", err)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
+	for {
+		select {
+		case err := <-errc:
+			log.Fatalf("cmgate: %v", err)
+		case sig := <-sigc:
+			if sig == syscall.SIGHUP {
+				// Live key rotation; bucket fill survives, a bad file
+				// keeps the previous generation serving.
+				if reg == nil {
+					log.Printf("cmgate: SIGHUP ignored, no -keys file configured")
+					continue
+				}
+				if err := reg.Reload(); err != nil {
+					log.Printf("cmgate: tenant reload failed, keeping generation %d: %v", reg.Generation(), err)
+				} else {
+					log.Printf("cmgate: tenant registry reloaded, generation %d (%d tenants)",
+						reg.Generation(), len(reg.Names()))
+				}
+				continue
+			}
+			log.Printf("cmgate: %v, shutting down", sig)
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := httpSrv.Shutdown(ctx); err != nil {
+				log.Printf("cmgate: shutdown: %v", err)
+			}
+			// After the listener drains, stop probers and wait out any
+			// in-flight background replication.
+			rt.Close()
+			return
 		}
-		// After the listener drains, stop probers and wait out any
-		// in-flight background replication.
-		rt.Close()
 	}
 }

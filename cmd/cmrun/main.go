@@ -54,6 +54,7 @@ func main() {
 	engine := flag.String("engine", "vm", "execution engine: vm (register bytecode) or tree (AST walker)")
 	serverURL := flag.String("server", "", "execute remotely via this cmserved/cmgate base URL instead of locally")
 	retries := flag.Int("retries", 0, "remote mode: re-attempts after overload sheds or transport failures")
+	apiKey := flag.String("key", os.Getenv("CM_API_KEY"), "remote mode: tenant API key sent as Authorization: Bearer (default $CM_API_KEY)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: cmrun [-t N] [-dir path] [-server url [-retries N]] file.xc")
@@ -81,7 +82,7 @@ func main() {
 		defer cancel()
 	}
 	if *serverURL != "" {
-		os.Exit(runRemote(ctx, strings.TrimRight(*serverURL, "/"), remoteRunRequest{
+		os.Exit(runRemote(ctx, strings.TrimRight(*serverURL, "/"), *apiKey, remoteRunRequest{
 			Name: file, Source: string(src), Extensions: *extFlag,
 			Threads: *threads, TimeoutMS: int64(*timeout / time.Millisecond),
 			MaxSteps: *steps, MaxCells: *cells, Engine: *engine,

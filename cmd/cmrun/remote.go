@@ -41,18 +41,22 @@ type remoteRunResponse struct {
 	Diagnostics []string `json:"diagnostics,omitempty"`
 }
 
-// remoteError mirrors the server's errorResponse wire shape.
+// remoteError mirrors the server's errorResponse wire shape. Tenant
+// names whose rate limit or quota a 429 applied to.
 type remoteError struct {
 	Error        string   `json:"error"`
 	Diagnostics  []string `json:"diagnostics,omitempty"`
 	Trap         string   `json:"trap,omitempty"`
 	RetryAfterMS int64    `json:"retry_after_ms,omitempty"`
+	Tenant       string   `json:"tenant,omitempty"`
 }
 
 // runRemote posts the program to serverURL/v1/run and maps the
-// response onto cmrun's local exit-code contract. It returns the
-// process exit code.
-func runRemote(ctx context.Context, serverURL string, req remoteRunRequest, retries int) int {
+// response onto cmrun's local exit-code contract. apiKey, when
+// non-empty, is sent as Authorization: Bearer — the multi-tenant
+// credential for a keyed cmgate/cmserved. It returns the process exit
+// code.
+func runRemote(ctx context.Context, serverURL, apiKey string, req remoteRunRequest, retries int) int {
 	body, err := json.Marshal(req)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cmrun: %v\n", err)
@@ -62,7 +66,7 @@ func runRemote(ctx context.Context, serverURL string, req remoteRunRequest, retr
 	client := &http.Client{}
 	var lastErr string
 	for attempt := 0; ; attempt++ {
-		status, payload, err := postOnce(ctx, client, serverURL+"/v1/run", body)
+		status, payload, err := postOnce(ctx, client, serverURL+"/v1/run", apiKey, body)
 		if err == nil {
 			switch {
 			case status == http.StatusOK:
@@ -79,6 +83,9 @@ func runRemote(ctx context.Context, serverURL string, req remoteRunRequest, retr
 			case status == http.StatusTooManyRequests:
 				e := decodeRemoteError(payload)
 				lastErr = "server overloaded: " + e.Error
+				if e.Tenant != "" {
+					lastErr = fmt.Sprintf("tenant %q throttled: %s", e.Tenant, e.Error)
+				}
 				if attempt < retries {
 					wait := policy.Backoff(attempt, time.Duration(e.RetryAfterMS)*time.Millisecond)
 					fmt.Fprintf(os.Stderr, "cmrun: %s; retrying in %v (%d/%d)\n", lastErr, wait.Round(time.Millisecond), attempt+1, retries)
@@ -127,12 +134,15 @@ func runRemote(ctx context.Context, serverURL string, req remoteRunRequest, retr
 }
 
 // postOnce issues a single POST and reads the full response body.
-func postOnce(ctx context.Context, client *http.Client, url string, body []byte) (int, []byte, error) {
+func postOnce(ctx context.Context, client *http.Client, url, apiKey string, body []byte) (int, []byte, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
 		return 0, nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if apiKey != "" {
+		req.Header.Set("Authorization", "Bearer "+apiKey)
+	}
 	resp, err := client.Do(req)
 	if err != nil {
 		return 0, nil, err

@@ -29,7 +29,7 @@ func TestRunRemoteRetriesShedThenSucceeds(t *testing.T) {
 	}))
 	defer ts.Close()
 
-	code := runRemote(context.Background(), ts.URL, remoteRunRequest{Source: "int main() { return 7; }"}, 2)
+	code := runRemote(context.Background(), ts.URL, "", remoteRunRequest{Source: "int main() { return 7; }"}, 2)
 	if code != 7 {
 		t.Fatalf("exit code %d, want the program's own 7", code)
 	}
@@ -47,7 +47,7 @@ func TestRunRemoteExhaustedBudgetExitsFive(t *testing.T) {
 	}))
 	defer ts.Close()
 
-	if code := runRemote(context.Background(), ts.URL, remoteRunRequest{Source: "int main() { return 0; }"}, 2); code != 5 {
+	if code := runRemote(context.Background(), ts.URL, "", remoteRunRequest{Source: "int main() { return 0; }"}, 2); code != 5 {
 		t.Fatalf("exit code %d, want 5 after the retry budget", code)
 	}
 	if calls.Load() != 3 {
@@ -55,7 +55,7 @@ func TestRunRemoteExhaustedBudgetExitsFive(t *testing.T) {
 	}
 	// The default budget is zero retries: one shed, straight to 5.
 	calls.Store(0)
-	if code := runRemote(context.Background(), ts.URL, remoteRunRequest{Source: "x"}, 0); code != 5 || calls.Load() != 1 {
+	if code := runRemote(context.Background(), ts.URL, "", remoteRunRequest{Source: "x"}, 0); code != 5 || calls.Load() != 1 {
 		t.Fatalf("zero-retries: code=%d calls=%d", code, calls.Load())
 	}
 }
@@ -66,7 +66,7 @@ func TestRunRemoteCompileErrorExitsTwo(t *testing.T) {
 		fmt.Fprint(w, `{"error": "program does not compile", "diagnostics": ["t.xc:1:1: error: no"]}`)
 	}))
 	defer ts.Close()
-	if code := runRemote(context.Background(), ts.URL, remoteRunRequest{Source: "zzz"}, 3); code != 2 {
+	if code := runRemote(context.Background(), ts.URL, "", remoteRunRequest{Source: "zzz"}, 3); code != 2 {
 		t.Fatalf("exit code %d, want 2 for a client error (no retries burned)", code)
 	}
 }
@@ -75,7 +75,23 @@ func TestRunRemoteTransportFailureRetriesThenExitsOne(t *testing.T) {
 	ts := httptest.NewServer(nil)
 	url := ts.URL
 	ts.Close() // nothing listens: every attempt is a transport error
-	if code := runRemote(context.Background(), url, remoteRunRequest{Source: "x"}, 1); code != 1 {
+	if code := runRemote(context.Background(), url, "", remoteRunRequest{Source: "x"}, 1); code != 1 {
 		t.Fatalf("exit code %d, want 1 for an unreachable server", code)
+	}
+}
+
+func TestRunRemoteSendsBearerKeyAndNamesThrottledTenant(t *testing.T) {
+	var gotAuth atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotAuth.Store(r.Header.Get("Authorization"))
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprint(w, `{"error": "tenant \"acme\" over rate limit", "retry_after_ms": 1, "tenant": "acme"}`)
+	}))
+	defer ts.Close()
+	if code := runRemote(context.Background(), ts.URL, "k-acme", remoteRunRequest{Source: "x"}, 0); code != 5 {
+		t.Fatalf("exit code %d, want 5 for a tenant throttle", code)
+	}
+	if gotAuth.Load() != "Bearer k-acme" {
+		t.Fatalf("Authorization = %q, want the -key flag as a Bearer credential", gotAuth.Load())
 	}
 }

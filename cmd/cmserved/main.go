@@ -7,12 +7,22 @@
 //	cmserved [-addr :8347] [-runs N] [-queue N] [-queue-wait d]
 //	         [-timeout 10s] [-max-timeout 60s] [-cachedir path]
 //	         [-cache-entries N] [-cache-bytes N]
+//	         [-keys path] [-trust-gate] [-min-retry-after d]
 //
 // Overload behaviour: beyond -runs concurrent executions, up to -queue
 // requests wait (each at most min(-queue-wait, its own timeout)); the
 // rest are shed with 429 + Retry-After. -cachedir enables the durable
 // artifact tier: a restarted daemon serves previously compiled
 // programs from disk instead of recompiling them.
+//
+// Multi-tenancy: -keys loads an API-key registry (JSON) enabling
+// per-tenant rate limits, max_cells clamps, and weighted-fair
+// admission; SIGHUP reloads it in place without resetting anyone's
+// rate-limit bucket. -trust-gate accepts the X-CM-Tenant identity
+// stamp from a fronting cmgate instead of re-authenticating (never set
+// it on a daemon reachable without the gate). Requests without
+// credentials stay on the anonymous default tenant, so single-node use
+// remains zero-config.
 //
 // Endpoints (see internal/server):
 //
@@ -36,6 +46,7 @@ import (
 
 	"repro/internal/driver"
 	"repro/internal/server"
+	"repro/internal/tenant"
 )
 
 func main() {
@@ -51,10 +62,21 @@ func main() {
 	warm := flag.Bool("warm", true, "pre-build the composed grammar table and §VI analyses at startup")
 	engine := flag.String("engine", "vm", "default execution engine for /v1/run: vm or tree")
 	shardID := flag.String("shard-id", "", "fleet identity stamped on responses as X-CM-Shard (empty = standalone)")
+	keys := flag.String("keys", "", "tenant API-key file (JSON); empty = anonymous only, no limits")
+	trustGate := flag.Bool("trust-gate", false, "trust the X-CM-Tenant stamp from a fronting cmgate (only behind the gate)")
+	minRetryAfter := flag.Duration("min-retry-after", 0, "floor on the Retry-After estimate sent with 429 sheds (0 = 50ms)")
 	flag.Parse()
 	if flag.NArg() != 0 {
-		fmt.Fprintln(os.Stderr, "usage: cmserved [-addr :8347] [-runs N] [-queue N] [-timeout d] [-max-timeout d] [-cachedir path]")
+		fmt.Fprintln(os.Stderr, "usage: cmserved [-addr :8347] [-runs N] [-queue N] [-timeout d] [-max-timeout d] [-cachedir path] [-keys path]")
 		os.Exit(2)
+	}
+	var reg *tenant.Registry
+	if *keys != "" {
+		var err error
+		if reg, err = tenant.LoadFile(*keys); err != nil {
+			log.Fatalf("cmserved: %v", err)
+		}
+		log.Printf("loaded tenant registry from %s (%d tenants)", *keys, len(reg.Names()))
 	}
 
 	s := server.New(server.Config{
@@ -70,6 +92,9 @@ func main() {
 		MaxTimeout:        *maxTimeout,
 		DefaultEngine:     *engine,
 		ShardID:           *shardID,
+		Tenants:           reg,
+		TrustGateHeader:   *trustGate,
+		MinRetryAfter:     *minRetryAfter,
 	})
 	if *warm {
 		// Pay the one-time grammar-composition and analysis cost before
@@ -85,21 +110,40 @@ func main() {
 	log.Printf("cmserved listening on %s", *addr)
 
 	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
-	select {
-	case err := <-errc:
-		log.Fatalf("cmserved: %v", err)
-	case sig := <-sigc:
-		log.Printf("cmserved: %v, shutting down", sig)
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		// Drain first: queued runs are shed with structured 429s and
-		// in-flight runs finish, then the listener closes.
-		if err := s.Drain(ctx); err != nil {
-			log.Printf("cmserved: drain: %v", err)
-		}
-		if err := httpSrv.Shutdown(ctx); err != nil {
-			log.Fatalf("cmserved: shutdown: %v", err)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
+	for {
+		select {
+		case err := <-errc:
+			log.Fatalf("cmserved: %v", err)
+		case sig := <-sigc:
+			if sig == syscall.SIGHUP {
+				// Live key rotation: reload the tenant registry in place.
+				// Buckets carry their fill across the swap; a bad file
+				// keeps the previous generation serving.
+				if reg == nil {
+					log.Printf("cmserved: SIGHUP ignored, no -keys file configured")
+					continue
+				}
+				if err := reg.Reload(); err != nil {
+					log.Printf("cmserved: tenant reload failed, keeping generation %d: %v", reg.Generation(), err)
+				} else {
+					log.Printf("cmserved: tenant registry reloaded, generation %d (%d tenants)",
+						reg.Generation(), len(reg.Names()))
+				}
+				continue
+			}
+			log.Printf("cmserved: %v, shutting down", sig)
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			// Drain first: queued runs are shed with structured 429s and
+			// in-flight runs finish, then the listener closes.
+			if err := s.Drain(ctx); err != nil {
+				log.Printf("cmserved: drain: %v", err)
+			}
+			if err := httpSrv.Shutdown(ctx); err != nil {
+				log.Fatalf("cmserved: shutdown: %v", err)
+			}
+			return
 		}
 	}
 }

@@ -213,6 +213,10 @@ type RunRequest struct {
 	// declines falls back to the tree walker transparently — the two
 	// engines are observably identical by contract.
 	Engine string
+	// Tenant labels the execution for per-tenant metrics attribution;
+	// empty counts as anonymous. It does not participate in cache keys
+	// — the artifact a program compiles to is tenant-independent.
+	Tenant string
 }
 
 // RunResult is the outcome of a Run.
@@ -466,6 +470,7 @@ func (d *Driver) Run(ctx context.Context, req RunRequest) (*RunResult, error) {
 		threads = runtime.GOMAXPROCS(0)
 	}
 	d.metrics.RunsStarted.Add(1)
+	d.metrics.countTenantRun(req.Tenant)
 	i := interp.New(fr.prog, fr.info, interp.Options{
 		Threads:  threads,
 		Stdout:   req.Stdout,

@@ -5,6 +5,7 @@
 package driver
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -144,6 +145,12 @@ type Metrics struct {
 	VetEvictions atomic.Int64
 	VetFindings  atomic.Int64
 
+	// Per-tenant run attribution (tenancy PR): executions keyed by the
+	// tenant label on the RunRequest. A small map under its own mutex —
+	// one entry per tenant name the registry knows, not per request.
+	tenantMu     sync.Mutex
+	runsByTenant map[string]int64
+
 	// Per-stage latency histograms.
 	ParseLatency       Histogram
 	CheckLatency       Histogram
@@ -178,6 +185,10 @@ type MetricsSnapshot struct {
 	VetMisses    int64 `json:"vet_cache_misses"`
 	VetCoalesced int64 `json:"vet_coalesced"`
 	VetFindings  int64 `json:"vet_findings_total"`
+
+	// Interpreter executions by tenant label (empty until a labeled
+	// run arrives; anonymous runs count under "anonymous").
+	RunsByTenant map[string]int64 `json:"runs_by_tenant,omitempty"`
 
 	// In-memory cache gauges (filled by Driver.MetricsSnapshot, which
 	// can see the caches; zero through Metrics.Snapshot alone) and the
@@ -215,6 +226,20 @@ type MetricsSnapshot struct {
 	CompileLatency HistogramSnapshot `json:"compile_latency"`
 	VetLatency     HistogramSnapshot `json:"vet_latency"`
 	VetAnalysis    HistogramSnapshot `json:"vet_analysis_latency"`
+}
+
+// countTenantRun attributes one interpreter execution to a tenant
+// label ("" counts as "anonymous").
+func (m *Metrics) countTenantRun(name string) {
+	if name == "" {
+		name = "anonymous"
+	}
+	m.tenantMu.Lock()
+	if m.runsByTenant == nil {
+		m.runsByTenant = map[string]int64{}
+	}
+	m.runsByTenant[name]++
+	m.tenantMu.Unlock()
 }
 
 // Snapshot captures all counters at one instant (best-effort
@@ -261,6 +286,14 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	if total := s.CompileHits + s.CompileCoalesced + s.CompileMisses; total > 0 {
 		s.CompileHitRatio = float64(s.CompileHits+s.CompileCoalesced) / float64(total)
 	}
+	m.tenantMu.Lock()
+	if len(m.runsByTenant) > 0 {
+		s.RunsByTenant = make(map[string]int64, len(m.runsByTenant))
+		for k, v := range m.runsByTenant {
+			s.RunsByTenant[k] = v
+		}
+	}
+	m.tenantMu.Unlock()
 	s.KernelParallel, s.KernelSerial, s.KernelReused = matrix.KernelStats()
 	return s
 }

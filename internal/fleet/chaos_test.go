@@ -22,6 +22,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -49,6 +50,7 @@ type chaosShard struct {
 	mode    atomic.Value // modeOK/modeDown/modeHang/modeSlow
 	handler atomic.Value // http.Handler of the current incarnation
 	ts      *httptest.Server
+	srvOpts []func(*server.Config) // per-incarnation config hooks (tenancy)
 
 	mu      sync.Mutex
 	drivers []*driver.Driver // every incarnation's driver, for metric sums
@@ -57,13 +59,17 @@ type chaosShard struct {
 func (c *chaosShard) boot(t *testing.T) {
 	t.Helper()
 	d := driver.NewWith(driver.Config{CacheDir: c.dir})
-	s := server.New(server.Config{
+	cfg := server.Config{
 		Driver:            d,
 		MaxConcurrentRuns: 8,
 		RunQueueSize:      64,
 		DefaultTimeout:    5 * time.Second,
 		ShardID:           fmt.Sprintf("s%d", c.idx),
-	})
+	}
+	for _, opt := range c.srvOpts {
+		opt(&cfg)
+	}
+	s := server.New(cfg)
 	c.handler.Store(s.Handler())
 	c.mu.Lock()
 	c.drivers = append(c.drivers, d)
@@ -89,12 +95,29 @@ type chaosFleet struct {
 	gate   *httptest.Server
 }
 
-func newChaosFleet(t *testing.T, n int, cfg Config) *chaosFleet {
+func newChaosFleet(t *testing.T, n int, cfg Config, srvOpts ...func(*server.Config)) *chaosFleet {
 	t.Helper()
+	// Registered FIRST so it runs LAST (cleanups are LIFO): after the
+	// gate, router, and every shard have shut down, the goroutine count
+	// must settle back near the baseline. A leaked prober, hedge
+	// reaper, or replication goroutine fails the suite here rather
+	// than accumulating silently across chaos runs.
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		http.DefaultClient.CloseIdleConnections()
+		deadline := time.Now().Add(3 * time.Second)
+		for time.Now().Before(deadline) {
+			if runtime.NumGoroutine() <= base+8 {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Errorf("goroutines: %d at fleet start, %d after teardown", base, runtime.NumGoroutine())
+	})
 	f := &chaosFleet{}
 	urls := make([]string, n)
 	for i := 0; i < n; i++ {
-		c := &chaosShard{idx: i, dir: t.TempDir()}
+		c := &chaosShard{idx: i, dir: t.TempDir(), srvOpts: srvOpts}
 		c.mode.Store(modeOK)
 		c.boot(t)
 		c.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {

@@ -26,6 +26,15 @@ type Metrics struct {
 	ProbesTotal     atomic.Int64 // health probes sent
 	ProbeFails      atomic.Int64 // health probes failed (timeout or transport error)
 	ClientGoneTotal atomic.Int64 // forwards abandoned because the client disconnected
+	RateLimited     atomic.Int64 // requests refused 429 by a tenant's own token bucket
+	AuthRefused     atomic.Int64 // requests refused 401/403 at the front door
+}
+
+// GateTenantRow is one tenant's gate-side ledger on /metrics.
+type GateTenantRow struct {
+	Tenant      string `json:"tenant"`
+	Forwarded   int64  `json:"forwarded"`
+	RateLimited int64  `json:"rate_limited"`
 }
 
 // ShardStatus is one shard's row in the /metrics document.
@@ -58,6 +67,13 @@ type MetricsSnapshot struct {
 	ProbeFails     int64   `json:"probe_failures"`
 	ClientGone     int64   `json:"client_gone_total"`
 	HedgeDelayMS   float64 `json:"hedge_delay_ms"`
+
+	// Tenancy: front-door refusals, the live key-file generation
+	// (0 = no registry), and per-tenant ledgers.
+	RateLimited      int64           `json:"rate_limited"`
+	AuthRefused      int64           `json:"auth_refused"`
+	TenantGeneration int64           `json:"tenant_generation,omitempty"`
+	Tenants          []GateTenantRow `json:"tenants,omitempty"`
 }
 
 // snapshot captures the counters; the router fills in the per-shard
@@ -78,5 +94,7 @@ func (m *Metrics) snapshot(started time.Time) MetricsSnapshot {
 		ProbesTotal:    m.ProbesTotal.Load(),
 		ProbeFails:     m.ProbeFails.Load(),
 		ClientGone:     m.ClientGoneTotal.Load(),
+		RateLimited:    m.RateLimited.Load(),
+		AuthRefused:    m.AuthRefused.Load(),
 	}
 }

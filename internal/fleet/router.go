@@ -18,9 +18,11 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -28,6 +30,7 @@ import (
 
 	"repro/internal/driver"
 	"repro/internal/server"
+	"repro/internal/tenant"
 )
 
 // TestHookShardFault, when non-nil, is consulted before every HTTP
@@ -84,6 +87,13 @@ type Config struct {
 	// cmserved's MaxSourceBytes).
 	MaxBodyBytes int64
 
+	// Tenants is the API-key registry. When set, the gate authenticates
+	// every routed request, charges the tenant's token bucket before
+	// any shard sees the request, and stamps the authenticated identity
+	// onto the forward as X-CM-Tenant (shards run with -trust-gate).
+	// Nil routes everything as before — anonymous, unmetered.
+	Tenants *tenant.Registry
+
 	// Transport overrides the forwarding transport (tests).
 	Transport http.RoundTripper
 }
@@ -114,6 +124,28 @@ type Router struct {
 
 	replMu   sync.Mutex
 	replSeen map[string]bool // artifact keys already replicated
+
+	tenMu   sync.Mutex
+	tenants map[string]*tenantCounts // per-tenant gate accounting
+}
+
+// tenantCounts is one tenant's gate-side ledger.
+type tenantCounts struct {
+	forwarded   atomic.Int64
+	rateLimited atomic.Int64
+}
+
+// tenantCounts returns (creating if needed) a tenant's ledger; the map
+// is bounded by the registry's tenant list.
+func (rt *Router) tenantCounts(name string) *tenantCounts {
+	rt.tenMu.Lock()
+	defer rt.tenMu.Unlock()
+	c, ok := rt.tenants[name]
+	if !ok {
+		c = &tenantCounts{}
+		rt.tenants[name] = c
+	}
+	return c
 }
 
 // New builds a router over cfg.Shards; it does not probe until Start.
@@ -126,6 +158,13 @@ func New(cfg Config) (*Router, error) {
 	}
 	if cfg.ProbeTimeout <= 0 {
 		cfg.ProbeTimeout = cfg.ProbeInterval / 2
+	}
+	if cfg.ProbeTimeout >= cfg.ProbeInterval {
+		// A probe still in flight when the next fires would stack
+		// goroutines against a hung shard; refuse the config instead of
+		// silently misbehaving under exactly the outage probes exist for.
+		return nil, fmt.Errorf("fleet: probe timeout %s must be shorter than probe interval %s",
+			cfg.ProbeTimeout, cfg.ProbeInterval)
 	}
 	if cfg.BreakerThreshold <= 0 {
 		cfg.BreakerThreshold = 3
@@ -150,6 +189,7 @@ func New(cfg Config) (*Router, error) {
 		started:  time.Now(),
 		stop:     make(chan struct{}),
 		replSeen: map[string]bool{},
+		tenants:  map[string]*tenantCounts{},
 	}
 	for _, u := range cfg.Shards {
 		s := &shardState{
@@ -204,7 +244,7 @@ func (rt *Router) probe(i int) {
 	rt.metrics.ProbesTotal.Add(1)
 	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.ProbeTimeout)
 	defer cancel()
-	resp, err := rt.doShard(ctx, i, http.MethodGet, "/healthz", nil, "", "probe")
+	resp, err := rt.doShard(ctx, i, http.MethodGet, "/healthz", nil, "", nil, "probe")
 	if err != nil {
 		rt.metrics.ProbeFails.Add(1)
 		rt.shards[i].healthy.Store(false)
@@ -219,9 +259,11 @@ func (rt *Router) probe(i int) {
 	rt.shards[i].breaker.Success()
 }
 
-// doShard issues one HTTP call to shard i. Body may be nil; op labels
-// the call for the fault-injection seam.
-func (rt *Router) doShard(ctx context.Context, i int, method, uri string, body []byte, contentType, op string) (*http.Response, error) {
+// doShard issues one HTTP call to shard i. Body and hdr may be nil;
+// hdr carries gate-asserted headers (the X-CM-Tenant identity stamp)
+// onto the outbound request; op labels the call for the
+// fault-injection seam.
+func (rt *Router) doShard(ctx context.Context, i int, method, uri string, body []byte, contentType string, hdr http.Header, op string) (*http.Response, error) {
 	if hook := TestHookShardFault; hook != nil {
 		if err := hook(i, op); err != nil {
 			return nil, errShardFault{err}
@@ -237,6 +279,9 @@ func (rt *Router) doShard(ctx context.Context, i int, method, uri string, body [
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
+	}
+	for k, vs := range hdr {
+		req.Header[k] = vs
 	}
 	return rt.client.Do(req)
 }
@@ -259,6 +304,7 @@ func (rt *Router) Handler() http.Handler {
 type gateError struct {
 	Error        string `json:"error"`
 	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+	Tenant       string `json:"tenant,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -294,13 +340,51 @@ func routeKeyFor(body []byte) string {
 	return driver.RouteKey(name, head.Source, exts)
 }
 
-// handleRouted forwards one content-addressed verb (compile/run/vet).
+// handleRouted forwards one content-addressed verb (compile/run/vet):
+// authenticate and rate-limit at the front door, then place the
+// request on the ring. A tenant refused here never touches a shard —
+// the noisy neighbor is stopped before it can queue behind anyone.
 func (rt *Router) handleRouted(verb string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			w.Header().Set("Allow", http.MethodPost)
 			writeJSON(w, http.StatusMethodNotAllowed, gateError{Error: "method not allowed"})
 			return
+		}
+		// Inbound identity stamps are forgeries by definition — only
+		// this gate may assert X-CM-Tenant to the shards behind it.
+		r.Header.Del(tenant.HeaderTenant)
+		tn, _, err := rt.cfg.Tenants.Resolve(r, false)
+		if err != nil {
+			rt.metrics.AuthRefused.Add(1)
+			status := http.StatusUnauthorized
+			var ae *tenant.AuthError
+			if errors.As(err, &ae) {
+				status = ae.Status
+			}
+			writeJSON(w, status, gateError{Error: err.Error()})
+			return
+		}
+		var hdr http.Header
+		if tn != nil {
+			if allow, retry := tn.Take(); !allow {
+				// A per-tenant refusal: structured 429 with the tenant's
+				// own backoff hint. No shard saw this request, no breaker
+				// or fleet metric moves — this is the tenant's problem,
+				// not the fleet's.
+				rt.metrics.RateLimited.Add(1)
+				rt.tenantCounts(tn.Name()).rateLimited.Add(1)
+				w.Header().Set("Retry-After", fmt.Sprint(int64((retry+time.Second-1)/time.Second)))
+				writeJSON(w, http.StatusTooManyRequests, gateError{
+					Error:        fmt.Sprintf("tenant %q over rate limit", tn.Name()),
+					Tenant:       tn.Name(),
+					RetryAfterMS: int64(retry / time.Millisecond),
+				})
+				return
+			}
+			rt.tenantCounts(tn.Name()).forwarded.Add(1)
+			hdr = http.Header{}
+			hdr.Set(tenant.HeaderTenant, tn.Name())
 		}
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes))
 		if err != nil {
@@ -314,7 +398,7 @@ func (rt *Router) handleRouted(verb string) http.HandlerFunc {
 		}
 		rt.forward(w, r, forwardSpec{
 			verb: verb, uri: r.URL.RequestURI(), method: http.MethodPost,
-			body: body, contentType: "application/json",
+			body: body, contentType: "application/json", hdr: hdr,
 			routeKey: key, artifactKey: artifactKey,
 		})
 	}
@@ -335,7 +419,7 @@ func (rt *Router) handleArtifact(w http.ResponseWriter, r *http.Request) {
 	}
 	key := r.URL.Path[len("/v1/artifact/"):]
 	for _, i := range rt.orderFor(key) {
-		resp, err := rt.doShard(r.Context(), i, http.MethodGet, r.URL.RequestURI(), nil, "", "artifact")
+		resp, err := rt.doShard(r.Context(), i, http.MethodGet, r.URL.RequestURI(), nil, "", nil, "artifact")
 		if err != nil {
 			continue
 		}
@@ -374,6 +458,15 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.ShardHealthy = rt.healthyCount()
 	s.ShardTotal = len(rt.shards)
 	s.HedgeDelayMS = float64(hedgeDelay(rt.lat, rt.cfg.HedgeAfterMin, rt.cfg.HedgeAfterMax)) / float64(time.Millisecond)
+	s.TenantGeneration = rt.cfg.Tenants.Generation()
+	rt.tenMu.Lock()
+	for name, c := range rt.tenants {
+		s.Tenants = append(s.Tenants, GateTenantRow{
+			Tenant: name, Forwarded: c.forwarded.Load(), RateLimited: c.rateLimited.Load(),
+		})
+	}
+	rt.tenMu.Unlock()
+	sort.Slice(s.Tenants, func(i, j int) bool { return s.Tenants[i].Tenant < s.Tenants[j].Tenant })
 	writeJSON(w, http.StatusOK, s)
 }
 
@@ -409,8 +502,9 @@ type forwardSpec struct {
 	uri         string
 	body        []byte
 	contentType string
-	routeKey    string // ring placement ("" = round-robin)
-	artifactKey string // compile artifact address (peer fill/replication)
+	hdr         http.Header // gate-asserted headers (tenant stamp)
+	routeKey    string      // ring placement ("" = round-robin)
+	artifactKey string      // compile artifact address (peer fill/replication)
 }
 
 // shedInfo captures a 429 for backoff pacing and, if the budget runs
@@ -633,7 +727,7 @@ func (rt *Router) doHedged(ctx context.Context, target int, order []int, spec fo
 		ch := make(chan attemptResult, 1)
 		actx, cancel := context.WithCancel(ctx)
 		go func() {
-			resp, err := rt.doShard(actx, i, spec.method, spec.uri, spec.body, spec.contentType, "forward")
+			resp, err := rt.doShard(actx, i, spec.method, spec.uri, spec.body, spec.contentType, spec.hdr, "forward")
 			if resp != nil {
 				// Stamp the serving shard so hedge accounting stays exact
 				// even though two copies share one response path.
@@ -652,6 +746,11 @@ func (rt *Router) doHedged(ctx context.Context, target int, order []int, spec fo
 	if hedgeTo < 0 {
 		a := <-primaryCh
 		rt.feed(ctx, a)
+		if a.err != nil {
+			// No response will ever be relayed: release the attempt
+			// context now instead of leaking it until the parent dies.
+			a.cancel()
+		}
 		return a.resp, wrapCancel(a), false, a.err
 	}
 
@@ -661,6 +760,9 @@ func (rt *Router) doHedged(ctx context.Context, target int, order []int, spec fo
 	select {
 	case a := <-primaryCh:
 		rt.feed(ctx, a)
+		if a.err != nil {
+			a.cancel()
+		}
 		return a.resp, wrapCancel(a), false, a.err
 	case <-timer.C:
 	}
@@ -751,7 +853,7 @@ func (rt *Router) peerFill(ctx context.Context, spec forwardSpec, target int, or
 	}
 	uri := "/v1/artifact/" + spec.artifactKey
 	// Already there? (A prior fill, replication, or its own compile.)
-	if resp, err := rt.doShard(ctx, target, http.MethodGet, uri, nil, "", "artifact"); err == nil {
+	if resp, err := rt.doShard(ctx, target, http.MethodGet, uri, nil, "", nil, "artifact"); err == nil {
 		had := resp.StatusCode == http.StatusOK
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
@@ -763,7 +865,7 @@ func (rt *Router) peerFill(ctx context.Context, spec forwardSpec, target int, or
 		if i == target || !rt.shards[i].healthy.Load() || rt.shards[i].breaker.State() != BreakerClosed {
 			continue
 		}
-		resp, err := rt.doShard(ctx, i, http.MethodGet, uri, nil, "", "artifact")
+		resp, err := rt.doShard(ctx, i, http.MethodGet, uri, nil, "", nil, "artifact")
 		if err != nil {
 			continue
 		}
@@ -777,7 +879,7 @@ func (rt *Router) peerFill(ctx context.Context, spec forwardSpec, target int, or
 		if err != nil {
 			continue
 		}
-		put, err := rt.doShard(ctx, target, http.MethodPut, uri, raw, "application/octet-stream", "artifact")
+		put, err := rt.doShard(ctx, target, http.MethodPut, uri, raw, "application/octet-stream", nil, "artifact")
 		if err != nil {
 			return
 		}
@@ -827,7 +929,7 @@ func (rt *Router) maybeReplicate(spec forwardSpec, served int, order []int) {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		uri := "/v1/artifact/" + spec.artifactKey
-		resp, err := rt.doShard(ctx, served, http.MethodGet, uri, nil, "", "artifact")
+		resp, err := rt.doShard(ctx, served, http.MethodGet, uri, nil, "", nil, "artifact")
 		if err != nil {
 			rt.unsee(spec.artifactKey)
 			return
@@ -844,7 +946,7 @@ func (rt *Router) maybeReplicate(spec forwardSpec, served int, order []int) {
 			rt.unsee(spec.artifactKey)
 			return
 		}
-		put, err := rt.doShard(ctx, succ, http.MethodPut, uri, raw, "application/octet-stream", "artifact")
+		put, err := rt.doShard(ctx, succ, http.MethodPut, uri, raw, "application/octet-stream", nil, "artifact")
 		if err != nil {
 			rt.unsee(spec.artifactKey)
 			return

@@ -320,3 +320,28 @@ func TestGateHealthzDegraded(t *testing.T) {
 	}
 	t.Fatal("gate never reported degraded with one shard down")
 }
+
+// TestProbeTimeoutValidation: a probe timeout at or above the probe
+// interval would stack in-flight probes against a hung shard; New must
+// refuse the config at startup rather than misbehave during an outage.
+func TestProbeTimeoutValidation(t *testing.T) {
+	bad := Config{
+		Shards:        []string{"http://127.0.0.1:1"},
+		ProbeInterval: 50 * time.Millisecond,
+		ProbeTimeout:  50 * time.Millisecond, // == interval: refused
+	}
+	if _, err := New(bad); err == nil || !strings.Contains(err.Error(), "probe timeout") {
+		t.Fatalf("New accepted probe timeout >= interval (err=%v)", err)
+	}
+	bad.ProbeTimeout = 80 * time.Millisecond // > interval: refused
+	if _, err := New(bad); err == nil {
+		t.Fatal("New accepted probe timeout above the probe interval")
+	}
+	// Unset timeout defaults to interval/2 and passes validation.
+	bad.ProbeTimeout = 0
+	rt, err := New(bad)
+	if err != nil {
+		t.Fatalf("defaulted probe timeout refused: %v", err)
+	}
+	rt.Close()
+}

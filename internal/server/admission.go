@@ -1,16 +1,26 @@
-// Admission control for interpreter runs. The original server bounded
-// *execution* with a bare semaphore but not *waiting*: every request
-// beyond the semaphore pinned a goroutine in a channel send with no
-// backpressure signal, so a flood queued without limit until the
-// process died. This file replaces that with a bounded, deadline-aware
-// run queue:
+// Admission control for interpreter runs — since the tenancy PR,
+// partitioned by tenant. The original server bounded *execution* with
+// a bare semaphore but not *waiting*; PR 3 replaced that with a
+// bounded, deadline-aware run queue. This revision splits that queue
+// into per-tenant rings so one hostile or buggy tenant cannot occupy
+// the whole thing:
 //
-//   - up to MaxConcurrentRuns requests execute;
-//   - up to RunQueueSize more wait for a slot, each for at most
-//     min(its own execution deadline, MaxQueueWait);
+//   - up to MaxConcurrentRuns requests execute fleet-wide, but a
+//     tenant never holds more than its quota's MaxConcurrentRuns
+//     execution slots;
+//   - up to RunQueueSize more wait for a slot, but a tenant never
+//     occupies more than its QueueShare waiter slots, each waiting at
+//     most min(its own execution deadline, MaxQueueWait);
+//   - freed slots are handed out by weighted-fair dequeue across the
+//     tenants with waiters (fewest held slots per unit weight first,
+//     FIFO within a tenant) instead of global FIFO, so a flood from
+//     one tenant delays a well-behaved tenant by at most one run;
 //   - everything else is shed immediately with 429, a Retry-After
-//     header, and retry_after_ms in the body, so clients get a
-//     structured backpressure signal instead of a hung connection.
+//     header, and retry_after_ms in the body.
+//
+// The anonymous default tenant has a zero quota (every axis
+// unlimited), so a server with no key file behaves exactly like the
+// PR 3 single-ring admitter — zero-config use stays zero-config.
 //
 // Draining (graceful shutdown) sheds the queue and admits nothing new
 // while in-flight runs finish. A sliding window over recent sheds
@@ -21,47 +31,30 @@ package server
 import (
 	"context"
 	"errors"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/tenant"
 )
 
 // ErrOverloaded is the sentinel for a shed request: the run queue was
 // full, the queue wait exceeded the request's deadline, or the server
-// was draining. HTTP maps it to 429; clients (and cmrun's future
-// client mode, exit code 5) can match it with errors.Is.
+// was draining. HTTP maps it to 429; clients (and cmrun's client
+// mode, exit code 5) can match it with errors.Is.
 var ErrOverloaded = errors.New("server overloaded")
 
 // shedWindowSeconds is the sliding window over which sheds mark the
 // server degraded on /healthz.
 const shedWindowSeconds = 10
 
-// admitter is the bounded run queue.
-type admitter struct {
-	slots    chan struct{} // capacity = MaxConcurrentRuns
-	queueCap int64
-	maxWait  time.Duration
-
-	queued   atomic.Int64
-	shed     atomic.Int64
-	draining chan struct{}
-	drainOne sync.Once
-
-	// Per-second shed buckets for the degraded flag: bucket[i] counts
-	// sheds in the second stamped secs[i], a ring keyed by unix time.
-	shedMu sync.Mutex
-	secs   [shedWindowSeconds]int64
-	counts [shedWindowSeconds]int64
-}
-
-func newAdmitter(slots int, queueCap int, maxWait time.Duration) *admitter {
-	return &admitter{
-		slots:    make(chan struct{}, slots),
-		queueCap: int64(queueCap),
-		maxWait:  maxWait,
-		draining: make(chan struct{}),
-	}
-}
+// defaultMinRetryAfter floors the Retry-After estimate handed to shed
+// clients when nothing better is known (no completed run yet, empty
+// queue). A zero floor would tell the first flood's victims to retry
+// immediately — a thundering herd against a server that just proved
+// it has no capacity.
+const defaultMinRetryAfter = 50 * time.Millisecond
 
 // admitResult explains a non-admission.
 type admitResult int
@@ -71,33 +64,155 @@ const (
 	shedQueueFull
 	shedDeadline // could not be admitted before the request's deadline
 	shedDraining
+	// shedTenantQuota is a per-tenant refusal: the tenant is at its
+	// MaxConcurrentRuns cap with its QueueShare already full. The
+	// server as a whole may be idle — this shed must not push global
+	// backpressure signals, only the tenant's own.
+	shedTenantQuota
 	clientGone // caller disconnected while queued; not counted as a shed
 )
 
-// admit tries to acquire a run slot before the request becomes
-// pointless. timeout is the request's execution budget: a request that
-// cannot start before min(timeout, maxWait) elapses is shed rather
-// than left to win a slot it can no longer use. release must be called
-// exactly once iff the result is admitted.
+// waiterState is the exactly-once handoff protocol between a queued
+// waiter and the paths that may resolve it (grant, deadline, drain,
+// disconnect). Transitions happen under the admitter mutex only.
+type waiterState int
+
+const (
+	waiting waiterState = iota
+	granted
+	abandoned
+)
+
+// waiter is one queued admission request.
+type waiter struct {
+	ring  *tenantRing
+	seq   uint64 // arrival order, the FIFO key within a ring
+	state waiterState
+	grant chan struct{} // closed when a slot is assigned (state=granted)
+}
+
+// tenantRing is one tenant's partition of the admission rings: its
+// held execution slots, its queued waiters, and its counters. Rings
+// are created on first use and retained for /metrics — tenant names
+// only come from the registry (plus anonymous), so the map is small
+// and bounded.
+type tenantRing struct {
+	name    string
+	maxRuns int // 0 = no per-tenant cap
+	share   int // 0 = whole queue
+	weight  int // >= 1
+
+	running int
+	queue   []*waiter
+
+	admitted   atomic.Int64
+	quotaSheds atomic.Int64 // sheds caused by this tenant's own quota
+	sheds      atomic.Int64 // all sheds of this tenant's requests
+}
+
+// admitter is the tenant-partitioned bounded run queue.
+type admitter struct {
+	mu       sync.Mutex
+	slots    int // MaxConcurrentRuns
+	queueCap int
+	maxWait  time.Duration
+	minRetry time.Duration
+
+	running  int
+	rings    map[string]*tenantRing
+	seq      uint64
+	draining bool
+	drainCh  chan struct{}
+
+	queued atomic.Int64 // mirror of total queued, for gauges
+	shed   atomic.Int64
+
+	// Per-second shed buckets for the degraded flag: bucket[i] counts
+	// sheds in the second stamped secs[i], a ring keyed by unix time.
+	shedMu sync.Mutex
+	secs   [shedWindowSeconds]int64
+	counts [shedWindowSeconds]int64
+}
+
+func newAdmitter(slots, queueCap int, maxWait, minRetry time.Duration) *admitter {
+	if minRetry <= 0 {
+		minRetry = defaultMinRetryAfter
+	}
+	return &admitter{
+		slots:    slots,
+		queueCap: queueCap,
+		maxWait:  maxWait,
+		minRetry: minRetry,
+		rings:    map[string]*tenantRing{},
+		drainCh:  make(chan struct{}),
+	}
+}
+
+// ring returns (creating if needed) the partition for a tenant,
+// refreshing its quota — a registry reload changes caps for requests
+// from then on without disturbing slots already held.
+func (a *admitter) ring(name string, q tenant.Quota) *tenantRing {
+	if name == "" {
+		name = tenant.Anonymous
+	}
+	r, ok := a.rings[name]
+	if !ok {
+		r = &tenantRing{name: name}
+		a.rings[name] = r
+	}
+	r.maxRuns = q.MaxConcurrentRuns
+	r.share = q.QueueShare
+	r.weight = q.FairWeight()
+	return r
+}
+
+// admit tries to acquire a run slot for the anonymous tenant —
+// the zero-config path and the compatibility surface for the PR 3
+// behavior contract.
 func (a *admitter) admit(ctx context.Context, timeout time.Duration) (release func(), res admitResult) {
-	select {
-	case <-a.draining:
-		a.recordShed()
+	return a.admitTenant(ctx, tenant.Anonymous, tenant.Quota{}, timeout)
+}
+
+// admitTenant tries to acquire a run slot before the request becomes
+// pointless. timeout is the request's execution budget: a request
+// that cannot start before min(timeout, maxWait) elapses is shed
+// rather than left to win a slot it can no longer use. release must
+// be called exactly once iff the result is admitted.
+func (a *admitter) admitTenant(ctx context.Context, name string, q tenant.Quota, timeout time.Duration) (release func(), res admitResult) {
+	a.mu.Lock()
+	if a.draining {
+		a.mu.Unlock()
+		a.recordShed(nil)
 		return nil, shedDraining
-	default:
 	}
-	// Fast path: a free slot admits without queueing.
-	select {
-	case a.slots <- struct{}{}:
-		return a.releaseFunc(), admitted
-	default:
+	r := a.ring(name, q)
+
+	// Fast path: free global capacity and the tenant below its cap.
+	if a.running < a.slots && (r.maxRuns <= 0 || r.running < r.maxRuns) {
+		a.grantLocked(r)
+		a.mu.Unlock()
+		return a.releaseFunc(r), admitted
 	}
-	if a.queued.Add(1) > a.queueCap {
-		a.queued.Add(-1)
-		a.recordShed()
+
+	// No slot now — queue, or shed. A tenant at its own run cap AND
+	// its own queue share is a quota shed (the server may be idle);
+	// a full global queue is the classic overload shed.
+	if r.share > 0 && len(r.queue) >= r.share {
+		a.mu.Unlock()
+		a.recordShed(r)
+		r.quotaSheds.Add(1)
+		return nil, shedTenantQuota
+	}
+	if int(a.queued.Load()) >= a.queueCap {
+		a.mu.Unlock()
+		a.recordShed(r)
 		return nil, shedQueueFull
 	}
-	defer a.queued.Add(-1)
+	a.seq++
+	w := &waiter{ring: r, seq: a.seq, grant: make(chan struct{})}
+	r.queue = append(r.queue, w)
+	a.queued.Add(1)
+	a.mu.Unlock()
 
 	wait := a.maxWait
 	if timeout < wait {
@@ -106,33 +221,146 @@ func (a *admitter) admit(ctx context.Context, timeout time.Duration) (release fu
 	timer := time.NewTimer(wait)
 	defer timer.Stop()
 	select {
-	case a.slots <- struct{}{}:
-		return a.releaseFunc(), admitted
+	case <-w.grant:
+		return a.releaseFunc(r), admitted
 	case <-timer.C:
-		a.recordShed()
+		if a.resolve(w, true) {
+			// Grant raced the deadline: the slot was assigned between
+			// the timer firing and us taking the lock. The request is
+			// past its useful wait either way — hand the slot straight
+			// back so the next waiter gets it, and report the shed.
+			a.releaseFunc(r)()
+			return nil, shedDeadline
+		}
 		return nil, shedDeadline
-	case <-a.draining:
-		a.recordShed()
+	case <-a.drainCh:
+		if a.resolve(w, true) {
+			a.releaseFunc(r)()
+			return nil, shedDraining
+		}
 		return nil, shedDraining
 	case <-ctx.Done():
+		if a.resolve(w, false) {
+			a.releaseFunc(r)()
+		}
 		return nil, clientGone
 	}
 }
 
-func (a *admitter) releaseFunc() func() {
+// grantLocked assigns one slot to ring r. Caller holds a.mu.
+func (a *admitter) grantLocked(r *tenantRing) {
+	a.running++
+	r.running++
+	r.admitted.Add(1)
+}
+
+// resolve finalizes a waiter that lost its select race (deadline,
+// drain, disconnect): removes it from its ring's queue if still
+// waiting, or reports that a grant slipped in first (the caller then
+// owns a slot it must release). isShed selects whether the outcome
+// counts toward shed metrics.
+func (a *admitter) resolve(w *waiter, isShed bool) (wasGranted bool) {
+	a.mu.Lock()
+	if w.state == granted {
+		a.mu.Unlock()
+		if isShed {
+			a.recordShed(w.ring)
+		}
+		return true
+	}
+	w.state = abandoned
+	q := w.ring.queue
+	for i, other := range q {
+		if other == w {
+			w.ring.queue = append(q[:i], q[i+1:]...)
+			break
+		}
+	}
+	a.queued.Add(-1)
+	a.mu.Unlock()
+	if isShed {
+		a.recordShed(w.ring)
+	}
+	return false
+}
+
+// releaseFunc hands back one slot held by ring r, then dispatches the
+// freed capacity to the fairest waiter. Exactly-once by construction.
+func (a *admitter) releaseFunc(r *tenantRing) func() {
 	var once sync.Once
-	return func() { once.Do(func() { <-a.slots }) }
+	return func() {
+		once.Do(func() {
+			a.mu.Lock()
+			a.running--
+			r.running--
+			a.dispatchLocked()
+			a.mu.Unlock()
+		})
+	}
 }
 
-// drain flips the admitter into shutdown mode: queued waiters are shed
-// now, future requests are shed on arrival, in-flight runs keep their
-// slots. Idempotent.
+// dispatchLocked hands free slots to queued waiters, weighted-fair
+// across tenants: among rings with waiters and headroom under their
+// own cap, pick the one holding the fewest slots per unit weight
+// (ties to the oldest head waiter), grant its head, repeat. Caller
+// holds a.mu.
+func (a *admitter) dispatchLocked() {
+	for a.running < a.slots {
+		var best *tenantRing
+		for _, r := range a.rings {
+			if len(r.queue) == 0 {
+				continue
+			}
+			if r.maxRuns > 0 && r.running >= r.maxRuns {
+				continue
+			}
+			if best == nil || fairerThan(r, best) {
+				best = r
+			}
+		}
+		if best == nil {
+			return
+		}
+		w := best.queue[0]
+		best.queue = best.queue[1:]
+		w.state = granted
+		a.queued.Add(-1)
+		a.grantLocked(best)
+		close(w.grant)
+	}
+}
+
+// fairerThan orders rings for dispatch: lower (running+1)/weight
+// first — the tenant that would still hold the least capacity per
+// unit weight after the grant — with ties broken by the oldest
+// waiting request, so equal-weight tenants degrade to global FIFO.
+func fairerThan(x, y *tenantRing) bool {
+	xs := float64(x.running+1) / float64(x.weight)
+	ys := float64(y.running+1) / float64(y.weight)
+	if xs != ys {
+		return xs < ys
+	}
+	return x.queue[0].seq < y.queue[0].seq
+}
+
+// drain flips the admitter into shutdown mode: queued waiters are
+// shed now, future requests are shed on arrival, in-flight runs keep
+// their slots. Idempotent.
 func (a *admitter) drain() {
-	a.drainOne.Do(func() { close(a.draining) })
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.draining {
+		return
+	}
+	a.draining = true
+	close(a.drainCh)
 }
 
-func (a *admitter) recordShed() {
+func (a *admitter) recordShed(r *tenantRing) {
 	a.shed.Add(1)
+	if r != nil {
+		r.sheds.Add(1)
+	}
 	now := time.Now().Unix()
 	i := now % shedWindowSeconds
 	a.shedMu.Lock()
@@ -161,17 +389,61 @@ func (a *admitter) recentSheds() int64 {
 // retryAfter suggests how long a shed client should back off: the
 // queue's current depth times the observed mean run latency (how long
 // it should take for that much work to clear), clamped to a sane
-// range. meanRunMS may be zero when no run has completed yet.
+// range. meanRunMS may be zero when no run has completed yet — the
+// estimate is then one queue-drain at the configured floor per slot,
+// never zero (see minRetry).
 func (a *admitter) retryAfter(meanRunMS float64) time.Duration {
-	if meanRunMS <= 0 {
-		meanRunMS = 100
+	floorMS := float64(a.minRetry) / float64(time.Millisecond)
+	if meanRunMS < floorMS {
+		meanRunMS = floorMS
 	}
 	est := time.Duration((float64(a.queued.Load())+1)*meanRunMS) * time.Millisecond
-	if est < 50*time.Millisecond {
-		est = 50 * time.Millisecond
+	if est < a.minRetry {
+		est = a.minRetry
 	}
 	if est > 10*time.Second {
 		est = 10 * time.Second
 	}
 	return est
+}
+
+// TenantAdmissionRow is one tenant's live admission state for
+// /metrics.
+type TenantAdmissionRow struct {
+	Tenant     string `json:"tenant"`
+	Running    int    `json:"running"`
+	Queued     int    `json:"queued"`
+	Admitted   int64  `json:"admitted"`
+	Sheds      int64  `json:"sheds"`
+	QuotaSheds int64  `json:"quota_sheds"`
+}
+
+// tenantRows snapshots per-tenant admission state, sorted by name for
+// stable /metrics output.
+func (a *admitter) tenantRows() []TenantAdmissionRow {
+	a.mu.Lock()
+	rows := make([]TenantAdmissionRow, 0, len(a.rings))
+	for _, r := range a.rings {
+		rows = append(rows, TenantAdmissionRow{
+			Tenant:     r.name,
+			Running:    r.running,
+			Queued:     len(r.queue),
+			Admitted:   r.admitted.Load(),
+			Sheds:      r.sheds.Load(),
+			QuotaSheds: r.quotaSheds.Load(),
+		})
+	}
+	a.mu.Unlock()
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Tenant < rows[j].Tenant })
+	return rows
+}
+
+// quotaShedsFor reports one tenant's quota-induced sheds (tests).
+func (a *admitter) quotaShedsFor(name string) int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if r, ok := a.rings[name]; ok {
+		return r.quotaSheds.Load()
+	}
+	return 0
 }

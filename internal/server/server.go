@@ -43,6 +43,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/matrix"
 	"repro/internal/source"
+	"repro/internal/tenant"
 )
 
 // Config parameterizes a Server. Zero values select the defaults.
@@ -81,6 +82,19 @@ type Config struct {
 	// header on every reply. The cmgate router and the chaos harness use
 	// it to attribute responses to fleet members.
 	ShardID string
+	// Tenants is the API-key registry (tenant.LoadFile). Nil keeps the
+	// pre-tenancy zero-config behavior: every request is the anonymous
+	// tenant, nothing is authenticated or rate-limited.
+	Tenants *tenant.Registry
+	// TrustGateHeader accepts the cmgate-stamped X-CM-Tenant identity
+	// header instead of requiring a key on every routed request. Enable
+	// only when the daemon is reachable exclusively through the gate —
+	// the header is trivially forgeable on an open port.
+	TrustGateHeader bool
+	// MinRetryAfter floors the Retry-After estimate on shed responses
+	// (default 50ms) so a server with no latency history never invites
+	// an immediate retry storm.
+	MinRetryAfter time.Duration
 }
 
 // TestHookRunBarrier, when non-nil, is called by handleRun while its
@@ -104,6 +118,8 @@ type Server struct {
 	inflightRuns atomic.Int64
 	runTraps     atomic.Int64
 	panicsCaught atomic.Int64
+	rateLimited  atomic.Int64
+	authRefused  atomic.Int64
 	startedAt    time.Time
 
 	trapMu sync.Mutex
@@ -142,7 +158,7 @@ func New(cfg Config) *Server {
 	return &Server{
 		cfg:       cfg,
 		d:         cfg.Driver,
-		admit:     newAdmitter(cfg.MaxConcurrentRuns, cfg.RunQueueSize, cfg.MaxQueueWait),
+		admit:     newAdmitter(cfg.MaxConcurrentRuns, cfg.RunQueueSize, cfg.MaxQueueWait, cfg.MinRetryAfter),
 		startedAt: time.Now(),
 		traps:     map[string]int64{},
 	}
@@ -321,8 +337,10 @@ type errorResponse struct {
 	Span string `json:"span,omitempty"`
 	// RetryAfterMS accompanies a 429 shed: the server's estimate of
 	// when capacity will free up (also sent as a Retry-After header,
-	// in whole seconds).
-	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+	// in whole seconds). Tenant names the authenticated tenant the
+	// refusal applies to.
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+	Tenant       string `json:"tenant,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -340,8 +358,9 @@ func (s *Server) clientError(w http.ResponseWriter, code int, resp errorResponse
 
 // shedResponse answers a load-shed run request: 429, a Retry-After
 // header, and retry_after_ms in the body. The retry estimate scales
-// with queue depth × observed mean run latency.
-func (s *Server) shedResponse(w http.ResponseWriter, res admitResult) {
+// with queue depth × observed mean run latency; quota sheds name the
+// tenant so a noisy client's logs say whose limit was hit.
+func (s *Server) shedResponse(w http.ResponseWriter, res admitResult, tenantName string) {
 	retry := s.admit.retryAfter(s.d.Metrics().RunLatency.Snapshot().MeanUS / 1e3)
 	reason := "run queue full"
 	switch res {
@@ -349,12 +368,56 @@ func (s *Server) shedResponse(w http.ResponseWriter, res admitResult) {
 		reason = "not admitted before the request deadline"
 	case shedDraining:
 		reason = "server draining for shutdown"
+	case shedTenantQuota:
+		reason = fmt.Sprintf("tenant %q concurrency quota exhausted", tenantName)
 	}
-	w.Header().Set("Retry-After", fmt.Sprint(int64((retry+time.Second-1)/time.Second)))
+	writeRetryAfter(w, retry)
 	writeJSON(w, http.StatusTooManyRequests, errorResponse{
 		Error:        fmt.Sprintf("%v: %s", ErrOverloaded, reason),
+		Tenant:       tenantName,
 		RetryAfterMS: int64(retry / time.Millisecond),
 	})
+}
+
+// writeRetryAfter sets the header form of a backoff estimate (whole
+// seconds, rounded up so it is never 0).
+func writeRetryAfter(w http.ResponseWriter, retry time.Duration) {
+	w.Header().Set("Retry-After", fmt.Sprint(int64((retry+time.Second-1)/time.Second)))
+}
+
+// resolveTenant authenticates a request against the key registry and
+// charges the tenant's token bucket. With no registry configured it is
+// a no-op returning a nil tenant (anonymous, unlimited). Requests that
+// arrived through a trusted gate are identified by the X-CM-Tenant
+// stamp and NOT charged again — the gate already spent a token. On a
+// refusal (401 unknown key, 403 disabled tenant, 429 over rate) the
+// structured response has been written and ok is false.
+func (s *Server) resolveTenant(w http.ResponseWriter, r *http.Request) (tn *tenant.Tenant, ok bool) {
+	tn, viaGate, err := s.cfg.Tenants.Resolve(r, s.cfg.TrustGateHeader)
+	if err != nil {
+		s.authRefused.Add(1)
+		status := http.StatusUnauthorized
+		var ae *tenant.AuthError
+		if errors.As(err, &ae) {
+			status = ae.Status
+		}
+		s.clientError(w, status, errorResponse{Error: err.Error()})
+		return nil, false
+	}
+	if tn == nil || viaGate {
+		return tn, true
+	}
+	if allow, retry := tn.Take(); !allow {
+		s.rateLimited.Add(1)
+		writeRetryAfter(w, retry)
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{
+			Error:        fmt.Sprintf("tenant %q over rate limit", tn.Name()),
+			Tenant:       tn.Name(),
+			RetryAfterMS: int64(retry / time.Millisecond),
+		})
+		return nil, false
+	}
+	return tn, true
 }
 
 // decode parses a JSON body into v, enforcing the size limit.
@@ -437,6 +500,9 @@ func CompileKeyForBody(raw []byte) (key string, ok bool) {
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	s.compileReqs.Add(1)
 	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	if _, ok := s.resolveTenant(w, r); !ok {
 		return
 	}
 	var req compileRequest
@@ -522,6 +588,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodPost) {
 		return
 	}
+	tn, ok := s.resolveTenant(w, r)
+	if !ok {
+		return
+	}
 	var req runRequest
 	if !s.decode(w, r, &req) {
 		return
@@ -553,6 +623,16 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if maxCells <= 0 || maxCells > s.cfg.MaxCells {
 		maxCells = s.cfg.MaxCells
 	}
+	// The tenant's own cell cap clamps below the server-wide cap: a
+	// request asking for more is clamped, not refused, mirroring how
+	// the server cap has always behaved.
+	tenantName, quota := tenant.Anonymous, tenant.Quota{}
+	if tn != nil {
+		tenantName, quota = tn.Name(), tn.Quota()
+	}
+	if quota.MaxCells > 0 && maxCells > quota.MaxCells {
+		maxCells = quota.MaxCells
+	}
 	engine := req.Engine
 	if engine == "" {
 		engine = s.cfg.DefaultEngine
@@ -567,9 +647,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Admission control: acquire an execution slot through the bounded,
-	// deadline-aware run queue, or shed now with a structured
-	// backpressure signal (see admission.go).
-	release, admit := s.admit.admit(r.Context(), timeout)
+	// deadline-aware, tenant-partitioned run queue, or shed now with a
+	// structured backpressure signal (see admission.go).
+	release, admit := s.admit.admitTenant(r.Context(), tenantName, quota, timeout)
 	switch admit {
 	case admitted:
 		defer release()
@@ -579,7 +659,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "client went away while queued"})
 		return
 	default:
-		s.shedResponse(w, admit)
+		s.shedResponse(w, admit, tenantName)
 		return
 	}
 	s.inflightRuns.Add(1)
@@ -596,7 +676,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	res, err := s.d.Run(ctx, driver.RunRequest{
 		Name: name, Source: req.Source, Exts: exts,
 		Threads: req.Threads, MaxSteps: req.MaxSteps, MaxCells: maxCells,
-		Engine: engine,
+		Engine: engine, Tenant: tenantName,
 		// No Dir + non-nil Files: file I/O stays in this request-local
 		// in-memory map, never the server's filesystem.
 		Files:  map[string]*matrix.Matrix{},
@@ -646,6 +726,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleVet(w http.ResponseWriter, r *http.Request) {
 	s.vetReqs.Add(1)
 	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	if _, ok := s.resolveTenant(w, r); !ok {
 		return
 	}
 	var req vetRequest
@@ -744,6 +827,13 @@ type metricsSnapshot struct {
 	RunQueueMax   int   `json:"run_queue_max"`
 	RunsShed      int64 `json:"runs_shed"`
 
+	// Tenancy: refusals at the front door, the live key-file
+	// generation (0 = no registry), and per-tenant admission rows.
+	RateLimited      int64                `json:"rate_limited"`
+	AuthRefused      int64                `json:"auth_refused"`
+	TenantGeneration int64                `json:"tenant_generation,omitempty"`
+	Tenants          []TenantAdmissionRow `json:"tenants,omitempty"`
+
 	// Crash-proofing counters: trap-coded run failures (total and by
 	// code) and handler panics absorbed by the recover middleware.
 	RunTraps        int64            `json:"run_traps"`
@@ -758,21 +848,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, metricsSnapshot{
-		UptimeSeconds:   time.Since(s.startedAt).Seconds(),
-		CompileRequests: s.compileReqs.Load(),
-		RunRequests:     s.runReqs.Load(),
-		VetRequests:     s.vetReqs.Load(),
-		AnalysisReqs:    s.analysesReqs.Load(),
-		ClientErrors:    s.clientErrors.Load(),
-		RunTimeouts:     s.runTimeouts.Load(),
-		InflightRuns:    s.inflightRuns.Load(),
-		MaxRuns:         s.cfg.MaxConcurrentRuns,
-		RunQueueDepth:   s.admit.queued.Load(),
-		RunQueueMax:     s.cfg.RunQueueSize,
-		RunsShed:        s.admit.shed.Load(),
-		RunTraps:        s.runTraps.Load(),
-		Traps:           s.trapSnapshot(),
-		PanicsRecovered: s.panicsCaught.Load(),
-		Driver:          s.d.MetricsSnapshot(),
+		UptimeSeconds:    time.Since(s.startedAt).Seconds(),
+		CompileRequests:  s.compileReqs.Load(),
+		RunRequests:      s.runReqs.Load(),
+		VetRequests:      s.vetReqs.Load(),
+		AnalysisReqs:     s.analysesReqs.Load(),
+		ClientErrors:     s.clientErrors.Load(),
+		RunTimeouts:      s.runTimeouts.Load(),
+		InflightRuns:     s.inflightRuns.Load(),
+		MaxRuns:          s.cfg.MaxConcurrentRuns,
+		RunQueueDepth:    s.admit.queued.Load(),
+		RunQueueMax:      s.cfg.RunQueueSize,
+		RunsShed:         s.admit.shed.Load(),
+		RateLimited:      s.rateLimited.Load(),
+		AuthRefused:      s.authRefused.Load(),
+		TenantGeneration: s.cfg.Tenants.Generation(),
+		Tenants:          s.admit.tenantRows(),
+		RunTraps:         s.runTraps.Load(),
+		Traps:            s.trapSnapshot(),
+		PanicsRecovered:  s.panicsCaught.Load(),
+		Driver:           s.d.MetricsSnapshot(),
 	})
 }

@@ -1,0 +1,194 @@
+// HTTP-level tenancy tests: API-key authentication on the expensive
+// endpoints, per-tenant token-bucket 429s with structured retry
+// hints, the per-tenant max_cells clamp, the trusted gate identity
+// header, and per-tenant attribution on /metrics.
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/server"
+	"repro/internal/tenant"
+)
+
+const testKeys = `{
+  "tenants": [
+    {"name": "acme", "keys": ["k-acme"], "rate_per_sec": 1000, "burst": 1000,
+     "max_cells": 10, "max_concurrent_runs": 2, "queue_share": 2},
+    {"name": "drip", "keys": ["k-drip"], "rate_per_sec": 1, "burst": 1},
+    {"name": "mallory", "keys": ["k-mal"], "disabled": true}
+  ]
+}`
+
+func tenantServer(t *testing.T, cfg server.Config) *httptest.Server {
+	t.Helper()
+	reg, err := tenant.NewRegistry([]byte(testKeys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Tenants = reg
+	ts, _ := newTestServer(t, cfg)
+	return ts
+}
+
+// postWithKey posts a JSON body with an optional bearer key and extra
+// headers, returning status, decoded body, and the raw response.
+func postWithKey(t *testing.T, url, key string, hdr map[string]string, body any) (int, map[string]any, *http.Response) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if key != "" {
+		req.Header.Set("Authorization", "Bearer "+key)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp.StatusCode, out, resp
+}
+
+func TestTenantAuthPaths(t *testing.T) {
+	ts := tenantServer(t, server.Config{})
+	run := map[string]any{"source": okSrc}
+
+	// No credentials: the anonymous default tenant — zero-config use
+	// stays open even with a key file loaded.
+	if code, body, _ := postWithKey(t, ts.URL+"/v1/run", "", nil, run); code != http.StatusOK {
+		t.Fatalf("anonymous run: %d %v", code, body)
+	}
+	// A valid key authenticates.
+	if code, body, _ := postWithKey(t, ts.URL+"/v1/run", "k-drip", nil, run); code != http.StatusOK {
+		t.Fatalf("keyed run: %d %v", code, body)
+	}
+	// Unknown key: 401. Disabled tenant: 403.
+	if code, _, _ := postWithKey(t, ts.URL+"/v1/run", "k-bogus", nil, run); code != http.StatusUnauthorized {
+		t.Fatalf("unknown key: %d, want 401", code)
+	}
+	if code, _, _ := postWithKey(t, ts.URL+"/v1/vet", "k-mal", nil, map[string]any{"source": okSrc}); code != http.StatusForbidden {
+		t.Fatalf("disabled tenant vet: %d, want 403", code)
+	}
+	if code, _, _ := postWithKey(t, ts.URL+"/v1/compile", "k-bogus", nil, map[string]any{"source": okSrc}); code != http.StatusUnauthorized {
+		t.Fatalf("unknown key compile: %d, want 401", code)
+	}
+}
+
+func TestTenantRateLimit(t *testing.T) {
+	ts := tenantServer(t, server.Config{})
+	req := map[string]any{"source": okSrc, "par": "none"}
+
+	// drip has burst 1: the first request spends it, the second must
+	// be refused with a structured 429 naming the tenant.
+	if code, body, _ := postWithKey(t, ts.URL+"/v1/compile", "k-drip", nil, req); code != http.StatusOK {
+		t.Fatalf("first drip request: %d %v", code, body)
+	}
+	code, body, resp := postWithKey(t, ts.URL+"/v1/compile", "k-drip", nil, req)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("second drip request: %d %v, want 429", code, body)
+	}
+	if body["tenant"] != "drip" {
+		t.Fatalf("429 body tenant = %v", body["tenant"])
+	}
+	if retry, ok := body["retry_after_ms"].(float64); !ok || retry <= 0 {
+		t.Fatalf("retry_after_ms = %v, want > 0", body["retry_after_ms"])
+	}
+	if resp.Header.Get("Retry-After") == "" || resp.Header.Get("Retry-After") == "0" {
+		t.Fatalf("Retry-After header = %q", resp.Header.Get("Retry-After"))
+	}
+
+	// The refusal is per-tenant: acme and anonymous are unaffected.
+	if code, body, _ := postWithKey(t, ts.URL+"/v1/compile", "k-acme", nil, req); code != http.StatusOK {
+		t.Fatalf("acme after drip 429: %d %v", code, body)
+	}
+	if code, body, _ := postWithKey(t, ts.URL+"/v1/compile", "", nil, req); code != http.StatusOK {
+		t.Fatalf("anonymous after drip 429: %d %v", code, body)
+	}
+
+	var m struct {
+		RateLimited int64 `json:"rate_limited"`
+		AuthRefused int64 `json:"auth_refused"`
+	}
+	if code := getJSON(t, ts.URL+"/metrics", &m); code != http.StatusOK || m.RateLimited != 1 {
+		t.Fatalf("metrics rate_limited = %d (status %d), want 1", m.RateLimited, code)
+	}
+}
+
+func TestTenantMaxCellsClamp(t *testing.T) {
+	ts := tenantServer(t, server.Config{})
+	// okSrc allocates an 8×8 matrix = 64 cells; acme's quota caps it
+	// at 10. The request asks for the server default (much larger) —
+	// the tenant clamp must win and trip the oom trap.
+	code, body, _ := postWithKey(t, ts.URL+"/v1/run", "k-acme", nil, map[string]any{"source": okSrc})
+	if code != http.StatusUnprocessableEntity || body["trap"] != "oom" {
+		t.Fatalf("over-quota allocation: %d trap=%v, want 422/oom", code, body["trap"])
+	}
+	// The same run as anonymous (no tenant cap) succeeds.
+	if code, body, _ := postWithKey(t, ts.URL+"/v1/run", "", nil, map[string]any{"source": okSrc}); code != http.StatusOK {
+		t.Fatalf("anonymous run: %d %v", code, body)
+	}
+}
+
+func TestGateHeaderTrust(t *testing.T) {
+	// Untrusted by default: a client-forged X-CM-Tenant header must
+	// not buy acme's identity (or anyone's quota).
+	ts := tenantServer(t, server.Config{})
+	hdr := map[string]string{tenant.HeaderTenant: "acme"}
+	code, body, _ := postWithKey(t, ts.URL+"/v1/run", "", hdr, map[string]any{"source": okSrc})
+	if code != http.StatusOK {
+		t.Fatalf("forged-header run: %d %v", code, body)
+	}
+	var m struct {
+		Tenants []server.TenantAdmissionRow `json:"tenants"`
+	}
+	getJSON(t, ts.URL+"/metrics", &m)
+	for _, row := range m.Tenants {
+		if row.Tenant == "acme" {
+			t.Fatalf("forged header produced an acme admission row: %+v", row)
+		}
+	}
+
+	// With TrustGateHeader (the daemon behind cmgate), the stamp is
+	// the identity — and the tenant's clamps apply to it.
+	ts2 := tenantServer(t, server.Config{TrustGateHeader: true})
+	code, body, _ = postWithKey(t, ts2.URL+"/v1/run", "", hdr, map[string]any{"source": okSrc})
+	if code != http.StatusUnprocessableEntity || body["trap"] != "oom" {
+		t.Fatalf("gate-stamped run: %d trap=%v, want acme's max_cells clamp", code, body["trap"])
+	}
+	var m2 struct {
+		Tenants []server.TenantAdmissionRow `json:"tenants"`
+		Driver  struct {
+			RunsByTenant map[string]int64 `json:"runs_by_tenant"`
+		} `json:"driver"`
+	}
+	getJSON(t, ts2.URL+"/metrics", &m2)
+	found := false
+	for _, row := range m2.Tenants {
+		if row.Tenant == "acme" && row.Admitted == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no acme admission row after gate-stamped run: %+v", m2.Tenants)
+	}
+	if m2.Driver.RunsByTenant["acme"] != 1 {
+		t.Fatalf("runs_by_tenant = %v, want acme: 1", m2.Driver.RunsByTenant)
+	}
+}

@@ -1,0 +1,98 @@
+// The token bucket: sustained rate plus burst headroom, the classic
+// shape for API rate limiting — a tenant that has been quiet can send
+// Burst requests at once, then refills at RatePerSec. Implemented
+// with a lazily-refilled float token count (no ticker goroutine, no
+// per-tenant timers) and an injectable clock so tests need no sleeps.
+package tenant
+
+import (
+	"sync"
+	"time"
+)
+
+// minRetryAfter floors the backoff estimate a depleted bucket hands
+// out. A zero or near-zero estimate invites an immediate retry storm
+// from every shed client at once — the opposite of backpressure.
+const minRetryAfter = 50 * time.Millisecond
+
+// Bucket is a token-bucket rate limiter safe for concurrent use.
+type Bucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64 // bucket capacity
+	tokens float64
+	last   time.Time
+
+	// now is the clock; tests swap it. Guarded by mu.
+	now func() time.Time
+}
+
+// NewBucket builds a full bucket refilling at rate tokens/second with
+// the given capacity.
+func NewBucket(rate, burst float64) *Bucket {
+	return &Bucket{rate: rate, burst: burst, tokens: burst, now: time.Now}
+}
+
+// SetClock replaces the bucket's time source (tests).
+func (b *Bucket) SetClock(now func() time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.now = now
+	b.last = time.Time{}
+}
+
+// refillLocked advances the bucket to the current instant.
+func (b *Bucket) refillLocked() {
+	t := b.now()
+	if !b.last.IsZero() {
+		b.tokens += t.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = t
+}
+
+// Take consumes one token if available. When the bucket is empty it
+// reports how long until one token refills, floored so a shed client
+// never gets told "retry now".
+func (b *Bucket) Take() (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked()
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+	if wait < minRetryAfter {
+		wait = minRetryAfter
+	}
+	return false, wait
+}
+
+// Tokens reports the current fill level (tests, metrics).
+func (b *Bucket) Tokens() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked()
+	return b.tokens
+}
+
+// adoptFill carries a previous generation's fill level into this
+// bucket (registry reload): the fill transfers proportionally capped
+// at the new burst, so neither a reload-reset free-for-all nor a
+// permanently-starved bucket after a quota increase.
+func (b *Bucket) adoptFill(prev *Bucket) {
+	prev.mu.Lock()
+	prev.refillLocked()
+	tokens := prev.tokens
+	prev.mu.Unlock()
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if tokens < b.burst {
+		b.tokens = tokens
+	}
+	b.last = time.Time{}
+}

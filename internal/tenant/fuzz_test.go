@@ -1,0 +1,45 @@
+// FuzzTenantKeyParse: the key-file parser must never panic, and when
+// it does accept a document the resulting snapshot must be coherent —
+// no duplicate or empty keys, no duplicate or reserved names, every
+// key resolving back to its tenant.
+package tenant
+
+import "testing"
+
+func FuzzTenantKeyParse(f *testing.F) {
+	f.Add([]byte(exampleKeyFile))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"tenants":[]}`))
+	f.Add([]byte(`{"default":{"rate_per_sec":5}}`))
+	f.Add([]byte(`{"tenants":[{"name":"a","keys":["k"]},{"name":"b","keys":["k"]}]}`))
+	f.Add([]byte(`{"tenants":[{"name":"anonymous","keys":["k"]}]}`))
+	f.Add([]byte(`{"tenants":[{"name":"a","keys":[""]}]}`))
+	f.Add([]byte(`{"tenants":[{"name":"a","keys":["k"],"rate_per_sec":-1e308}]}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		snap, err := Parse(raw)
+		if err != nil {
+			return
+		}
+		if snap.anon == nil || snap.anon.name != Anonymous {
+			t.Fatal("accepted document without an anonymous tenant")
+		}
+		for key, tn := range snap.byKey {
+			if key == "" {
+				t.Fatal("accepted an empty key")
+			}
+			if got := snap.byName[tn.name]; got != tn {
+				t.Fatalf("key %q resolves to tenant %q not in the name table", key, tn.name)
+			}
+		}
+		for name, tn := range snap.byName {
+			if name == "" || name == Anonymous {
+				t.Fatalf("accepted reserved/empty tenant name %q", name)
+			}
+			if tn.quota.RatePerSec < 0 || tn.quota.MaxCells < 0 ||
+				tn.quota.MaxConcurrentRuns < 0 || tn.quota.QueueShare < 0 {
+				t.Fatalf("accepted negative quota for %q: %+v", name, tn.quota)
+			}
+		}
+	})
+}

@@ -1,0 +1,395 @@
+// Package tenant is the multi-tenant isolation layer: an API-key
+// registry with per-tenant quotas and token-bucket rate limits.
+//
+// Both enforcement points share it. The cmgate router authenticates
+// Authorization: Bearer / X-CM-Key, rate-limits before routing, and
+// stamps X-CM-Tenant on forwarded requests; cmserved either trusts
+// that header (fleet deployments, -trust-gate) or authenticates
+// directly (standalone), then clamps the request's max_cells to the
+// tenant's cap and partitions the admission rings by the tenant's
+// quota share. Requests without credentials resolve to an anonymous
+// default tenant with whatever quota the key file grants it (by
+// default: none — single-node use stays zero-config and unlimited).
+//
+// The registry loads from a JSON key file and reloads in place on
+// SIGHUP: tenants keep their token-bucket fill level across reloads,
+// so re-reading the file is not a rate-limit reset.
+package tenant
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Anonymous is the reserved tenant name for unauthenticated requests
+// (and the tenant label when no registry is configured at all).
+const Anonymous = "anonymous"
+
+// HeaderTenant carries the gate-authenticated tenant name to shards;
+// HeaderKey is the non-standard key header accepted alongside
+// Authorization: Bearer.
+const (
+	HeaderTenant = "X-CM-Tenant"
+	HeaderKey    = "X-CM-Key"
+)
+
+// Quota is one tenant's resource envelope. The zero value means
+// "unlimited" on every axis — quotas only ever restrict.
+type Quota struct {
+	// RatePerSec is the sustained request rate through the token
+	// bucket; 0 disables rate limiting for the tenant.
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	// Burst is the bucket depth (requests that may arrive at once with
+	// a full bucket); 0 selects max(1, RatePerSec).
+	Burst float64 `json:"burst,omitempty"`
+	// MaxCells caps the matrix cells one run may allocate; requests
+	// asking for more are clamped, not rejected. 0 = the server's cap.
+	MaxCells int64 `json:"max_cells,omitempty"`
+	// MaxConcurrentRuns caps the execution slots the tenant may hold
+	// at once; 0 = bounded only by the server's global slot count.
+	MaxConcurrentRuns int `json:"max_concurrent_runs,omitempty"`
+	// QueueShare caps the admission-queue slots the tenant may occupy;
+	// 0 = the whole queue.
+	QueueShare int `json:"queue_share,omitempty"`
+	// Weight biases the weighted-fair dequeue (higher = more slots
+	// under contention); 0 selects 1.
+	Weight int `json:"weight,omitempty"`
+}
+
+// FairWeight is Weight with the zero-value default applied.
+func (q Quota) FairWeight() int {
+	if q.Weight <= 0 {
+		return 1
+	}
+	return q.Weight
+}
+
+// Tenant is one identity plus its quota and live rate-limiter state.
+// The bucket survives registry reloads (carried over by name), so a
+// SIGHUP never resets anyone's rate limit.
+type Tenant struct {
+	name     string
+	disabled bool
+	quota    Quota
+	bucket   *Bucket
+}
+
+func (t *Tenant) Name() string { return t.name }
+func (t *Tenant) Quota() Quota { return t.quota }
+func (t *Tenant) Disabled() bool {
+	return t != nil && t.disabled
+}
+
+// Take consumes one rate-limit token. ok is always true for tenants
+// without a rate limit; when false, retryAfter is this tenant's own
+// estimate of when a token will be available (never zero — a zero
+// estimate invites an immediate thundering-herd retry).
+func (t *Tenant) Take() (ok bool, retryAfter time.Duration) {
+	if t == nil || t.bucket == nil {
+		return true, 0
+	}
+	return t.bucket.Take()
+}
+
+// --- key file wire format ---
+
+// fileTenant is one entry in the key file.
+type fileTenant struct {
+	Name     string   `json:"name"`
+	Keys     []string `json:"keys"`
+	Disabled bool     `json:"disabled,omitempty"`
+	Quota             // quota fields inline
+}
+
+// keyFile is the on-disk JSON document:
+//
+//	{
+//	  "default": {"rate_per_sec": 100},          // optional: anonymous quota
+//	  "tenants": [
+//	    {"name": "acme", "keys": ["k1"], "rate_per_sec": 50, "burst": 100,
+//	     "max_cells": 1000000, "max_concurrent_runs": 2, "queue_share": 4}
+//	  ]
+//	}
+type keyFile struct {
+	Default *Quota       `json:"default,omitempty"`
+	Tenants []fileTenant `json:"tenants"`
+}
+
+// snapshot is one immutable parsed generation of the key file.
+type snapshot struct {
+	byKey  map[string]*Tenant
+	byName map[string]*Tenant
+	anon   *Tenant
+}
+
+// Parse validates a key file. It never panics on any input; it rejects
+// empty/duplicate keys, empty/duplicate/reserved names, and negative
+// quota values, because a typo in the key file must fail loudly at
+// load time, not misroute quota at request time.
+func Parse(raw []byte) (*snapshot, error) {
+	var kf keyFile
+	if err := json.Unmarshal(raw, &kf); err != nil {
+		return nil, fmt.Errorf("tenant key file: %w", err)
+	}
+	snap := &snapshot{
+		byKey:  make(map[string]*Tenant),
+		byName: make(map[string]*Tenant),
+	}
+	anonQuota := Quota{}
+	if kf.Default != nil {
+		anonQuota = *kf.Default
+	}
+	if err := checkQuota(Anonymous, anonQuota); err != nil {
+		return nil, err
+	}
+	snap.anon = newTenant(Anonymous, false, anonQuota)
+	for i, ft := range kf.Tenants {
+		name := strings.TrimSpace(ft.Name)
+		if name == "" {
+			return nil, fmt.Errorf("tenant key file: tenant %d has no name", i)
+		}
+		if name == Anonymous {
+			return nil, fmt.Errorf("tenant key file: %q is reserved (use \"default\" for the anonymous quota)", Anonymous)
+		}
+		if _, dup := snap.byName[name]; dup {
+			return nil, fmt.Errorf("tenant key file: duplicate tenant name %q", name)
+		}
+		if len(ft.Keys) == 0 {
+			return nil, fmt.Errorf("tenant key file: tenant %q has no keys", name)
+		}
+		if err := checkQuota(name, ft.Quota); err != nil {
+			return nil, err
+		}
+		t := newTenant(name, ft.Disabled, ft.Quota)
+		snap.byName[name] = t
+		for _, k := range ft.Keys {
+			if strings.TrimSpace(k) == "" {
+				return nil, fmt.Errorf("tenant key file: tenant %q has an empty key", name)
+			}
+			if prev, dup := snap.byKey[k]; dup {
+				return nil, fmt.Errorf("tenant key file: key reused by tenants %q and %q", prev.name, name)
+			}
+			snap.byKey[k] = t
+		}
+	}
+	return snap, nil
+}
+
+func checkQuota(name string, q Quota) error {
+	switch {
+	case q.RatePerSec < 0, q.Burst < 0:
+		return fmt.Errorf("tenant key file: tenant %q has a negative rate", name)
+	case q.MaxCells < 0, q.MaxConcurrentRuns < 0, q.QueueShare < 0, q.Weight < 0:
+		return fmt.Errorf("tenant key file: tenant %q has a negative quota", name)
+	}
+	return nil
+}
+
+func newTenant(name string, disabled bool, q Quota) *Tenant {
+	t := &Tenant{name: name, disabled: disabled, quota: q}
+	if q.RatePerSec > 0 {
+		burst := q.Burst
+		if burst <= 0 {
+			burst = q.RatePerSec
+			if burst < 1 {
+				burst = 1
+			}
+		}
+		t.bucket = NewBucket(q.RatePerSec, burst)
+	}
+	return t
+}
+
+// Registry is the live tenant table: an immutable snapshot behind a
+// lock, swapped whole on reload so lookups never observe a half-read
+// file.
+type Registry struct {
+	mu   sync.RWMutex
+	path string
+	snap *snapshot
+	gen  int64 // reload generation, for /metrics and tests
+}
+
+// LoadFile reads and validates a key file into a fresh registry.
+func LoadFile(path string) (*Registry, error) {
+	r := &Registry{path: path}
+	if err := r.Reload(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// NewRegistry builds a registry directly from key file bytes (tests,
+// embedded configs).
+func NewRegistry(raw []byte) (*Registry, error) {
+	snap, err := Parse(raw)
+	if err != nil {
+		return nil, err
+	}
+	return &Registry{snap: snap, gen: 1}, nil
+}
+
+// Reload re-reads the registry's key file in place. Tenants that
+// survive the reload keep their token-bucket fill (carried over by
+// name), so operators can rotate keys or adjust quotas without
+// resetting anyone's rate limit. On any error the previous generation
+// stays live — a bad reload never takes authentication down.
+func (r *Registry) Reload() error {
+	if r.path == "" {
+		return fmt.Errorf("tenant registry has no backing file")
+	}
+	raw, err := os.ReadFile(r.path)
+	if err != nil {
+		return fmt.Errorf("tenant key file: %w", err)
+	}
+	snap, err := Parse(raw)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.snap != nil {
+		for name, t := range snap.byName {
+			if prev, ok := r.snap.byName[name]; ok && prev.bucket != nil && t.bucket != nil {
+				t.bucket.adoptFill(prev.bucket)
+			}
+		}
+		if r.snap.anon.bucket != nil && snap.anon.bucket != nil {
+			snap.anon.bucket.adoptFill(r.snap.anon.bucket)
+		}
+	}
+	r.snap = snap
+	r.gen++
+	return nil
+}
+
+// Generation reports how many times the registry has (re)loaded.
+func (r *Registry) Generation() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.gen
+}
+
+// Anonymous returns the default tenant for unauthenticated requests.
+// Safe on a nil registry (no key file configured): returns nil, which
+// every enforcement point treats as "no limits".
+func (r *Registry) Anonymous() *Tenant {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.snap.anon
+}
+
+// Authenticate resolves an API key.
+func (r *Registry) Authenticate(key string) (*Tenant, bool) {
+	if r == nil {
+		return nil, false
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	t, ok := r.snap.byKey[key]
+	return t, ok
+}
+
+// ByName resolves a tenant name (the gate-stamped header path).
+func (r *Registry) ByName(name string) (*Tenant, bool) {
+	if r == nil {
+		return nil, false
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if name == Anonymous {
+		return r.snap.anon, true
+	}
+	t, ok := r.snap.byName[name]
+	return t, ok
+}
+
+// Names lists the registered tenant names (metrics, tests).
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.snap.byName))
+	for n := range r.snap.byName {
+		names = append(names, n)
+	}
+	return names
+}
+
+// KeyFromRequest extracts the client credential: Authorization:
+// Bearer <key> first, then the X-CM-Key header. Empty when the
+// request carries neither.
+func KeyFromRequest(req *http.Request) string {
+	auth := req.Header.Get("Authorization")
+	if strings.HasPrefix(auth, "Bearer ") {
+		if k := strings.TrimSpace(strings.TrimPrefix(auth, "Bearer ")); k != "" {
+			return k
+		}
+	}
+	return strings.TrimSpace(req.Header.Get(HeaderKey))
+}
+
+// AuthError is a structured authentication failure: Status is the
+// HTTP code the enforcement point should answer with (401 unknown
+// key, 403 disabled tenant).
+type AuthError struct {
+	Status int
+	Msg    string
+}
+
+func (e *AuthError) Error() string { return e.Msg }
+
+// Resolve authenticates one HTTP request against the registry.
+//
+//   - With trustHeader set and an X-CM-Tenant header present (the
+//     gate already authenticated and rate-limited), the name resolves
+//     directly; unknown names degrade to the anonymous tenant rather
+//     than failing, so a registry drift between gate and shard during
+//     a rolling reload costs quota precision, not availability.
+//   - A Bearer/X-CM-Key credential must match a registered key (401
+//     otherwise) and the tenant must not be disabled (403).
+//   - No credential resolves to the anonymous default tenant.
+//
+// viaGate reports the trusted-header path was taken — the caller must
+// then skip its own rate limiting (the gate already charged the
+// bucket; double-charging would halve every tenant's real rate).
+func (r *Registry) Resolve(req *http.Request, trustHeader bool) (t *Tenant, viaGate bool, err error) {
+	if r == nil {
+		return nil, false, nil
+	}
+	if trustHeader {
+		if name := req.Header.Get(HeaderTenant); name != "" {
+			if t, ok := r.ByName(name); ok {
+				if t.Disabled() {
+					return nil, true, &AuthError{Status: http.StatusForbidden, Msg: fmt.Sprintf("tenant %q is disabled", name)}
+				}
+				return t, true, nil
+			}
+			return r.Anonymous(), true, nil
+		}
+	}
+	if key := KeyFromRequest(req); key != "" {
+		t, ok := r.Authenticate(key)
+		if !ok {
+			return nil, false, &AuthError{Status: http.StatusUnauthorized, Msg: "unknown API key"}
+		}
+		if t.Disabled() {
+			return nil, false, &AuthError{Status: http.StatusForbidden, Msg: fmt.Sprintf("tenant %q is disabled", t.Name())}
+		}
+		return t, false, nil
+	}
+	return r.Anonymous(), false, nil
+}

@@ -1,0 +1,223 @@
+package tenant
+
+import (
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+const exampleKeyFile = `{
+  "default": {"rate_per_sec": 0},
+  "tenants": [
+    {"name": "acme", "keys": ["k-acme-1", "k-acme-2"], "rate_per_sec": 50,
+     "burst": 10, "max_cells": 1000, "max_concurrent_runs": 2,
+     "queue_share": 4, "weight": 2},
+    {"name": "mallory", "keys": ["k-mal"], "disabled": true},
+    {"name": "free", "keys": ["k-free"]}
+  ]
+}`
+
+func mustRegistry(t *testing.T, raw string) *Registry {
+	t.Helper()
+	r, err := NewRegistry([]byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestParseRejectsBadKeyFiles(t *testing.T) {
+	cases := map[string]string{
+		"not json":      `{`,
+		"unnamed":       `{"tenants":[{"keys":["k"]}]}`,
+		"blank name":    `{"tenants":[{"name":"  ","keys":["k"]}]}`,
+		"reserved name": `{"tenants":[{"name":"anonymous","keys":["k"]}]}`,
+		"dup name":      `{"tenants":[{"name":"a","keys":["k1"]},{"name":"a","keys":["k2"]}]}`,
+		"no keys":       `{"tenants":[{"name":"a"}]}`,
+		"empty key":     `{"tenants":[{"name":"a","keys":[""]}]}`,
+		"dup key":       `{"tenants":[{"name":"a","keys":["k"]},{"name":"b","keys":["k"]}]}`,
+		"negative rate": `{"tenants":[{"name":"a","keys":["k"],"rate_per_sec":-1}]}`,
+		"negative runs": `{"tenants":[{"name":"a","keys":["k"],"max_concurrent_runs":-2}]}`,
+		"negative anon": `{"default":{"max_cells":-1},"tenants":[]}`,
+	}
+	for label, raw := range cases {
+		if _, err := Parse([]byte(raw)); err == nil {
+			t.Errorf("%s: parsed without error", label)
+		}
+	}
+}
+
+func TestAuthenticateAndQuota(t *testing.T) {
+	r := mustRegistry(t, exampleKeyFile)
+	acme, ok := r.Authenticate("k-acme-2")
+	if !ok || acme.Name() != "acme" {
+		t.Fatalf("k-acme-2 -> %v, %v", acme, ok)
+	}
+	q := acme.Quota()
+	if q.MaxCells != 1000 || q.MaxConcurrentRuns != 2 || q.QueueShare != 4 || q.FairWeight() != 2 {
+		t.Fatalf("acme quota = %+v", q)
+	}
+	if _, ok := r.Authenticate("nope"); ok {
+		t.Fatal("unknown key authenticated")
+	}
+	if anon := r.Anonymous(); anon.Name() != Anonymous || anon.Quota() != (Quota{}) {
+		t.Fatalf("anonymous = %q %+v", anon.Name(), anon.Quota())
+	}
+	if free, _ := r.ByName("free"); free.Quota().FairWeight() != 1 {
+		t.Fatal("zero weight must default to 1")
+	}
+}
+
+func TestResolvePaths(t *testing.T) {
+	r := mustRegistry(t, exampleKeyFile)
+	req := func(h map[string]string) *http.Request {
+		rq, _ := http.NewRequest(http.MethodPost, "/v1/run", nil)
+		for k, v := range h {
+			rq.Header.Set(k, v)
+		}
+		return rq
+	}
+
+	// Bearer and X-CM-Key both authenticate.
+	for _, h := range []map[string]string{
+		{"Authorization": "Bearer k-acme-1"},
+		{HeaderKey: "k-acme-1"},
+	} {
+		tn, via, err := r.Resolve(req(h), false)
+		if err != nil || via || tn.Name() != "acme" {
+			t.Fatalf("resolve %v = %v %v %v", h, tn, via, err)
+		}
+	}
+	// Unknown key: 401. Disabled tenant: 403.
+	if _, _, err := r.Resolve(req(map[string]string{HeaderKey: "bogus"}), false); err == nil || err.(*AuthError).Status != http.StatusUnauthorized {
+		t.Fatalf("unknown key err = %v", err)
+	}
+	if _, _, err := r.Resolve(req(map[string]string{HeaderKey: "k-mal"}), false); err == nil || err.(*AuthError).Status != http.StatusForbidden {
+		t.Fatalf("disabled tenant err = %v", err)
+	}
+	// No credentials: anonymous.
+	if tn, _, err := r.Resolve(req(nil), false); err != nil || tn.Name() != Anonymous {
+		t.Fatalf("anonymous resolve = %v %v", tn, err)
+	}
+	// Trusted gate header wins over key auth and marks viaGate.
+	tn, via, err := r.Resolve(req(map[string]string{HeaderTenant: "acme"}), true)
+	if err != nil || !via || tn.Name() != "acme" {
+		t.Fatalf("gate header resolve = %v %v %v", tn, via, err)
+	}
+	// Untrusted header is ignored (a client cannot self-assign quota).
+	if tn, _, _ := r.Resolve(req(map[string]string{HeaderTenant: "acme"}), false); tn.Name() != Anonymous {
+		t.Fatalf("untrusted header resolved to %q", tn.Name())
+	}
+	// Unknown gate-stamped name degrades to anonymous, not an error.
+	if tn, _, err := r.Resolve(req(map[string]string{HeaderTenant: "ghost"}), true); err != nil || tn.Name() != Anonymous {
+		t.Fatalf("unknown gate name = %v %v", tn, err)
+	}
+	// Nil registry: everything passes with no tenant.
+	var nilReg *Registry
+	if tn, _, err := nilReg.Resolve(req(map[string]string{HeaderKey: "whatever"}), false); tn != nil || err != nil {
+		t.Fatalf("nil registry = %v %v", tn, err)
+	}
+}
+
+func TestBucketRateAndRetryAfter(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	b := NewBucket(10, 2) // 10/s sustained, burst of 2
+	b.SetClock(func() time.Time { return clock })
+
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.Take(); !ok {
+			t.Fatalf("burst take %d refused", i)
+		}
+	}
+	ok, retry := b.Take()
+	if ok {
+		t.Fatal("empty bucket granted a token")
+	}
+	// 10/s = 100ms per token; the estimate must be positive and at
+	// least the anti-thundering-herd floor.
+	if retry < minRetryAfter {
+		t.Fatalf("retryAfter = %v, want >= %v", retry, minRetryAfter)
+	}
+	// 150ms later exactly one token has refilled.
+	clock = clock.Add(150 * time.Millisecond)
+	if ok, _ := b.Take(); !ok {
+		t.Fatal("refilled token refused")
+	}
+	if ok, _ := b.Take(); ok {
+		t.Fatal("second token granted after one refill interval")
+	}
+}
+
+func TestReloadKeepsBucketFill(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "keys.json")
+	write := func(raw string) {
+		t.Helper()
+		if err := os.WriteFile(path, []byte(raw), 0o600); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(`{"tenants":[{"name":"a","keys":["k1"],"rate_per_sec":1,"burst":5}]}`)
+	r, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Generation() != 1 {
+		t.Fatalf("generation = %d", r.Generation())
+	}
+	a, _ := r.Authenticate("k1")
+	for i := 0; i < 5; i++ {
+		a.Take() // drain the burst
+	}
+
+	// Rotate the key; the drained bucket must carry over, not refill.
+	write(`{"tenants":[{"name":"a","keys":["k2"],"rate_per_sec":1,"burst":5}]}`)
+	if err := r.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Authenticate("k1"); ok {
+		t.Fatal("rotated-out key still valid")
+	}
+	a2, ok := r.Authenticate("k2")
+	if !ok {
+		t.Fatal("rotated-in key invalid")
+	}
+	if ok, retry := a2.Take(); ok || retry <= 0 {
+		t.Fatalf("reload refilled the bucket (ok=%v retry=%v)", ok, retry)
+	}
+
+	// A broken rewrite must keep the previous generation live.
+	write(`{"tenants":[{"name":"a"}]}`)
+	if err := r.Reload(); err == nil {
+		t.Fatal("reload accepted a tenant with no keys")
+	}
+	if _, ok := r.Authenticate("k2"); !ok {
+		t.Fatal("failed reload dropped the live generation")
+	}
+	if r.Generation() != 2 {
+		t.Fatalf("generation advanced on failed reload: %d", r.Generation())
+	}
+}
+
+func TestKeyFromRequest(t *testing.T) {
+	rq, _ := http.NewRequest(http.MethodPost, "/", nil)
+	if k := KeyFromRequest(rq); k != "" {
+		t.Fatalf("bare request key = %q", k)
+	}
+	rq.Header.Set("Authorization", "Bearer  abc ")
+	if k := KeyFromRequest(rq); k != "abc" {
+		t.Fatalf("bearer key = %q", k)
+	}
+	rq.Header.Del("Authorization")
+	rq.Header.Set(HeaderKey, " xyz ")
+	if k := KeyFromRequest(rq); k != "xyz" {
+		t.Fatalf("header key = %q", k)
+	}
+	// Non-bearer Authorization schemes fall through to X-CM-Key.
+	rq.Header.Set("Authorization", "Basic dXNlcjpwdw==")
+	if k := KeyFromRequest(rq); k != "xyz" {
+		t.Fatalf("basic-auth fallthrough key = %q", k)
+	}
+}
