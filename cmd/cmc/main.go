@@ -14,8 +14,10 @@
 //	-par pthread|omp|none      parallel code generation mode
 //	-O                         §III-A.4 high-level optimizations (default on)
 //	-o file                    output path (default stdout)
-//	-vet                       run the cmvet static analyses before emitting;
-//	                           error findings reject the program (see cmd/cmvet
+//	-vet                       run the cmvet static analyses before emitting —
+//	                           shape/rc/liveness checks plus the cilk
+//	                           determinacy-race detector (CM-RACE); error
+//	                           findings reject the program (see cmd/cmvet
 //	                           for the standalone tool and JSON output)
 package main
 

@@ -1,8 +1,11 @@
 // cmvet is the standalone static analyzer for extended CMINUS
 // programs: it parses and checks each file with the composed
 // extension grammars, then runs the internal/vet analyses — shape
-// inference, RC misuse detection and liveness lints — and reports
-// structured findings.
+// inference, RC misuse detection, liveness lints, and the
+// interprocedural effect analysis behind the cilk determinacy-race
+// detector (CM-RACE, CM-SYNC-MISSING, CM-SPAWN-DEAD) — and reports
+// structured findings. See the README's diagnostic-code table for
+// every code and its remediation.
 //
 // Usage:
 //

@@ -44,6 +44,7 @@ import (
 	"repro/internal/parser"
 	"repro/internal/sem"
 	"repro/internal/source"
+	"repro/internal/vet"
 	"repro/internal/vm"
 )
 
@@ -78,6 +79,7 @@ type Driver struct {
 	emits *lruCache // emitted artifacts by content key
 	vets  *lruCache // vet findings by content key
 	vms   *lruCache // compiled bytecode programs by content key
+	facts *lruCache // vet.Facts side tables by content key
 	disk  *diskCache
 }
 
@@ -97,6 +99,7 @@ func NewWith(cfg Config) *Driver {
 	d.emits = newLRUCache(cfg.MaxCacheEntries, cfg.MaxCacheBytes, &d.metrics.CompileEvictions)
 	d.vets = newLRUCache(cfg.MaxCacheEntries, cfg.MaxCacheBytes, &d.metrics.VetEvictions)
 	d.vms = newLRUCache(cfg.MaxCacheEntries, cfg.MaxCacheBytes, &d.metrics.VMEvictions)
+	d.facts = newLRUCache(cfg.MaxCacheEntries, cfg.MaxCacheBytes, &d.metrics.FactsEvictions)
 	if cfg.CacheDir != "" {
 		disk, err := newDiskCache(cfg.CacheDir, &d.metrics)
 		if err != nil {
@@ -120,8 +123,9 @@ func (d *Driver) MetricsSnapshot() MetricsSnapshot {
 	ee, eb := d.emits.stats()
 	ve, vb := d.vets.stats()
 	me, mb := d.vms.stats()
-	s.CacheEntries = int64(fe + ee + ve + me)
-	s.CacheBytes = fb + eb + vb + mb
+	ke, kb := d.facts.stats()
+	s.CacheEntries = int64(fe + ee + ve + me + ke)
+	s.CacheBytes = fb + eb + vb + mb + kb
 	return s
 }
 
@@ -409,9 +413,33 @@ type vmEntry struct {
 	err error
 }
 
+// factsFor returns the vet.Facts side table for an already-checked
+// frontend result, computing it at most once per content key. The key
+// includes the extension set: the same source parsed under a different
+// grammar is a different AST, so its proven facts must not be shared.
+func (d *Driver) factsFor(fr *frontResult, name, src string, exts parser.Options) *vet.Facts {
+	key := hashKey("facts", name, src, FormatExtensions(exts))
+	c, owner, _ := d.facts.lookup(key)
+	if !owner {
+		d.metrics.FactsHits.Add(1)
+		<-c.done
+		return c.res.(*vet.Facts)
+	}
+	d.metrics.FactsMisses.Add(1)
+	f := vet.ComputeFacts(fr.prog, fr.info)
+	c.res = f
+	close(c.done)
+	// Charged the source length, like the vm cache: the table holds
+	// pointers into the cached AST, so its marginal size is small.
+	d.facts.complete(key, int64(len(src)), true)
+	return f
+}
+
 // vmProgram returns the compiled bytecode for an already-checked
 // frontend result, executing the bytecode compiler at most once per
 // content key (singleflight + LRU, like every other driver artifact).
+// The compiler consumes the cached vet.Facts side table as its
+// fusion-legality oracle.
 func (d *Driver) vmProgram(fr *frontResult, name, src string, exts parser.Options) (*vm.Program, error) {
 	key := hashKey("vm", name, src, FormatExtensions(exts))
 	c, owner, _ := d.vms.lookup(key)
@@ -423,7 +451,10 @@ func (d *Driver) vmProgram(fr *frontResult, name, src string, exts parser.Option
 	}
 	d.metrics.VMCacheMisses.Add(1)
 	d.metrics.VMCompileTotal.Add(1)
-	p, err := vm.Compile(fr.prog, fr.info)
+	p, err := vm.CompileWithFacts(fr.prog, fr.info, d.factsFor(fr, name, src, exts))
+	if err == nil {
+		d.metrics.VMFusedSites.Add(int64(p.FusedSites()))
+	}
 	c.res = &vmEntry{p: p, err: err}
 	close(c.done)
 	// Charged the source length: a proxy for code size, consistent

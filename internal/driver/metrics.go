@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/matrix"
+	"repro/internal/vm"
 )
 
 // histBoundsUS are the upper bounds (inclusive, in microseconds) of the
@@ -135,6 +136,15 @@ type Metrics struct {
 	VMCacheMisses  atomic.Int64
 	VMEvictions    atomic.Int64
 	VMDispatchNS   atomic.Int64
+	// VMFusedSites totals the facts-proven fused chain sites emitted by
+	// actual bytecode compilations (cache hits don't re-count).
+	VMFusedSites atomic.Int64
+
+	// Facts side-table cache outcomes (the vet.Facts fusion-legality
+	// oracle the bytecode compiler consumes).
+	FactsHits      atomic.Int64
+	FactsMisses    atomic.Int64
+	FactsEvictions atomic.Int64
 
 	// Vet stage counters: requests, cache outcomes, evictions and the
 	// total findings produced by actual analysis executions.
@@ -144,6 +154,9 @@ type Metrics struct {
 	VetCoalesced atomic.Int64
 	VetEvictions atomic.Int64
 	VetFindings  atomic.Int64
+	// VetRacesFound totals CM-RACE findings produced by actual analysis
+	// executions (the determinacy-race detector).
+	VetRacesFound atomic.Int64
 
 	// Per-tenant run attribution (tenancy PR): executions keyed by the
 	// tenant label on the RunRequest. A small map under its own mutex —
@@ -179,12 +192,21 @@ type MetricsSnapshot struct {
 	VMCacheHits    int64 `json:"vm_cache_hits"`
 	VMCacheMisses  int64 `json:"vm_cache_misses"`
 	VMDispatchNS   int64 `json:"vm_dispatch_ns"`
+	// Fusion: chain sites emitted by bytecode compilations, and fused
+	// loops actually executed (process-wide, from vm.FusedLoopsRun).
+	VMFusedSites int64 `json:"vm_fused_sites"`
+	VMFusedLoops int64 `json:"vm_fused_loops"`
 
 	VetRuns      int64 `json:"vet_runs"`
 	VetHits      int64 `json:"vet_cache_hits"`
 	VetMisses    int64 `json:"vet_cache_misses"`
 	VetCoalesced int64 `json:"vet_coalesced"`
 	VetFindings  int64 `json:"vet_findings_total"`
+	// CM-RACE findings from the determinacy-race detector.
+	VetRacesFound int64 `json:"vet_races_found"`
+
+	FactsHits   int64 `json:"facts_cache_hits"`
+	FactsMisses int64 `json:"facts_cache_misses"`
 
 	// Interpreter executions by tenant label (empty until a labeled
 	// run arrives; anonymous runs count under "anonymous").
@@ -261,12 +283,17 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		VMCacheHits:        m.VMCacheHits.Load(),
 		VMCacheMisses:      m.VMCacheMisses.Load(),
 		VMDispatchNS:       m.VMDispatchNS.Load(),
+		VMFusedSites:       m.VMFusedSites.Load(),
+		VMFusedLoops:       vm.FusedLoopsRun(),
 		VetRuns:            m.VetRuns.Load(),
 		VetHits:            m.VetHits.Load(),
 		VetMisses:          m.VetMisses.Load(),
 		VetCoalesced:       m.VetCoalesced.Load(),
 		VetFindings:        m.VetFindings.Load(),
-		CacheEvictions:     m.FrontendEvictions.Load() + m.CompileEvictions.Load() + m.VetEvictions.Load() + m.VMEvictions.Load(),
+		VetRacesFound:      m.VetRacesFound.Load(),
+		FactsHits:          m.FactsHits.Load(),
+		FactsMisses:        m.FactsMisses.Load(),
+		CacheEvictions:     m.FrontendEvictions.Load() + m.CompileEvictions.Load() + m.VetEvictions.Load() + m.VMEvictions.Load() + m.FactsEvictions.Load(),
 		DiskHits:           m.DiskHits.Load(),
 		DiskMisses:         m.DiskMisses.Load(),
 		DiskCorrupt:        m.DiskCorrupt.Load(),

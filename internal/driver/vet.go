@@ -101,6 +101,11 @@ func (d *Driver) Vet(req VetRequest) *VetResult {
 	res.errors = vet.ErrorCount(res.findings)
 	res.ok = fr.ok && res.errors == 0
 	d.metrics.VetFindings.Add(int64(len(res.findings)))
+	for _, f := range res.findings {
+		if f.Code == vet.CodeRace {
+			d.metrics.VetRacesFound.Add(1)
+		}
+	}
 
 	c.res = res
 	close(c.done)

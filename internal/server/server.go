@@ -316,7 +316,10 @@ type vetRequest struct {
 
 // vetResponse is the /v1/vet document, returned with 200 when the
 // program passes (no error-severity findings) and 422 when it is
-// rejected — the structured findings ride along either way.
+// rejected — the structured findings ride along either way. Findings
+// carry stable codes (CM-SHAPE-*, CM-RC-*, CM-RACE, CM-SYNC-MISSING,
+// CM-SPAWN-DEAD, ...; see the README's diagnostic table); race
+// findings include a related span marking the outstanding spawn.
 type vetResponse struct {
 	Key         string              `json:"key"`
 	Cached      bool                `json:"cached"`

@@ -44,6 +44,22 @@ func FuzzVet(f *testing.F) {
 		"int main() { Matrix float <64> z; print(z); return 0; }",
 		"int f() {} int main() { int a; int b; a, b = g(); return a + b; }",
 		"Matrix int <1> g; void h() { g = init(Matrix int <1>, 9); } int main() { h(); return g[8]; }",
+		// Cilk spawn regions: races through globals, params and aliases,
+		// targets read before sync, spawns in loops and branches.
+		"int g = 0; int w() { g = g + 1; return g; } int main() { int a = 0; spawn a = w(); print(g); sync; return a; }",
+		"int w(int n) { return n; } int main() { int a = 0; spawn a = w(1); int b = a; sync; return b; }",
+		"void f(Matrix float <1> m, float v) { m[0] = v; return; } int main() { Matrix float <1> m = init(Matrix float <1>, 2); Matrix float <1> alias = m; spawn f(m, 1.0); spawn f(alias, 2.0); sync; return 0; }",
+		"int w(int n) { return n; } int main() { int a = 0; for (int i = 0; i < 3; i++) { spawn a = w(i); } sync; return a; }",
+		"int w(int n) { return n; } int main() { int a = 0; if (1 < 2) { spawn a = w(1); } print(a); sync; return a; }",
+		"int p(int n) { return n * 2; } int main() { spawn p(3); sync; return 0; }",
+		// Chained elementwise expressions at the fusion-legality
+		// boundary: legal chains, matmul stages, int division, mixed
+		// element types, unassigned leaves.
+		"int main() { Matrix float <1> a = [0 :: 7] * 1.0; Matrix float <1> b = [1 :: 8] * 1.0; Matrix float <1> r = a .* b + a - b / 2.0; print(r[end]); return 0; }",
+		"int main() { Matrix int <1> u = [1 :: 6]; Matrix int <1> w = u .* 2 + u - u .* u; print(w[end]); return 0; }",
+		"int main() { Matrix float <2> a = init(Matrix float <2>, 2, 2); Matrix float <2> r = a * a + a .* a; print(r[0, 0]); return 0; }",
+		"int main() { Matrix int <1> u = [1 :: 4]; Matrix int <1> r = u / 2 + u; print(r[0]); return 0; }",
+		"int main() { Matrix float <1> a = [0 :: 3] * 1.0; Matrix float <1> b; Matrix float <1> r = a + b - a; print(r[0]); return 0; }",
 	} {
 		f.Add(s)
 	}

@@ -69,6 +69,17 @@ const (
 	// CodeMissingReturn: a non-void function whose body can fall off
 	// the end.
 	CodeMissingReturn = "missing-return"
+	// CodeRace: a cilk determinacy race — a spawned call's write set
+	// overlaps state the parallel continuation (or a sibling spawn)
+	// reads or writes before the joining sync.
+	CodeRace = "CM-RACE"
+	// CodeSyncMissing: the target variable of an outstanding spawn is
+	// read before any sync; the spawned result is only stored at the
+	// sync, so the read observes the stale pre-spawn value.
+	CodeSyncMissing = "CM-SYNC-MISSING"
+	// CodeSpawnDead: a fire-and-forget spawn of a provably effect-free
+	// function — the call computes a value nobody can ever observe.
+	CodeSpawnDead = "CM-SPAWN-DEAD"
 )
 
 // TrapFor maps a vet diagnostic code to the runtime trap code
@@ -87,6 +98,9 @@ var TrapFor = map[string]string{
 	CodeUseBeforeAssign:   "",
 	CodeUnreachable:       "",
 	CodeMissingReturn:     "",
+	CodeRace:              "",
+	CodeSyncMissing:       "",
+	CodeSpawnDead:         "",
 }
 
 // Check runs all vet analyses over a checked program and returns the
@@ -99,6 +113,9 @@ func Check(prog *ast.Program, info *sem.Info) []source.Diagnostic {
 	}
 	c := &checker{info: info}
 	c.program(prog)
+	if usesSpawn(prog) {
+		raceCheck(c, prog, computeSummaries(prog, info))
+	}
 	sort.SliceStable(c.diags, func(i, j int) bool {
 		a, b := c.diags[i], c.diags[j]
 		if a.Span.File != b.Span.File {

@@ -503,7 +503,7 @@ func TestTrapForCoversEveryCode(t *testing.T) {
 		CodeShapeMismatch, CodeIndexOutOfRange, CodeNegativeDim,
 		CodeGenarrayBounds, CodeRCUseAfterRelease, CodeRCDoubleRelease,
 		CodeRCLeak, CodeUnusedVar, CodeUseBeforeAssign, CodeUnreachable,
-		CodeMissingReturn,
+		CodeMissingReturn, CodeRace, CodeSyncMissing, CodeSpawnDead,
 	}
 	for _, code := range all {
 		if _, ok := TrapFor[code]; !ok {

@@ -13,6 +13,7 @@ import (
 	"repro/internal/matrix"
 	"repro/internal/sem"
 	"repro/internal/types"
+	"repro/internal/vet"
 )
 
 // compileError aborts compilation (recovered in Compile).
@@ -27,6 +28,14 @@ func bail(format string, args ...any) {
 // (stdout, traps, exit code, budget accounting) exactly; any construct
 // the compiler cannot pin down returns an error instead.
 func Compile(prog *ast.Program, info *sem.Info) (p *Program, err error) {
+	return CompileWithFacts(prog, info, vet.ComputeFacts(prog, info))
+}
+
+// CompileWithFacts is Compile with a precomputed vet.Facts side table
+// (the driver caches Facts content-addressed and passes them in so the
+// analysis runs once per source, not once per compile). facts may be
+// nil: the program compiles without fusion.
+func CompileWithFacts(prog *ast.Program, info *sem.Info, facts *vet.Facts) (p *Program, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			ce, ok := r.(compileError)
@@ -39,6 +48,7 @@ func Compile(prog *ast.Program, info *sem.Info) (p *Program, err error) {
 	c := &compiler{
 		prog:     prog,
 		info:     info,
+		facts:    facts,
 		protoIdx: map[string]int{},
 		globIdx:  map[string]int{},
 		kInt:     map[int64]int32{},
@@ -85,24 +95,27 @@ func Compile(prog *ast.Program, info *sem.Info) (p *Program, err error) {
 		main = mi
 	}
 	return &Program{
-		prog:    prog,
-		info:    info,
-		protos:  c.protos,
-		consts:  c.consts,
-		globals: c.globals,
-		ginit:   c.ginit,
-		main:    main,
+		prog:       prog,
+		info:       info,
+		protos:     c.protos,
+		consts:     c.consts,
+		globals:    c.globals,
+		ginit:      c.ginit,
+		main:       main,
+		fusedSites: c.fusedSites,
 	}, nil
 }
 
 type compiler struct {
-	prog     *ast.Program
-	info     *sem.Info
-	protos   []*proto
-	protoIdx map[string]int
-	globals  []globalDef
-	globIdx  map[string]int
-	ginit    *proto
+	prog       *ast.Program
+	info       *sem.Info
+	facts      *vet.Facts
+	fusedSites int
+	protos     []*proto
+	protoIdx   map[string]int
+	globals    []globalDef
+	globIdx    map[string]int
+	ginit      *proto
 	// ginitDeclared limits global visibility while compiling global
 	// initializers: the tree walker binds globals one at a time, so an
 	// initializer referencing a later global fails "undeclared".

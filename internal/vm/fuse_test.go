@@ -1,0 +1,136 @@
+// White-box tests for vet.Facts-driven chain fusion: proven chains
+// must lower to opFused (replacing the per-stage opBinM kernels), and
+// everything the legality rules exclude must keep the generic
+// lowering. Behavioral equivalence is covered by the dual-engine
+// differential suite at the repository root.
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/interp"
+)
+
+func TestCompileFusesElementwiseChain(t *testing.T) {
+	p := compile(t, `
+int main() {
+	Matrix float <1> a = [0 :: 7] * 1.0;
+	Matrix float <1> b = [1 :: 8] * 1.0;
+	Matrix float <1> r = a .* b + a - b * 0.5;
+	print(r[end]);
+	return 0;
+}`)
+	if p.FusedSites() != 1 {
+		t.Fatalf("FusedSites = %d, want 1", p.FusedSites())
+	}
+	ops := countOps(p)
+	if ops[opFused] != 1 {
+		t.Errorf("opFused emitted %d times, want 1: %v", ops[opFused], ops)
+	}
+	// The three binary ops of the chain all fold into the one opFused;
+	// the remaining opBinM sites are the two range-scaling initializers.
+	if ops[opBinM] != 2 {
+		t.Errorf("opBinM emitted %d times, want 2 (initializers only): %v", ops[opBinM], ops)
+	}
+}
+
+func TestCompileFusedIntScalarOnFloatChainConverts(t *testing.T) {
+	// The int literal 2 broadcast onto a float chain converts at compile
+	// time (opI2F), mirroring BroadcastExec's charge-free conversion.
+	p := compile(t, `
+int main() {
+	Matrix float <1> a = [0 :: 7] * 1.0;
+	Matrix float <1> r = a * 2 + a;
+	print(r[0]);
+	return 0;
+}`)
+	if p.FusedSites() != 1 {
+		t.Fatalf("FusedSites = %d, want 1", p.FusedSites())
+	}
+}
+
+func TestCompileDeclinesUnprovenChains(t *testing.T) {
+	for _, tc := range []struct {
+		name, src string
+	}{
+		{"matmul_stage", `
+int main() {
+	Matrix float <2> a = init(Matrix float <2>, 2, 2);
+	Matrix float <2> r = a * a + a;
+	print(r[0, 0]);
+	return 0;
+}`},
+		{"int_division", `
+int main() {
+	Matrix int <1> a = [1 :: 4];
+	Matrix int <1> r = a / 2 + a;
+	print(r[0]);
+	return 0;
+}`},
+		{"single_stage", `
+int main() {
+	Matrix float <1> a = [0 :: 3] * 1.0;
+	Matrix float <1> r = a + a;
+	print(r[0]);
+	return 0;
+}`},
+		{"call_leaf", `
+Matrix float <1> mk() { return [0 :: 3] * 1.0; }
+int main() {
+	Matrix float <1> a = [0 :: 3] * 1.0;
+	Matrix float <1> r = mk() + a - a;
+	print(r[0]);
+	return 0;
+}`},
+		{"comparison_root", `
+int main() {
+	Matrix int <1> a = [1 :: 4];
+	Matrix bool <1> r = a + a > a;
+	print(r[0]);
+	return 0;
+}`},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p := compile(t, tc.src)
+			if p.FusedSites() != 0 {
+				t.Errorf("FusedSites = %d, want 0 (chain must not be proven)", p.FusedSites())
+			}
+		})
+	}
+}
+
+func TestFusedChainRunsCorrectly(t *testing.T) {
+	p := compile(t, `
+int main() {
+	Matrix float <1> a = [0 :: 4] * 1.0;
+	Matrix float <1> b = [10 :: 14] * 1.0;
+	Matrix float <1> r = a .* b + b - a * 2.0;
+	print(r[0]);
+	print(r[end]);
+	Matrix int <1> u = [1 :: 5];
+	Matrix int <1> w = u .* u + u - u .* 2;
+	print(w[0]);
+	print(w[end]);
+	return 0;
+}`)
+	if p.FusedSites() != 2 {
+		t.Fatalf("FusedSites = %d, want 2", p.FusedSites())
+	}
+	before := FusedLoopsRun()
+	var out strings.Builder
+	i := interp.New(p.prog, p.info, interp.Options{Stdout: &out})
+	defer i.Close()
+	if _, err := NewMachine(p, i).Run(); err != nil {
+		t.Fatal(err)
+	}
+	// a=[0..4], b=[10..14]: r[0]=0*10+10-0=10, r[4]=4*14+14-8=62.
+	// u=[1..5]: w[0]=1+1-2=0, w[4]=25+5-10=20.
+	want := "10\n62\n0\n20\n"
+	if out.String() != want {
+		t.Errorf("stdout = %q, want %q", out.String(), want)
+	}
+	if got := FusedLoopsRun() - before; got != 2 {
+		t.Errorf("FusedLoopsRun advanced by %d, want 2", got)
+	}
+}

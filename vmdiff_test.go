@@ -323,6 +323,42 @@ int main() {
 	return 0;
 }`},
 
+	{name: "fused_elementwise_chain", src: `
+Matrix float <1> axpy(Matrix float <1> a, Matrix float <1> b, float k) {
+	return a * k + a .* b - b / 2.0;
+}
+int main() {
+	Matrix float <1> a = [0 :: 7] * 1.0;
+	Matrix float <1> b = [1 :: 8] * 1.0;
+	Matrix float <1> r = axpy(a, b, 3.0);
+	print(r[0]);
+	print(r[end]);
+	Matrix int <1> u = [1 :: 6];
+	Matrix int <1> w = u .* 2 + u - u .* u;
+	print(w[0]);
+	print(w[end]);
+	Matrix float <1> mixed = a .* b + a * 2 - b;
+	print(mixed[3]);
+	print(mixed[end]);
+	return 0;
+}`},
+	{name: "spawn_matrix_args", src: `
+float total(Matrix float <1> m) {
+	int n = dimSize(m, 0);
+	return with ([0] <= [i] < [n]) fold(+, 0.0, m[i]);
+}
+int main() {
+	Matrix float <1> a = [0 :: 9] * 1.0;
+	Matrix float <1> b = [1 :: 10] * 1.0;
+	float sa = 0.0;
+	float sb = 0.0;
+	spawn sa = total(a);
+	spawn sb = total(b);
+	sync;
+	print(sa + sb);
+	return 0;
+}`},
+
 	// Error paths: the full error string (span, trap code, text) must
 	// match byte for byte.
 	{name: "err_div_zero", src: `
@@ -367,6 +403,29 @@ int main() {
 int main() {
 	refcounted int * c;
 	print(rcget(c));
+	return 0;
+}`},
+	{name: "err_fused_unassigned", src: `
+int main() {
+	Matrix float <1> a = [0 :: 3] * 1.0;
+	Matrix float <1> b;
+	Matrix float <1> r = a + b - a;
+	print(r[0]);
+	return 0;
+}`},
+	{name: "err_fused_shape_mismatch", src: `
+int main() {
+	Matrix float <1> a = [0 :: 3] * 1.0;
+	Matrix float <1> b = [0 :: 5] * 1.0;
+	Matrix float <1> r = a .* a + b;
+	print(r[0]);
+	return 0;
+}`},
+	{name: "err_fused_oom_mid_chain", opts: interp.Options{MaxCells: 30}, src: `
+int main() {
+	Matrix float <1> a = [0 :: 7] * 1.0;
+	Matrix float <1> r = a + a - a .* a;
+	print(r[0]);
 	return 0;
 }`},
 }
