@@ -4,7 +4,8 @@
 # tests, a race-detector pass over the
 # crash-proofing layers (pool, matrix runtime, interpreter, server), a
 # race-enabled dual-engine differential pass (bytecode VM vs the
-# tree-walking oracle), the race-enabled fleet chaos suite (cmgate
+# tree-walking oracle), a race pass over the with-loop flat engine
+# (vet plans + VM flat execution), the race-enabled fleet chaos suite (cmgate
 # routing under shard kill/restart/hang), the race-enabled tenant
 # isolation suite (token buckets, noisy-neighbor chaos, key rotation),
 # a fuzz smoke over the frontend, the cmvet analyzer, the VM
@@ -49,7 +50,10 @@ echo "== go test -race (crash-proofing + overload layers) =="
 go test -race ./internal/par ./internal/matrix ./internal/interp ./internal/server ./internal/driver
 
 echo "== go test -race (kernel differential + integration suites) =="
-go test -race -run 'Kernel|Recycle|FreeList|SetOnFree' ./internal/matrix ./internal/interp ./internal/rc
+go test -race -run 'Kernel|Conv2D|FoldExec|Recycle|FreeList|SetOnFree' ./internal/matrix ./internal/interp ./internal/rc
+
+echo "== with-loop flat engine (vet plans + VM flat execution, race) =="
+go test -race -run 'TestWithPlan|TestWithFlat|TestCompileWith' ./internal/vet ./internal/vm
 
 echo "== chaos suite (flood / drain / disk-cache recovery) =="
 go test -race -run 'TestChaos|TestCrash' ./internal/server

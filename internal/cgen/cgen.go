@@ -270,6 +270,7 @@ type fnEmitter struct {
 	// scopes tracks matrix-holding locals for scope-exit release.
 	scopes [][]scopedVar
 	endCtx []string // C expressions for 'end' per index dimension
+	wlN    int      // with-loops emitted, for per-nest hoisted names
 }
 
 type scopedVar struct {

@@ -108,8 +108,8 @@ func TestE1Fig1ExpandsToFig3Shape(t *testing.T) {
 		"for (long u_i = ", // outer genarray loop over i
 		"for (long u_j = ", // loop over j
 		"for (long u_k = ", // the fold became an accumulation loop
-		"u_mat_d[",         // direct data access: no copied slice of mat
-		"u_mat_s0",         // hoisted strides (slice elimination)
+		"u_mat_d_w1[",      // direct data access: no copied slice of mat
+		"u_mat_s0_w1",      // hoisted strides (slice elimination)
 	} {
 		if !strings.Contains(c, want) {
 			t.Errorf("generated C missing %q", want)
@@ -485,3 +485,81 @@ func runInterp(t *testing.T, src string, files map[string]*matrix.Matrix, thread
 }
 
 var _ = ast.Print
+
+// transposeSrc: whole-shape m[j, i] genarray bodies (the fast-path
+// pattern), a corner transpose of a larger source (fast path with a
+// short leading dimension), and a shifted body that must stay on the
+// general nest.
+const transposeSrc = `
+int main() {
+	int r = 13;
+	int c = 7;
+	Matrix float <2> m;
+	m = with ([0, 0] <= [i, j] < [r, c]) genarray([r, c], (float)(i * 10 + j));
+	Matrix float <2> t;
+	t = with ([0, 0] <= [i, j] < [c, r]) genarray([c, r], m[j, i]);
+	Matrix float <2> back;
+	back = with ([0, 0] <= [i, j] < [r, c]) genarray([r, c], t[j, i]);
+	float diff = with ([0, 0] <= [i, j] < [r, c]) fold(+, 0.0, back[i, j] - m[i, j]);
+	print(diff);
+	print(t[6, 12]);
+	Matrix float <2> corner;
+	corner = with ([0, 0] <= [i, j] < [5, 5]) genarray([5, 5], m[j, i]);
+	print(corner[4, 2]);
+	Matrix int <2> a;
+	a = with ([0, 0] <= [i, j] < [c, r]) genarray([c, r], i * 100 + j);
+	Matrix int <2> at;
+	at = with ([0, 0] <= [i, j] < [r, c]) genarray([r, c], a[j, i]);
+	print(at[12, 6]);
+	Matrix float <2> sh;
+	sh = with ([0, 0] <= [i, j] < [5, 5]) genarray([5, 5], m[j + 1, i]);
+	print(sh[0, 0]);
+	return 0;
+}
+`
+
+// The optimized build must route exactly the four whole-shape
+// transpose bodies to the cm_transpose kernel; the shifted body and
+// every loop in the ablation baseline stay on the general nest.
+func TestTransposeFastPathEmission(t *testing.T) {
+	opt := gen(t, transposeSrc, Options{Par: ParNone, Optimize: true})
+	if n := strings.Count(opt, "cm_transpose(_wl"); n != 4 {
+		t.Fatalf("optimized build emitted %d cm_transpose calls, want 4\n%s", n, numberLines(opt))
+	}
+	base := gen(t, transposeSrc, Options{Par: ParNone, Optimize: false})
+	if n := strings.Count(base, "cm_transpose(_wl"); n != 0 {
+		t.Fatalf("ablation baseline emitted %d cm_transpose calls, want 0", n)
+	}
+}
+
+// Compile and run the transpose program; stdout must match the
+// interpreter on every option combination, fast path or not.
+func TestTransposeCompiledMatchesInterpreter(t *testing.T) {
+	if !haveGCC() {
+		t.Skip("gcc not available")
+	}
+	files := map[string]*matrix.Matrix{}
+	wantOut := runInterp(t, transposeSrc, files, 1)
+	for _, opt := range []Options{
+		{Par: ParNone, Optimize: true},
+		{Par: ParNone, Optimize: false},
+		{Par: ParPthread, Optimize: true},
+	} {
+		dir := t.TempDir()
+		c := gen(t, transposeSrc, opt)
+		bin := compileC(t, c, dir)
+		args := []string{}
+		if opt.Par == ParPthread {
+			args = []string{"-t", "3"}
+		}
+		cmd := exec.Command(bin, args...)
+		cmd.Dir = dir
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("compiled program failed (%+v): %v\n%s", opt, err, out)
+		}
+		if string(out) != wantOut {
+			t.Fatalf("stdout differs (%+v):\ncompiled: %q\ninterp:   %q", opt, out, wantOut)
+		}
+	}
+}

@@ -183,7 +183,7 @@ func (w *wlState) lowerIndex(e *ast.IndexExpr) (pre []loopir.Stmt, val loopir.Ex
 
 // dimVar hoists (once) a variable holding cm_dim(m, d).
 func (w *wlState) dimVar(cn string, d int) string {
-	name := fmt.Sprintf("%s_dim%d", cn, d)
+	name := fmt.Sprintf("%s_dim%d_w%d", cn, d, w.uid)
 	if _, done := w.varTypes[name]; !done {
 		w.hoist("long", name, fmt.Sprintf("%s->shape[%d]", cn, d))
 	}
@@ -192,7 +192,7 @@ func (w *wlState) dimVar(cn string, d int) string {
 
 // dataVar hoists (once) the matrix's raw data pointer.
 func (w *wlState) dataVar(cn string, ty *types.Type) string {
-	name := cn + "_d"
+	name := fmt.Sprintf("%s_d_w%d", cn, w.uid)
 	if _, done := w.varTypes[name]; !done {
 		w.hoist(cElemType(ty)+" *", name, cn+"->"+dataField(ty))
 	}
@@ -201,7 +201,7 @@ func (w *wlState) dataVar(cn string, ty *types.Type) string {
 
 // strideVar hoists (once) one stride of the matrix.
 func (w *wlState) strideVar(cn string, d int) string {
-	name := fmt.Sprintf("%s_s%d", cn, d)
+	name := fmt.Sprintf("%s_s%d_w%d", cn, d, w.uid)
 	if _, done := w.varTypes[name]; !done {
 		w.hoist("long", name, fmt.Sprintf("%s->strides[%d]", cn, d))
 	}

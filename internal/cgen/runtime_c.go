@@ -84,6 +84,33 @@ static void cm_put(cm_mat *m, long off, double v) {
     }
 }
 
+/* Cache-blocked 2-D transpose fast path: dst[i][j] = src[j][i]. The
+   compiler emits this for genarray bodies that are exactly m[j, i]
+   over the full output shape, replacing the strided loop nest whose
+   inner stride would be the source row length. */
+#define CM_TBLK 32
+#define CM_TRANS_LOOP(D, S) \
+    for (long ii = 0; ii < r; ii += CM_TBLK) \
+        for (long jj = 0; jj < c; jj += CM_TBLK) { \
+            long ih = ii + CM_TBLK < r ? ii + CM_TBLK : r; \
+            long jh = jj + CM_TBLK < c ? jj + CM_TBLK : c; \
+            for (long i = ii; i < ih; i++) \
+                for (long j = jj; j < jh; j++) \
+                    D[i * c + j] = S[j * ld + i]; \
+        }
+static void cm_transpose(cm_mat *dst, const cm_mat *src) {
+    if (!dst || !src) cm_die("transpose kernel on null matrix");
+    long r = dst->shape[0], c = dst->shape[1], ld = src->shape[1];
+    if (dst->rank != 2 || src->rank != 2
+        || dst->elem != src->elem || src->shape[0] < c || ld < r)
+        cm_die("transpose kernel shape mismatch");
+    switch (dst->elem) {
+    case CM_FLOAT: CM_TRANS_LOOP(dst->f, src->f); break;
+    case CM_INT:   CM_TRANS_LOOP(dst->i, src->i); break;
+    default:       CM_TRANS_LOOP(dst->b, src->b); break;
+    }
+}
+
 /* ---- index specs (scalar / inclusive range / ':' / logical mask) ---- */
 typedef struct { int kind; long i, lo, hi; cm_mat *mask; } cm_spec;
 enum { CM_SPEC_SCALAR, CM_SPEC_RANGE, CM_SPEC_ALL, CM_SPEC_MASK };

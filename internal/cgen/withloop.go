@@ -40,10 +40,16 @@ type wlState struct {
 	ids    map[string]bool // loop indices in scope
 	endStk []func() loopir.Expr
 	seq    int
+	// uid distinguishes this nest's hoisted pointer names: two
+	// with-loops in one function may read the same matrix (which can
+	// be rebound between them), so each nest re-reads data/stride/dim
+	// pointers under its own names.
+	uid int
 }
 
 func (f *fnEmitter) newWL() *wlState {
-	return &wlState{f: f, hoisted: &indentWriter{},
+	f.wlN++
+	return &wlState{f: f, hoisted: &indentWriter{}, uid: f.wlN,
 		varTypes: map[string]string{}, direct: map[string]bool{}, ids: map[string]bool{}}
 }
 
@@ -130,6 +136,18 @@ func (f *fnEmitter) emitGenArray(w *wlState, wl *ast.WithLoop, op *ast.GenArrayO
 	}
 	w.hoisted.line("if (%s) cm_die(\"genarray shape is not a superset of the generator\");",
 		strings.Join(checks, " || "))
+
+	// Transpose fast path: a body that is exactly src[j, i] over the
+	// full output shape skips the strided nest (whose inner stride is
+	// the source row length) for the cache-blocked runtime kernel.
+	if src, ok := w.transposeSource(wl, op, resTy); ok {
+		if err := f.emitNest(w, []loopir.Stmt{
+			&loopir.Raw{Code: fmt.Sprintf("cm_transpose(%s, %s);", out, cname(src))}}); err != nil {
+			return "", err
+		}
+		f.temps = append(f.temps, out)
+		return out, nil
+	}
 	outD := w.hoist(cElemType(resTy)+" *", out+"_d", out+"->"+dataField(resTy))
 
 	// Linear output offset ((i*sh1 + j)*sh2 + k)...
@@ -227,6 +245,66 @@ func buildNest(ids []string, los, his []loopir.Expr, inner []loopir.Stmt) []loop
 			Index: cname(ids[d]), Lo: los[d], Hi: his[d], Body: body}}
 	}
 	return body
+}
+
+// transposeSource reports whether a genarray is a whole-shape
+// transpose — rank 2, zero lower bounds, upper bounds syntactically
+// equal to the shape, and a body that is exactly src[j, i] on a
+// rank-2 matrix of the result's element kind — returning the source
+// matrix name. Only the optimized build takes the fast path; the
+// ablation baseline keeps its bounds-checked accessor nest. The
+// kernel runs serially even in pthread mode: a blocked transpose on
+// the pool would be coordination-bound at these tile sizes.
+func (w *wlState) transposeSource(wl *ast.WithLoop, op *ast.GenArrayOp,
+	resTy *types.Type) (string, bool) {
+	if !w.f.g.opts.Optimize || len(wl.Ids) != 2 || len(wl.Transforms) != 0 {
+		return "", false
+	}
+	for d := 0; d < 2; d++ {
+		lo, ok := wl.Lower[d].(*ast.IntLit)
+		if !ok || lo.Value != 0 || !sameBound(wl.Upper[d], op.Shape[d]) {
+			return "", false
+		}
+	}
+	ix, ok := op.Body.(*ast.IndexExpr)
+	if !ok || len(ix.Args) != 2 {
+		return "", false
+	}
+	base, ok := ix.X.(*ast.Ident)
+	if !ok || w.ids[base.Name] {
+		return "", false
+	}
+	ty := w.varType(base.Name)
+	if ty == nil || ty.Kind != types.Matrix || ty.Rank != 2 ||
+		ty.Elem.Kind != resTy.Elem.Kind {
+		return "", false
+	}
+	for d, want := range []string{wl.Ids[1], wl.Ids[0]} {
+		sc, ok := ix.Args[d].(*ast.IdxScalar)
+		if !ok {
+			return "", false
+		}
+		id, ok := sc.X.(*ast.Ident)
+		if !ok || id.Name != want {
+			return "", false
+		}
+	}
+	return base.Name, true
+}
+
+// sameBound: syntactic equality for the bound forms boundExpr keeps
+// cheap — integer literals and plain identifiers. Anything else is
+// conservatively unequal (each side would hoist to its own variable).
+func sameBound(a, b ast.Expr) bool {
+	switch a := a.(type) {
+	case *ast.IntLit:
+		bl, ok := b.(*ast.IntLit)
+		return ok && a.Value == bl.Value
+	case *ast.Ident:
+		bi, ok := b.(*ast.Ident)
+		return ok && a.Name == bi.Name
+	}
+	return false
 }
 
 // boundExpr evaluates a with-loop bound or shape expression: integer

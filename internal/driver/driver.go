@@ -454,6 +454,7 @@ func (d *Driver) vmProgram(fr *frontResult, name, src string, exts parser.Option
 	p, err := vm.CompileWithFacts(fr.prog, fr.info, d.factsFor(fr, name, src, exts))
 	if err == nil {
 		d.metrics.VMFusedSites.Add(int64(p.FusedSites()))
+		d.metrics.VMWithSites.Add(int64(p.WithCompiled()))
 	}
 	c.res = &vmEntry{p: p, err: err}
 	close(c.done)

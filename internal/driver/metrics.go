@@ -139,6 +139,9 @@ type Metrics struct {
 	// VMFusedSites totals the facts-proven fused chain sites emitted by
 	// actual bytecode compilations (cache hits don't re-count).
 	VMFusedSites atomic.Int64
+	// VMWithSites totals the facts-proven with-loop sites compiled to
+	// the flat engine by actual bytecode compilations.
+	VMWithSites atomic.Int64
 
 	// Facts side-table cache outcomes (the vet.Facts fusion-legality
 	// oracle the bytecode compiler consumes).
@@ -196,6 +199,11 @@ type MetricsSnapshot struct {
 	// loops actually executed (process-wide, from vm.FusedLoopsRun).
 	VMFusedSites int64 `json:"vm_fused_sites"`
 	VMFusedLoops int64 `json:"vm_fused_loops"`
+	// With-loop compilation: sites lowered to the flat engine by
+	// bytecode compilations, and with-loops actually executed flat
+	// (process-wide, from vm.WithFlatLoopsRun).
+	VMWithSites    int64 `json:"with_loops_compiled"`
+	VMWithFlatRuns int64 `json:"with_loops_flat_runs"`
 
 	VetRuns      int64 `json:"vet_runs"`
 	VetHits      int64 `json:"vet_cache_hits"`
@@ -241,6 +249,12 @@ type MetricsSnapshot struct {
 	KernelSerial   int64 `json:"kernel_serial_total"`
 	KernelReused   int64 `json:"kernel_buffers_reused"`
 
+	// Per-kernel execution counters (process-wide, from
+	// matrix.KernelOpStats).
+	KernelTranspose int64 `json:"kernel_transpose_total"`
+	KernelConv      int64 `json:"kernel_conv_total"`
+	KernelReduce    int64 `json:"kernel_reduce_total"`
+
 	ParseLatency   HistogramSnapshot `json:"parse_latency"`
 	CheckLatency   HistogramSnapshot `json:"check_latency"`
 	EmitLatency    HistogramSnapshot `json:"emit_latency"`
@@ -285,6 +299,8 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		VMDispatchNS:       m.VMDispatchNS.Load(),
 		VMFusedSites:       m.VMFusedSites.Load(),
 		VMFusedLoops:       vm.FusedLoopsRun(),
+		VMWithSites:        m.VMWithSites.Load(),
+		VMWithFlatRuns:     vm.WithFlatLoopsRun(),
 		VetRuns:            m.VetRuns.Load(),
 		VetHits:            m.VetHits.Load(),
 		VetMisses:          m.VetMisses.Load(),
@@ -322,5 +338,6 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	}
 	m.tenantMu.Unlock()
 	s.KernelParallel, s.KernelSerial, s.KernelReused = matrix.KernelStats()
+	s.KernelTranspose, s.KernelConv, s.KernelReduce = matrix.KernelOpStats()
 	return s
 }

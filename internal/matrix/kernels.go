@@ -466,7 +466,11 @@ func MatMulExec(a, b *Matrix, x Exec) (*Matrix, error) {
 		}
 		ai, bi, di := a.i, b.i, out.i
 		err = runKernel(x, m, grainRows, func(rlo, rhi int) error {
-			mmInt(di, ai, bi, rlo, rhi, k, n)
+			if k > mmRecCutoff && n > mmRecCutoff {
+				mmRecRows(di, ai, bi, rlo, rhi, k, n)
+			} else {
+				mmInt(di, ai, bi, rlo, rhi, k, n)
+			}
 			return nil
 		})
 		if err != nil {
@@ -492,7 +496,11 @@ func MatMulExec(a, b *Matrix, x Exec) (*Matrix, error) {
 	}
 	df := out.f
 	err = runKernel(x, m, grainRows, func(rlo, rhi int) error {
-		mmFloat(df, av, bv, rlo, rhi, k, n)
+		if k > mmRecCutoff && n > mmRecCutoff {
+			mmRecRows(df, av, bv, rlo, rhi, k, n)
+		} else {
+			mmFloat(df, av, bv, rlo, rhi, k, n)
+		}
 		return nil
 	})
 	releaseFloatScratch(av, aScr)

@@ -232,7 +232,7 @@ func FuzzKernelDiff(f *testing.F) {
 		for _, d := range shape {
 			size *= d
 		}
-		switch r.Intn(4) {
+		switch r.Intn(7) {
 		case 0:
 			a := randKernelMat(r, elems[r.Intn(3)], shape...)
 			b := randKernelMat(r, elems[r.Intn(3)], shape...)
@@ -264,6 +264,28 @@ func FuzzKernelDiff(f *testing.F) {
 				eps = 1e-9
 			}
 			checkKernelDiff(t, "fuzz matmul", got, gerr, want, werr, mi*n, eps)
+		case 4:
+			m := randKernelMat(r, elems[r.Intn(3)], r.Intn(40), r.Intn(40))
+			want, werr := TransposeRef(m)
+			got, gerr := TransposeExec(m, x)
+			checkKernelDiff(t, "fuzz transpose", got, gerr, want, werr, m.Size(), 0)
+		case 5:
+			src := randKernelMat(r, elems[r.Intn(2)], 1+r.Intn(20), 1+r.Intn(20))
+			kern := randKernelMat(r, elems[r.Intn(2)], 1+2*r.Intn(3), 1+2*r.Intn(3))
+			want, werr := Conv2DRef(src, kern)
+			got, gerr := Conv2DExec(src, kern, x)
+			checkKernelDiff(t, "fuzz conv", got, gerr, want, werr, src.Size(), 0)
+		case 6:
+			var rshape []int
+			for d, rank := 0, 1+r.Intn(3); d < rank; d++ {
+				rshape = append(rshape, r.Intn(9))
+			}
+			m := randKernelMat(r, elems[r.Intn(2)], rshape...)
+			kind := foldKinds[r.Intn(len(foldKinds))]
+			axis := r.Intn(len(rshape))
+			want, werr := ReduceAxisRef(kind, m, axis)
+			got, gerr := ReduceAxisExec(kind, m, axis, x)
+			checkKernelDiff(t, "fuzz reduce", got, gerr, want, werr, m.Size(), 0)
 		}
 	})
 }

@@ -151,6 +151,134 @@ func (k FoldKind) String() string {
 	return "?"
 }
 
+// combineInt and combineFloat are the typed fold steps; their min/max
+// forms reproduce foldCombine's OpLt tie-breaking exactly (min of
+// equal values keeps the right operand, max keeps the left; a NaN
+// comparison is false, so min picks the right operand and max the
+// left — identical to the boxed path).
+func combineInt(kind FoldKind, a, b int64) int64 {
+	switch kind {
+	case FoldAdd:
+		return a + b
+	case FoldMul:
+		return a * b
+	case FoldMin:
+		if a < b {
+			return a
+		}
+		return b
+	default:
+		if a < b {
+			return b
+		}
+		return a
+	}
+}
+
+func combineFloat(kind FoldKind, a, b float64) float64 {
+	switch kind {
+	case FoldAdd:
+		return a + b
+	case FoldMul:
+		return a * b
+	case FoldMin:
+		if a < b {
+			return a
+		}
+		return b
+	default:
+		if a < b {
+			return b
+		}
+		return a
+	}
+}
+
+// foldAcc is FoldExec's accumulator: typed int/float lanes so the
+// common folds never re-box the accumulator through interface{} per
+// element, plus a boxed lane that reproduces foldCombine verbatim for
+// anything else (including its error texts). Lane switches follow
+// scalarOp promotion for add/mul; min/max keep the winning operand's
+// own type, exactly as the boxed OpLt path does.
+type foldAcc struct {
+	kind FoldKind
+	mode uint8 // faInt | faFloat | faBoxed
+	i    int64
+	f    float64
+	v    any
+}
+
+const (
+	faInt uint8 = iota
+	faFloat
+	faBoxed
+)
+
+func newFoldAcc(kind FoldKind, init any) foldAcc {
+	switch x := init.(type) {
+	case int64:
+		return foldAcc{kind: kind, mode: faInt, i: x}
+	case float64:
+		return foldAcc{kind: kind, mode: faFloat, f: x}
+	}
+	return foldAcc{kind: kind, mode: faBoxed, v: init}
+}
+
+// value boxes the accumulator back to the interface form callers see.
+func (a *foldAcc) value() any {
+	switch a.mode {
+	case faInt:
+		return a.i
+	case faFloat:
+		return a.f
+	}
+	return a.v
+}
+
+func (a *foldAcc) combine(v any) error {
+	switch a.mode {
+	case faInt:
+		switch x := v.(type) {
+		case int64:
+			a.i = combineInt(a.kind, a.i, x)
+			return nil
+		case float64:
+			if a.kind == FoldMin || a.kind == FoldMax {
+				// The winner keeps its own type, like foldCombine's
+				// OpLt path returning a or b unconverted.
+				if (float64(a.i) < x) == (a.kind == FoldMax) {
+					a.mode, a.f = faFloat, x
+				}
+				return nil
+			}
+			a.mode, a.f = faFloat, combineFloat(a.kind, float64(a.i), x)
+			return nil
+		}
+	case faFloat:
+		switch x := v.(type) {
+		case float64:
+			a.f = combineFloat(a.kind, a.f, x)
+			return nil
+		case int64:
+			if a.kind == FoldMin || a.kind == FoldMax {
+				if (a.f < float64(x)) == (a.kind == FoldMax) {
+					a.mode, a.i = faInt, x
+				}
+				return nil
+			}
+			a.f = combineFloat(a.kind, a.f, float64(x))
+			return nil
+		}
+	}
+	// Anything else goes through the boxed reference path.
+	nv, err := foldCombine(a.kind, a.value(), v)
+	if err != nil {
+		return err
+	}
+	*a = newFoldAcc(a.kind, nv)
+	return nil
+}
+
 func foldCombine(kind FoldKind, a, b any) (any, error) {
 	switch kind {
 	case FoldAdd:
@@ -192,40 +320,55 @@ func FoldExec(kind FoldKind, base any, lower, upper []int, body BodyFunc, x Exec
 	if len(lower) == 0 {
 		return base, nil
 	}
-	foldRow := func(i0 int, acc any) (any, error) {
-		lo := append([]int{i0}, lower[1:]...)
-		hi := append([]int{i0 + 1}, upper[1:]...)
-		var ierr error
-		indexSpace(lo, hi, func(idx []int) {
-			if ierr != nil {
-				return
+	// Each goroutine folds rows through its own folder so the index
+	// buffer is allocated once, not per row (bodies receive idx for the
+	// duration of one call only, exactly like indexSpace).
+	rank := len(lower)
+	newRowFolder := func() func(i0 int, acc *foldAcc) error {
+		idx := make([]int, rank)
+		return func(i0 int, acc *foldAcc) error {
+			copy(idx, lower)
+			idx[0] = i0
+			for d := 1; d < rank; d++ {
+				if lower[d] >= upper[d] {
+					return nil
+				}
 			}
-			v, err := body(idx)
-			if err != nil {
-				ierr = err
-				return
+			for {
+				v, err := body(idx)
+				if err != nil {
+					return err
+				}
+				if err := acc.combine(v); err != nil {
+					return err
+				}
+				d := rank - 1
+				for ; d >= 1; d-- {
+					idx[d]++
+					if idx[d] < upper[d] {
+						break
+					}
+					idx[d] = lower[d]
+				}
+				if d < 1 {
+					return nil
+				}
 			}
-			acc, err = foldCombine(kind, acc, v)
-			if err != nil {
-				ierr = err
-			}
-		})
-		return acc, ierr
+		}
 	}
 	n0 := upper[0] - lower[0]
 	if x.Pool == nil || n0 < 2 {
-		acc := base
-		var err error
+		acc := newFoldAcc(kind, base)
+		foldRow := newRowFolder()
 		for i0 := lower[0]; i0 < upper[0]; i0++ {
 			if err := x.cancelled(); err != nil {
 				return nil, err
 			}
-			acc, err = foldRow(i0, acc)
-			if err != nil {
+			if err := foldRow(i0, &acc); err != nil {
 				return nil, err
 			}
 		}
-		return acc, nil
+		return acc.value(), nil
 	}
 	// Parallel: per-worker partials seeded with the identity; base is
 	// combined exactly once at the end.
@@ -242,7 +385,8 @@ func FoldExec(kind FoldKind, base any, lower, upper []int, body BodyFunc, x Exec
 		if end > upper[0] {
 			end = upper[0]
 		}
-		acc := ident
+		acc := newFoldAcc(kind, ident)
+		foldRow := newRowFolder()
 		for i0 := start; i0 < end; i0++ {
 			if pool.Aborted() {
 				return nil
@@ -250,29 +394,26 @@ func FoldExec(kind FoldKind, base any, lower, upper []int, body BodyFunc, x Exec
 			if err := x.cancelled(); err != nil {
 				return err
 			}
-			var err error
-			acc, err = foldRow(i0, acc)
-			if err != nil {
+			if err := foldRow(i0, &acc); err != nil {
 				return err
 			}
 		}
-		partials[worker] = acc
+		partials[worker] = acc.value()
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	acc := base
+	acc := newFoldAcc(kind, base)
 	for _, pv := range partials {
 		if pv == nil {
 			continue
 		}
-		acc, err = foldCombine(kind, acc, pv)
-		if err != nil {
+		if err := acc.combine(pv); err != nil {
 			return nil, err
 		}
 	}
-	return acc, nil
+	return acc.value(), nil
 }
 
 // foldIdentity returns the identity element of kind in the numeric

@@ -199,6 +199,24 @@ func Unary(neg bool, m *Matrix) (*Matrix, error) {
 	return UnaryExec(neg, m, Exec{})
 }
 
+// Transpose returns the transpose of a rank-2 matrix, serially;
+// callers with a pool use TransposeExec.
+func Transpose(m *Matrix) (*Matrix, error) {
+	return TransposeExec(m, Exec{})
+}
+
+// Conv2D computes the same-size constant-boundary 2-D convolution of
+// src with kern, serially; callers with a pool use Conv2DExec.
+func Conv2D(src, kern *Matrix) (*Matrix, error) {
+	return Conv2DExec(src, kern, Exec{})
+}
+
+// ReduceAxis reduces m along one axis, serially; callers with a pool
+// use ReduceAxisExec.
+func ReduceAxis(kind FoldKind, m *Matrix, axis int) (*Matrix, error) {
+	return ReduceAxisExec(kind, m, axis, Exec{})
+}
+
 // --- reference oracles ---
 //
 // The original boxed implementations are retained verbatim below as
@@ -319,6 +337,131 @@ func UnaryRef(neg bool, m *Matrix) (*Matrix, error) {
 	out := New(Bool, m.shape...)
 	for k, v := range m.b {
 		out.b[k] = !v
+	}
+	return out, nil
+}
+
+// TransposeRef is the boxed per-element reference for Transpose.
+func TransposeRef(m *Matrix) (*Matrix, error) {
+	if m.Rank() != 2 {
+		return nil, fmt.Errorf("matrix: transpose requires a rank-2 matrix, got rank %d", m.Rank())
+	}
+	rows, cols := m.shape[0], m.shape[1]
+	out := New(m.elem, cols, rows)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if err := out.Set(j*rows+i, m.Get(i*cols+j)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// Conv2DRef is the boxed per-element reference for Conv2D: one
+// scalarOp multiply-add per in-range kernel tap, taps in (u, v) order.
+// The specialized kernel accumulates in the same order, so even float
+// results are compared exactly.
+func Conv2DRef(src, kern *Matrix) (*Matrix, error) {
+	if src.Rank() != 2 || kern.Rank() != 2 {
+		return nil, fmt.Errorf("matrix: conv2d requires rank-2 matrices, got ranks %d and %d", src.Rank(), kern.Rank())
+	}
+	if src.elem == Bool || kern.elem == Bool {
+		return nil, fmt.Errorf("matrix: conv2d requires numeric matrices")
+	}
+	kh, kw := kern.shape[0], kern.shape[1]
+	if kh%2 == 0 || kw%2 == 0 {
+		return nil, fmt.Errorf("matrix: conv2d kernel dimensions must be odd, got %v", kern.shape)
+	}
+	oe := Int
+	if src.elem == Float || kern.elem == Float {
+		oe = Float
+	}
+	rows, cols := src.shape[0], src.shape[1]
+	out := New(oe, rows, cols)
+	cy, cx := kh/2, kw/2
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			var acc any
+			if oe == Int {
+				acc = int64(0)
+			} else {
+				acc = float64(0)
+			}
+			for u := 0; u < kh; u++ {
+				for v := 0; v < kw; v++ {
+					si, sj := i+u-cy, j+v-cx
+					if si < 0 || si >= rows || sj < 0 || sj >= cols {
+						continue
+					}
+					p, err := scalarOp(OpMul, src.Get(si*cols+sj), kern.Get(u*kw+v))
+					if err != nil {
+						return nil, err
+					}
+					acc, err = scalarOp(OpAdd, acc, p)
+					if err != nil {
+						return nil, err
+					}
+				}
+			}
+			if err := out.Set(i*cols+j, acc); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// ReduceAxisRef is the boxed per-element reference for ReduceAxis:
+// foldCombine over the axis in ascending order — the same order the
+// specialized kernel uses, so float sums compare exactly.
+func ReduceAxisRef(kind FoldKind, m *Matrix, axis int) (*Matrix, error) {
+	if m.elem == Bool {
+		return nil, fmt.Errorf("matrix: reduce requires a numeric matrix")
+	}
+	if axis < 0 || axis >= m.Rank() {
+		return nil, fmt.Errorf("matrix: reduce axis %d out of range for rank %d", axis, m.Rank())
+	}
+	axisN := m.shape[axis]
+	if axisN == 0 && (kind == FoldMin || kind == FoldMax) {
+		return nil, fmt.Errorf("matrix: reduce %s along an empty dimension", kind)
+	}
+	outShape := make([]int, 0, m.Rank()-1)
+	outer, inner := 1, 1
+	for d, n := range m.shape {
+		switch {
+		case d < axis:
+			outer *= n
+			outShape = append(outShape, n)
+		case d > axis:
+			inner *= n
+			outShape = append(outShape, n)
+		}
+	}
+	out := New(m.elem, outShape...)
+	for o := 0; o < outer; o++ {
+		for j := 0; j < inner; j++ {
+			var acc any
+			if axisN == 0 {
+				if m.elem == Int {
+					acc = reduceIdentInt(kind)
+				} else {
+					acc = reduceIdentFloat(kind)
+				}
+			} else {
+				acc = m.Get(o*axisN*inner + j)
+				for a := 1; a < axisN; a++ {
+					var err error
+					acc, err = foldCombine(kind, acc, m.Get(o*axisN*inner+a*inner+j))
+					if err != nil {
+						return nil, err
+					}
+				}
+			}
+			if err := out.Set(o*inner+j, acc); err != nil {
+				return nil, err
+			}
+		}
 	}
 	return out, nil
 }

@@ -77,6 +77,7 @@ type Chain struct {
 // program and cached content-addressed by the driver.
 type Facts struct {
 	chains map[ast.Expr]*Chain
+	withs  map[*ast.WithLoop]*WithPlan
 }
 
 // ChainAt returns the fusable chain rooted at e, or nil.
@@ -99,7 +100,7 @@ func (f *Facts) ChainCount() int {
 // Safe on partially-checked programs (missing type info simply proves
 // nothing).
 func ComputeFacts(prog *ast.Program, info *sem.Info) *Facts {
-	f := &Facts{chains: map[ast.Expr]*Chain{}}
+	f := &Facts{chains: map[ast.Expr]*Chain{}, withs: map[*ast.WithLoop]*WithPlan{}}
 	if prog == nil || info == nil {
 		return f
 	}
@@ -215,6 +216,11 @@ func (ff *factFinder) expr(x ast.Expr) {
 		case *ast.FoldOp:
 			ff.expr(op.Init)
 			ff.expr(op.Body)
+		}
+		// Bodies and bounds keep their own facts (a nested with-loop
+		// inside a non-flat body can still get its own plan).
+		if wp := proveWith(ff.info, x); wp != nil {
+			ff.facts.withs[x] = wp
 		}
 	case *ast.MatrixMap:
 		ff.expr(x.Arg)

@@ -103,6 +103,7 @@ func CompileWithFacts(prog *ast.Program, info *sem.Info, facts *vet.Facts) (p *P
 		ginit:      c.ginit,
 		main:       main,
 		fusedSites: c.fusedSites,
+		withSites:  c.withSites,
 	}, nil
 }
 
@@ -111,6 +112,7 @@ type compiler struct {
 	info       *sem.Info
 	facts      *vet.Facts
 	fusedSites int
+	withSites  int
 	protos     []*proto
 	protoIdx   map[string]int
 	globals    []globalDef

@@ -734,9 +734,59 @@ func (f *fnc) compileWith(w *ast.WithLoop) (int32, class) {
 		return f.reg(), classOf(f.c.info.TypeOf(w))
 	}
 	d.body, d.captures = f.compileWithBody(w, bodyExpr)
+	op := opWith
+	if d.staticFail == nil {
+		if fp := f.flatWithPlan(w, d); fp != nil {
+			d.flat = fp
+			f.c.withSites++
+			if d.fold {
+				op = opWithFold
+			} else {
+				op = opWithGen
+			}
+		}
+	}
 	dst := f.reg()
-	f.emit(instr{op: opWith, a: dst, nd: w, aux: d})
+	f.emit(instr{op: op, a: dst, nd: w, aux: d})
 	return dst, d.resCl
+}
+
+// flatWithPlan binds a vet-proven flat plan's leaf names to this
+// function's local registers. Every leaf must be a local of the proven
+// class (globals decline: a mid-run global rebind from a spawned task
+// must keep per-element closure semantics), and the proven fold kind
+// must match the compiled one. Any mismatch keeps the closure path.
+func (f *fnc) flatWithPlan(w *ast.WithLoop, d *withDesc) *flatPlan {
+	wp := f.c.facts.WithAt(w)
+	if wp == nil || wp.Fold != d.fold {
+		return nil
+	}
+	if d.fold && wp.Kind != d.foldKind {
+		return nil
+	}
+	fp := &flatPlan{code: wp.Code, matEl: wp.MatElem, float: wp.Float}
+	for _, name := range wp.Mats {
+		vs, ok := f.resolve(name)
+		if !ok || vs.cl != clR || vs.ty == nil || vs.ty.Kind != types.Matrix {
+			return nil
+		}
+		fp.mats = append(fp.mats, vs.reg)
+	}
+	for _, name := range wp.ScalarI {
+		vs, ok := f.resolve(name)
+		if !ok || vs.cl != clI {
+			return nil
+		}
+		fp.sI = append(fp.sI, vs.reg)
+	}
+	for _, name := range wp.ScalarF {
+		vs, ok := f.resolve(name)
+		if !ok || vs.cl != clF {
+			return nil
+		}
+		fp.sF = append(fp.sF, vs.reg)
+	}
+	return fp
 }
 
 // compileWithBody lowers the with-loop body expression as a proto of

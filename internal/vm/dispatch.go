@@ -21,6 +21,15 @@ var fusedLoopsRun atomic.Int64
 // the VM process-wide.
 func FusedLoopsRun() int64 { return fusedLoopsRun.Load() }
 
+// withFlatRun counts with-loops executed on the flat engine (rather
+// than falling back to the per-element closure path) across all
+// machines, for the driver's vm_with_flat_loops metric.
+var withFlatRun atomic.Int64
+
+// WithFlatLoopsRun reports the number of with-loops the VM executed on
+// the flat engine process-wide.
+func WithFlatLoopsRun() int64 { return withFlatRun.Load() }
+
 // fusedArg resolves one compiled fused operand against the frame's
 // registers. A boxed register holding a non-matrix (only possible via
 // unchecked programs) resolves to a nil matrix, which FusedExec rejects

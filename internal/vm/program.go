@@ -199,6 +199,13 @@ const (
 
 	// Fused elementwise chain (vet.Facts-proven legality), aux *fusedDesc.
 	opFused
+
+	// Flat-compiled with-loops (vet.Facts-proven bodies): aux is the
+	// same *withDesc as opWith with a non-nil flat plan. The handler
+	// tries the flat engine and falls back to opWith semantics when the
+	// runtime admission declines.
+	opWithGen
+	opWithFold
 )
 
 // instr is one instruction. nd is the span-table entry: the source
@@ -313,7 +320,22 @@ type withDesc struct {
 	captures   []capture
 	ids        int // w.Ids occupy body regs [0, ids)
 	resCl      class
-	staticFail error // deferred "internal error" diagnosis, nil normally
+	staticFail error     // deferred "internal error" diagnosis, nil normally
+	flat       *flatPlan // non-nil for opWithGen/opWithFold sites
+}
+
+// flatPlan binds a vet.WithPlan's leaf names to registers so the flat
+// with-loop engine (matrix.GenArrayFlat / matrix.FoldFlat) can build
+// its WithEnv from the frame at run time. Leaves resolve to locals
+// only: a global leaf keeps the closure path so a racy global rebind
+// stays observable per element.
+type flatPlan struct {
+	code  []matrix.WithInstr
+	mats  []int32       // R regs, by WLoad* slot
+	matEl []matrix.Elem // proven element type per matrix leaf
+	sI    []int32       // I regs, by WPushScalarI slot
+	sF    []int32       // F regs, by WPushScalarF slot
+	float bool          // body's static type is float
 }
 
 // mapDesc drives opMatMap.
@@ -417,6 +439,7 @@ type Program struct {
 	ginit      *proto
 	main       int // proto index of main, -1 when absent
 	fusedSites int // opFused sites emitted (facts-proven chains)
+	withSites  int // opWithGen/opWithFold sites emitted (facts-proven with-loops)
 }
 
 // Funcs reports the number of compiled function protos (for tests).
@@ -425,3 +448,8 @@ func (p *Program) Funcs() int { return len(p.protos) }
 // FusedSites reports the number of fused-chain sites the compiler
 // emitted (each replaces two or more opBinM kernel passes).
 func (p *Program) FusedSites() int { return p.fusedSites }
+
+// WithCompiled reports the number of with-loop sites compiled to the
+// flat engine (each replaces a per-element body closure with a flat
+// kernel loop).
+func (p *Program) WithCompiled() int { return p.withSites }

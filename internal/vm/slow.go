@@ -236,6 +236,12 @@ func (mc *Machine) execSlow(fr *frame, in *instr) error {
 	case opWith:
 		return mc.execWith(fr, in)
 
+	case opWithGen, opWithFold:
+		if handled, err := mc.execWithFlat(fr, in); handled {
+			return err
+		}
+		return mc.execWith(fr, in)
+
 	case opMatMap:
 		return mc.execMatMap(fr, in)
 
@@ -340,6 +346,81 @@ func (mc *Machine) execWith(fr *frame, in *instr) error {
 	}
 	fr.regs[in.a].r = out
 	return nil
+}
+
+// execWithFlat attempts a facts-compiled with-loop on the flat engine.
+// handled=false means the admission declined — a leaf register holds
+// an unexpected value, or the flat engine itself declined (infeasible
+// indices, element mismatch) — with nothing observable done: no hook
+// firings, no budget charges. The caller then falls back to the
+// closure engine, which reproduces any error byte-identically.
+func (mc *Machine) execWithFlat(fr *frame, in *instr) (bool, error) {
+	d := in.aux.(*withDesc)
+	fp := d.flat
+	if fp == nil || d.staticFail != nil {
+		return false, nil
+	}
+	lower := make([]int, len(d.lower))
+	upper := make([]int, len(d.upper))
+	for k := range d.lower {
+		lower[k] = int(fr.regs[d.lower[k]].i)
+		upper[k] = int(fr.regs[d.upper[k]].i)
+	}
+	env := &matrix.WithEnv{Code: fp.code, Float: fp.float}
+	if len(fp.mats) > 0 {
+		env.Mats = make([]*matrix.Matrix, len(fp.mats))
+		for k, r := range fp.mats {
+			m, ok := fr.regs[r].r.(*matrix.Matrix)
+			if !ok || m == nil || m.Elem() != fp.matEl[k] {
+				return false, nil
+			}
+			env.Mats[k] = m
+		}
+	}
+	if len(fp.sI) > 0 {
+		env.ScalarI = make([]int64, len(fp.sI))
+		for k, r := range fp.sI {
+			env.ScalarI[k] = fr.regs[r].i
+		}
+	}
+	if len(fp.sF) > 0 {
+		env.ScalarF = make([]float64, len(fp.sF))
+		for k, r := range fp.sF {
+			env.ScalarF[k] = fr.regs[r].f
+		}
+	}
+	x := mc.in.Exec(fr.pool)
+	if d.fold {
+		base := fr.box(d.foldInit)
+		if d.promote {
+			if iv, ok := base.(int64); ok {
+				base = float64(iv)
+			}
+		}
+		out, handled, err := matrix.FoldFlat(d.foldKind, base, lower, upper, env, x)
+		if !handled {
+			return false, nil
+		}
+		withFlatRun.Add(1)
+		if err != nil {
+			return true, interp.WrapError(in.nd, err)
+		}
+		return true, fr.store(in.a, d.resCl, out, in.nd)
+	}
+	shape := make([]int, len(d.shape))
+	for k, r := range d.shape {
+		shape[k] = int(fr.regs[r].i)
+	}
+	out, handled, err := matrix.GenArrayFlat(d.elem, lower, upper, shape, env, x)
+	if !handled {
+		return false, nil
+	}
+	withFlatRun.Add(1)
+	if err != nil {
+		return true, interp.WrapError(in.nd, err)
+	}
+	fr.regs[in.a].r = out
+	return true, nil
 }
 
 // bodyExprOf returns the with-loop's body expression node (the node

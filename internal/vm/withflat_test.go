@@ -1,0 +1,167 @@
+// White-box tests for vet.Facts-driven with-loop compilation: proven
+// genarray/fold bodies must lower to opWithGen/opWithFold and run on
+// the flat engine; everything the legality rules exclude must keep the
+// closure lowering. Behavioral equivalence is covered by the
+// dual-engine differential suite at the repository root.
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/interp"
+)
+
+func TestCompileWithFlatSites(t *testing.T) {
+	p := compile(t, `
+int main() {
+	int n = 8;
+	Matrix float <2> m;
+	m = with ([0, 0] <= [i, j] < [n, n]) genarray([n, n], (float)i * 2.0 + j);
+	Matrix float <2> tr;
+	tr = with ([0, 0] <= [i, j] < [n, n]) genarray([n, n], m[j, i]);
+	float s = with ([0, 0] <= [i, j] < [n, n]) fold(+, 0.0, m[i, j] * tr[j, i]);
+	print(s);
+	return 0;
+}`)
+	if got := p.WithCompiled(); got != 3 {
+		t.Fatalf("WithCompiled = %d, want 3", got)
+	}
+	ops := countOps(p)
+	if ops[opWithGen] != 2 || ops[opWithFold] != 1 {
+		t.Errorf("opWithGen = %d, opWithFold = %d, want 2 and 1: %v",
+			ops[opWithGen], ops[opWithFold], ops)
+	}
+	if ops[opWith] != 0 {
+		t.Errorf("opWith emitted %d times, want 0 (all sites proven)", ops[opWith])
+	}
+}
+
+func TestCompileDeclinesUnprovenWithBodies(t *testing.T) {
+	for _, tc := range []struct {
+		name, src string
+	}{
+		{"call_in_body", `
+float f(int i) { return (float)i; }
+int main() {
+	Matrix float <1> m;
+	m = with ([0] <= [i] < [4]) genarray([4], f(i));
+	print(m[0]);
+	return 0;
+}`},
+		{"global_matrix_leaf", `
+Matrix float <1> g = [0 :: 3] * 1.0;
+int main() {
+	Matrix float <1> m;
+	m = with ([0] <= [i] < [4]) genarray([4], g[i] + 1.0);
+	print(m[0]);
+	return 0;
+}`},
+		{"modulo_body", `
+int main() {
+	Matrix int <1> m;
+	m = with ([0] <= [i] < [4]) genarray([4], i % 3);
+	print(m[0]);
+	return 0;
+}`},
+		{"int_division_body", `
+int main() {
+	Matrix int <1> m;
+	m = with ([0] <= [i] < [4]) genarray([4], i / 2);
+	print(m[0]);
+	return 0;
+}`},
+		{"nested_with_body", `
+int main() {
+	Matrix float <1> m;
+	m = with ([0] <= [i] < [4])
+		genarray([4], with ([0] <= [k] < [3]) fold(+, 0.0, (float)(i + k)) / 3.0);
+	print(m[0]);
+	return 0;
+}`},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p := compile(t, tc.src)
+			ops := countOps(p)
+			switch tc.name {
+			case "nested_with_body":
+				// The outer genarray keeps the closure path, but the inner
+				// fold compiles flat inside the body proto (its leaves are
+				// the outer ids, plain int locals there).
+				if p.WithCompiled() != 1 || ops[opWith] != 1 || ops[opWithFold] != 1 {
+					t.Errorf("WithCompiled = %d, opWith = %d, opWithFold = %d, want 1/1/1",
+						p.WithCompiled(), ops[opWith], ops[opWithFold])
+				}
+			default:
+				if p.WithCompiled() != 0 {
+					t.Errorf("WithCompiled = %d, want 0 (body must not be proven)", p.WithCompiled())
+				}
+				if ops[opWithGen]+ops[opWithFold] != 0 {
+					t.Errorf("flat opcodes emitted for an unproven body: %v", ops)
+				}
+			}
+		})
+	}
+}
+
+func TestWithFlatRunsCorrectly(t *testing.T) {
+	p := compile(t, `
+int main() {
+	int n = 6;
+	Matrix int <2> m;
+	m = with ([0, 0] <= [i, j] < [n, n]) genarray([n, n], i * 10 + j);
+	Matrix int <2> tr;
+	tr = with ([0, 0] <= [i, j] < [n, n]) genarray([n, n], m[j, i]);
+	print(tr[1, 4]);
+	int s = with ([0, 0] <= [i, j] < [n, n]) fold(+, 0, m[i, j]);
+	print(s);
+	float shifted = with ([1] <= [i] < [5])
+		fold(+, 0.0, (float)(m[0, i] - m[0, i - 1]));
+	print(shifted);
+	return 0;
+}`)
+	if got := p.WithCompiled(); got != 4 {
+		t.Fatalf("WithCompiled = %d, want 4", got)
+	}
+	before := WithFlatLoopsRun()
+	var out strings.Builder
+	i := interp.New(p.prog, p.info, interp.Options{Stdout: &out})
+	defer i.Close()
+	if _, err := NewMachine(p, i).Run(); err != nil {
+		t.Fatal(err)
+	}
+	// tr[1,4] = m[4,1] = 41; sum of i*10+j over 6x6 = 990; the
+	// telescoping shifted sum over row 0 is m[0,4]-m[0,0] = 4.
+	want := "41\n990\n4\n"
+	if out.String() != want {
+		t.Errorf("stdout = %q, want %q", out.String(), want)
+	}
+	if got := WithFlatLoopsRun() - before; got != 4 {
+		t.Errorf("WithFlatLoopsRun advanced by %d, want 4", got)
+	}
+}
+
+func TestWithFlatScalarLeaves(t *testing.T) {
+	p := compile(t, `
+int main() {
+	int bias = 7;
+	float scale = 0.5;
+	Matrix float <1> m;
+	m = with ([0] <= [i] < [8]) genarray([8], (float)(i + bias) * scale);
+	print(m[0]);
+	print(m[7]);
+	return 0;
+}`)
+	if got := p.WithCompiled(); got != 1 {
+		t.Fatalf("WithCompiled = %d, want 1", got)
+	}
+	var out strings.Builder
+	i := interp.New(p.prog, p.info, interp.Options{Stdout: &out})
+	defer i.Close()
+	if _, err := NewMachine(p, i).Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := "3.5\n7\n"; out.String() != want {
+		t.Errorf("stdout = %q, want %q", out.String(), want)
+	}
+}

@@ -258,6 +258,59 @@ int main() {
 	print(nested[2]);
 	return 0;
 }`},
+	{name: "with_flat_kernels", src: `
+int main() {
+	int n = 8;
+	int bias = 3;
+	float scale = 0.25;
+	Matrix int <2> m;
+	m = with ([0, 0] <= [i, j] < [n, n]) genarray([n, n], i * n + j + bias);
+	Matrix int <2> tr;
+	tr = with ([0, 0] <= [i, j] < [n, n]) genarray([n, n], m[j, i]);
+	print(tr[2, 5]);
+	Matrix float <2> sm;
+	sm = with ([1, 1] <= [i, j] < [7, 7])
+		genarray([n, n], (float)(m[i - 1, j] + m[i + 1, j] + m[i, j - 1] + m[i, j + 1]) * scale);
+	print(sm[0, 0]);
+	print(sm[3, 3]);
+	int s = with ([0, 0] <= [i, j] < [n, n]) fold(+, 0, m[i, j] - tr[j, i]);
+	print(s);
+	float w = with ([0] <= [k] < [6]) fold(max, -1.0, (float)(k * (4 - k)) * scale);
+	print(w);
+	return 0;
+}`},
+	{name: "err_with_flat_oom", opts: interp.Options{MaxCells: 40}, src: `
+int main() {
+	int n = 5;
+	Matrix int <2> small;
+	small = with ([0, 0] <= [i, j] < [n, n]) genarray([n, n], i - j);
+	print(small[4, 4]);
+	Matrix int <2> big;
+	big = with ([0, 0] <= [i, j] < [9, 9]) genarray([9, 9], i * j);
+	print(big[0, 0]);
+	return 0;
+}`},
+	{name: "err_with_flat_out_of_bounds_load", src: `
+int main() {
+	int n = 4;
+	Matrix int <1> v;
+	v = with ([0] <= [i] < [n]) genarray([n], i * 2);
+	Matrix int <1> shifted;
+	shifted = with ([0] <= [i] < [n]) genarray([n], v[i + 1]);
+	print(shifted[0]);
+	return 0;
+}`},
+	{name: "with_flat_promoted_fold", src: `
+int main() {
+	int n = 6;
+	Matrix int <2> m;
+	m = with ([0, 0] <= [i, j] < [n, n]) genarray([n, n], i + 2 * j);
+	float mean = with ([0, 0] <= [i, j] < [n, n]) fold(+, 0.0, (float)m[i, j]) / 36.0;
+	print(mean);
+	int prod = with ([1] <= [k] < [5]) fold(*, 1, m[k, k]);
+	print(prod);
+	return 0;
+}`},
 	{name: "matrix_map_both_forms", src: `
 Matrix float <1> double(Matrix float <1> ts) {
 	int n = dimSize(ts, 0);
